@@ -1,0 +1,92 @@
+// Command dbgen generates TPC-D-style data into a database directory that
+// the other tools (smactl, smaql) operate on.
+//
+// Usage:
+//
+//	dbgen -dir ./db -sf 0.01 [-order sorted|diagonal|spec|shuffled] [-seed 1998] [-orders]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sma/internal/engine"
+	"sma/internal/tpcd"
+	"sma/internal/tuple"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	sf := flag.Float64("sf", 0.01, "TPC-D scale factor")
+	seed := flag.Int64("seed", 1998, "generation seed")
+	orderName := flag.String("order", "diagonal", "physical order: spec, sorted, diagonal, shuffled")
+	withOrders := flag.Bool("orders", false, "also generate the ORDERS relation")
+	bucketPages := flag.Int("bucket-pages", 1, "pages per SMA bucket")
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+
+	var order tpcd.Order
+	switch *orderName {
+	case "spec":
+		order = tpcd.OrderSpec
+	case "sorted":
+		order = tpcd.OrderSorted
+	case "diagonal":
+		order = tpcd.OrderDiagonal
+	case "shuffled":
+		order = tpcd.OrderShuffled
+	default:
+		fatal(fmt.Errorf("unknown order %q", *orderName))
+	}
+
+	db, err := engine.Open(*dir, engine.Options{BucketPages: *bucketPages})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	cfg := tpcd.Config{ScaleFactor: *sf, Seed: *seed, Order: order}
+
+	start := time.Now()
+	li, err := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
+	if err != nil {
+		fatal(err)
+	}
+	t := tuple.NewTuple(li.Schema)
+	items := tpcd.GenLineItems(cfg)
+	for i := range items {
+		items[i].FillTuple(t)
+		if _, err := li.Append(t); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("LINEITEM: %d rows, %d pages, %d buckets (%s order) in %v\n",
+		len(items), li.Heap.NumPages(), li.Heap.NumBuckets(), order, time.Since(start).Round(time.Millisecond))
+
+	if *withOrders {
+		start = time.Now()
+		ot, err := db.CreateTable("ORDERS", tpcd.OrdersSchema().Columns())
+		if err != nil {
+			fatal(err)
+		}
+		rows := tpcd.GenOrders(cfg)
+		tt := tuple.NewTuple(ot.Schema)
+		for i := range rows {
+			rows[i].FillTuple(tt)
+			if _, err := ot.Append(tt); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("ORDERS: %d rows, %d pages in %v\n",
+			len(rows), ot.Heap.NumPages(), time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dbgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,131 @@
+// Command smactl manages SMAs on a database directory.
+//
+// Usage:
+//
+//	smactl -dir ./db define 'define sma min select min(L_SHIPDATE) from LINEITEM'
+//	smactl -dir ./db q1                # define the paper's 8 Query-1 SMAs
+//	smactl -dir ./db list              # list SMAs with sizes
+//	smactl -dir ./db verify LINEITEM   # recompute and compare every SMA
+//	smactl -dir ./db grade LINEITEM "L_SHIPDATE <= date '1995-06-17'"
+//	smactl -dir ./db drop LINEITEM min
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/engine"
+	"sma/internal/experiments"
+	"sma/internal/parser"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop"))
+	}
+	db, err := engine.Open(*dir, engine.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	switch args[0] {
+	case "define":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: define '<ddl>'"))
+		}
+		start := time.Now()
+		s, err := db.DefineSMA(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("built sma %s: %d buckets, %d SMA-file(s), %d page(s) in %v\n",
+			s.Def.Name, s.NumBuckets, s.NumFiles(), s.PagesUsed(),
+			time.Since(start).Round(time.Millisecond))
+	case "q1":
+		for _, def := range experiments.Q1SMADefs() {
+			start := time.Now()
+			s, err := db.DefineSMADef(def)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("built sma %-10s %4d page(s) %2d file(s) in %v\n",
+				s.Def.Name, s.PagesUsed(), s.NumFiles(), time.Since(start).Round(time.Millisecond))
+		}
+	case "list":
+		for _, name := range db.Tables() {
+			t, _ := db.Table(name)
+			fmt.Printf("%s: %d pages, bucket = %d page(s)\n", name, t.Heap.NumPages(), t.BucketPages)
+			for _, s := range t.SMAs() {
+				fmt.Printf("  %-12s %-60s %4d file(s) %5d page(s)\n",
+					s.Def.Name, s.Def.String(), s.NumFiles(), s.PagesUsed())
+			}
+		}
+	case "verify":
+		if len(args) != 2 {
+			fatal(fmt.Errorf("usage: verify <table>"))
+		}
+		t, err := db.Table(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range t.SMAs() {
+			if err := s.Verify(t.Heap); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("sma %s: ok\n", s.Def.Name)
+		}
+	case "grade":
+		// grade <table> '<predicate>': classify every bucket against the
+		// predicate using the table's SMAs and print the §3.1 partition.
+		if len(args) != 3 {
+			fatal(fmt.Errorf("usage: grade <table> '<predicate>'"))
+		}
+		t, err := db.Table(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		q, err := parser.ParseQuery("select count(*) from " + args[1] + " where " + args[2])
+		if err != nil {
+			fatal(err)
+		}
+		if err := q.Where.Bind(t.Schema); err != nil {
+			fatal(err)
+		}
+		grader := core.NewGrader(t.SMAs()...)
+		counts := core.CountGrades(grader.GradeAll(q.Where))
+		fmt.Printf("predicate: %s\n", q.Where)
+		fmt.Printf("buckets:   %d qualify / %d disqualify / %d ambivalent (%.1f%%)\n",
+			counts.Qualifying, counts.Disqualifying, counts.Ambivalent,
+			100*counts.AmbivalentFrac())
+		verdict := "SMA plan pays off"
+		if counts.AmbivalentFrac() > 0.25 {
+			verdict = "beyond the ~25% breakeven; prefer a sequential scan"
+		}
+		fmt.Println("verdict:  ", verdict)
+	case "drop":
+		if len(args) != 3 {
+			fatal(fmt.Errorf("usage: drop <table> <sma>"))
+		}
+		if err := db.DropSMA(args[1], args[2]); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dropped sma %s on %s\n", args[2], args[1])
+	default:
+		fatal(fmt.Errorf("unknown command %q", args[0]))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smactl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command smaql runs SQL queries against a database directory through the
+// SMA-aware planner.
+//
+// Usage:
+//
+//	smaql -dir ./db 'select count(*) from LINEITEM where L_SHIPDATE <= date ''1998-09-02'''
+//	smaql -dir ./db -explain '<query>'     # show the chosen plan only
+//	echo '<query>' | smaql -dir ./db -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"sma/internal/engine"
+)
+
+func main() {
+	dir := flag.String("dir", "", "database directory (required)")
+	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	flag.Parse()
+	if *dir == "" {
+		fatal(fmt.Errorf("-dir is required"))
+	}
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: smaql -dir <db> '<query>' (or - for stdin)"))
+	}
+	sql := flag.Arg(0)
+	if sql == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		sql = string(data)
+	}
+
+	db, err := engine.Open(*dir, engine.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	if *explain {
+		plan, err := db.Plan(sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(plan.Explain())
+		return
+	}
+	start := time.Now()
+	res, err := db.Query(sql)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Print(res.String())
+	fmt.Printf("(%d rows, %v, plan: %s)\n", len(res.Rows), elapsed.Round(time.Microsecond), res.Plan.Strategy)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smaql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Ambivalence: how physical clustering decides whether SMAs pay off
+// (§2.2's diagonal distribution and Fig. 5's breakeven). The example grades
+// the same predicate over four physical orderings of the same rows and
+// prints the qualify / disqualify / ambivalent split plus the planner's
+// verdict.
+//
+//	go run ./examples/ambivalence
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sma/internal/core"
+	"sma/internal/experiments"
+	"sma/internal/storage"
+	"sma/internal/tpcd"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sma-ambiv-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("predicate: L_SHIPDATE <= 1998-09-02 (Query 1, delta=90)")
+	fmt.Printf("%-10s %10s %12s %12s %12s\n", "order", "qualify", "disqualify", "ambivalent", "planner")
+	for _, order := range []tpcd.Order{tpcd.OrderSorted, tpcd.OrderDiagonal, tpcd.OrderSpec, tpcd.OrderShuffled} {
+		if err := run(filepath.Join(dir, order.String()), order); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nsorted/diagonal data lets min/max SMAs decide nearly every bucket;")
+	fmt.Println("uniform (spec) and shuffled orders leave wide buckets ambivalent, and")
+	fmt.Println("past ~25% ambivalence (Fig. 5) the planner falls back to the scan.")
+}
+
+// run loads one ordering and grades the buckets.
+func run(dir string, order tpcd.Order) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dm, err := storage.OpenDiskManager(filepath.Join(dir, "lineitem.tbl"))
+	if err != nil {
+		return err
+	}
+	defer dm.Close()
+	pool := storage.NewBufferPool(dm, 2048)
+	h, err := storage.NewHeapFile(pool, tpcd.LineItemSchema(), 1)
+	if err != nil {
+		return err
+	}
+	if _, err := tpcd.LoadLineItem(h, tpcd.Config{ScaleFactor: 0.005, Seed: 7, Order: order}); err != nil {
+		return err
+	}
+	mn, err := core.Build(h, experiments.Q1SMADefs()[2]) // min(L_SHIPDATE)
+	if err != nil {
+		return err
+	}
+	mx, err := core.Build(h, experiments.Q1SMADefs()[1]) // max(L_SHIPDATE)
+	if err != nil {
+		return err
+	}
+	g := core.NewGrader(mn, mx)
+	counts := core.CountGrades(g.GradeAll(experiments.Q1Pred(90)))
+
+	verdict := "use SMAs"
+	if counts.AmbivalentFrac() > 0.25 {
+		verdict = "scan"
+	}
+	fmt.Printf("%-10s %10d %12d %12d %12s\n",
+		order, counts.Qualifying, counts.Disqualifying, counts.Ambivalent, verdict)
+	return nil
+}

@@ -1,0 +1,131 @@
+// Semi-join SMAs (§4): "select R.* from R, S where R.A θ S.B" — associate
+// the minimax of S.B with the buckets of R and skip buckets that cannot
+// contain semi-join partners.
+//
+//	go run ./examples/semijoin
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/exec"
+	"sma/internal/experiments"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tpcd"
+	"sma/internal/tuple"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sma-semijoin-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// R = LINEITEM, shipdate-sorted.
+	dm, err := storage.OpenDiskManager(filepath.Join(dir, "lineitem.tbl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dm.Close()
+	pool := storage.NewBufferPool(dm, 2048)
+	lineitem, err := storage.NewHeapFile(pool, tpcd.LineItemSchema(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tpcd.LoadLineItem(lineitem, tpcd.Config{ScaleFactor: 0.005, Seed: 3, Order: tpcd.OrderSorted}); err != nil {
+		log.Fatal(err)
+	}
+
+	// S = the orders of Q1 1992 (a narrow dimension-side subset).
+	sdm, err := storage.OpenDiskManager(filepath.Join(dir, "orders.tbl"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sdm.Close()
+	orders, err := storage.NewHeapFile(storage.NewBufferPool(sdm, 256), tpcd.OrdersSchema(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cut := tuple.MustParseDate("1992-03-31")
+	ot := tuple.NewTuple(tpcd.OrdersSchema())
+	kept := 0
+	for _, o := range tpcd.GenOrders(tpcd.Config{ScaleFactor: 0.005, Seed: 3}) {
+		if o.OrderDate <= cut {
+			o.FillTuple(ot)
+			if _, err := orders.Append(ot); err != nil {
+				log.Fatal(err)
+			}
+			kept++
+		}
+	}
+	fmt.Printf("R = LINEITEM: %d buckets; S = ORDERS(Q1 1992): %d rows\n",
+		lineitem.NumBuckets(), kept)
+
+	// Min/max SMAs on R.A and the minimax bounds of S.B.
+	mn, err := core.Build(lineitem, experiments.Q1SMADefs()[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	mx, err := core.Build(lineitem, experiments.Q1SMADefs()[1])
+	if err != nil {
+		log.Fatal(err)
+	}
+	jb, err := core.ComputeJoinBounds(orders, "O_ORDERDATE")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimax(S.B) = [%s, %s]\n",
+		tuple.FormatDate(int32(jb.Min)), tuple.FormatDate(int32(jb.Max)))
+
+	// Semi-join: lineitems shipped no later than some early order date.
+	grader := core.NewGrader(mn, mx)
+	pruned, matched := 0, 0
+	residual := core.SemiJoinPredicate("L_SHIPDATE", pred.Le, jb)
+	if err := residual.Bind(lineitem.Schema()); err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	for b := 0; b < lineitem.NumBuckets(); b++ {
+		switch core.SemiJoinGrade(grader, b, "L_SHIPDATE", pred.Le, jb) {
+		case core.Disqualifies:
+			pruned++
+		case core.Qualifies:
+			if err := lineitem.ScanBucket(b, func(tuple.Tuple, storage.RID) error {
+				matched++
+				return nil
+			}); err != nil {
+				log.Fatal(err)
+			}
+		default:
+			if err := lineitem.ScanBucket(b, func(t tuple.Tuple, _ storage.RID) error {
+				if residual.Eval(t) {
+					matched++
+				}
+				return nil
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	smaTime := time.Since(start)
+
+	// Baseline: full scan with the residual predicate.
+	start = time.Now()
+	baseline, err := exec.CollectTuples(exec.NewTableScan(lineitem, residual))
+	if err != nil {
+		log.Fatal(err)
+	}
+	scanTime := time.Since(start)
+
+	fmt.Printf("semi-join matches: %d (baseline %d)\n", matched, len(baseline))
+	fmt.Printf("buckets pruned without page access: %d / %d (%.1f%%)\n",
+		pruned, lineitem.NumBuckets(), 100*float64(pruned)/float64(lineitem.NumBuckets()))
+	fmt.Printf("time: SMA %v vs scan %v\n", smaTime.Round(time.Microsecond), scanTime.Round(time.Microsecond))
+}

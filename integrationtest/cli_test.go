@@ -1,0 +1,129 @@
+// Package integrationtest drives the command-line tools end to end:
+// dbgen → smactl → smaql against a real database directory, exactly as the
+// README's workflow describes. The tools are executed via `go run`, so
+// this suite also guards against bit-rot in the cmd/ mains.
+package integrationtest
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runTool runs a cmd/ binary through `go run` from the repository root.
+func runTool(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run"}, args...)...)
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+const query1 = `SELECT L_RETURNFLAG, L_LINESTATUS,
+ SUM(L_QUANTITY) AS SUM_QTY, SUM(L_EXTENDEDPRICE) AS SUM_BASE_PRICE,
+ SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)) AS SUM_DISC_PRICE,
+ SUM(L_EXTENDEDPRICE*(1-L_DISCOUNT)*(1+L_TAX)) AS SUM_CHARGE,
+ AVG(L_QUANTITY) AS AVG_QTY, AVG(L_EXTENDEDPRICE) AS AVG_PRICE,
+ AVG(L_DISCOUNT) AS AVG_DISC, COUNT(*) AS COUNT_ORDER
+ FROM LINEITEM
+ WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY
+ GROUP BY L_RETURNFLAG, L_LINESTATUS
+ ORDER BY L_RETURNFLAG, L_LINESTATUS`
+
+// TestCLIWorkflow is the README workflow: generate, index, query.
+func TestCLIWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	dir := t.TempDir()
+	db := filepath.Join(dir, "db")
+
+	out := runTool(t, "./cmd/dbgen", "-dir", db, "-sf", "0.001", "-order", "sorted", "-orders")
+	if !strings.Contains(out, "LINEITEM") || !strings.Contains(out, "ORDERS") {
+		t.Fatalf("dbgen output:\n%s", out)
+	}
+
+	out = runTool(t, "./cmd/smactl", "-dir", db, "q1")
+	if !strings.Contains(out, "extdistax") {
+		t.Fatalf("smactl q1 output:\n%s", out)
+	}
+
+	out = runTool(t, "./cmd/smactl", "-dir", db, "list")
+	for _, want := range []string{"LINEITEM", "define sma min", "define sma count"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("smactl list missing %q:\n%s", want, out)
+		}
+	}
+
+	out = runTool(t, "./cmd/smactl", "-dir", db, "verify", "LINEITEM")
+	if strings.Count(out, ": ok") != 8 {
+		t.Fatalf("smactl verify should pass all 8 SMAs:\n%s", out)
+	}
+
+	out = runTool(t, "./cmd/smactl", "-dir", db, "grade", "LINEITEM", "L_SHIPDATE <= date '1995-06-17'")
+	if !strings.Contains(out, "qualify") || !strings.Contains(out, "verdict") {
+		t.Fatalf("smactl grade output:\n%s", out)
+	}
+
+	out = runTool(t, "./cmd/smaql", "-dir", db, "-explain", query1)
+	if !strings.Contains(out, "SMA_GAggr") {
+		t.Fatalf("explain should choose SMA_GAggr:\n%s", out)
+	}
+
+	out = runTool(t, "./cmd/smaql", "-dir", db, query1)
+	if !strings.Contains(out, "COUNT_ORDER") || !strings.Contains(out, "(4 rows") {
+		t.Fatalf("smaql Query 1 output:\n%s", out)
+	}
+	if !strings.Contains(out, "plan: SMA_GAggr") {
+		t.Fatalf("Query 1 should run through SMA_GAggr:\n%s", out)
+	}
+
+	// Dropping the selection SMAs flips the plan to a scan, same results.
+	runTool(t, "./cmd/smactl", "-dir", db, "drop", "LINEITEM", "min")
+	runTool(t, "./cmd/smactl", "-dir", db, "drop", "LINEITEM", "max")
+	out2 := runTool(t, "./cmd/smaql", "-dir", db, query1)
+	if !strings.Contains(out2, "plan: FullScan") {
+		t.Fatalf("without min/max the plan should be a scan:\n%s", out2)
+	}
+	// Compare the data rows (strip the timing/plan line, which differs).
+	stripTail := func(s string) string {
+		lines := strings.Split(strings.TrimSpace(s), "\n")
+		return strings.Join(lines[:len(lines)-1], "\n")
+	}
+	if stripTail(out) != stripTail(out2) {
+		t.Fatalf("plans disagree:\n--- SMA ---\n%s\n--- scan ---\n%s", out, out2)
+	}
+}
+
+// TestCLIQuickstartExample runs the quickstart example as a smoke test.
+func TestCLIQuickstartExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	out := runTool(t, "./examples/quickstart")
+	for _, want := range []string{"SMA_GAggr", "REGION", "REVENUE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLIErrors: the tools fail cleanly on bad input.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration is slow; skipped with -short")
+	}
+	cmd := exec.Command("go", "run", "./cmd/smaql", "-dir", t.TempDir(), "select nonsense")
+	cmd.Dir = ".."
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("smaql on an empty db should fail:\n%s", out)
+	}
+	if !strings.Contains(string(out), "smaql:") {
+		t.Fatalf("error should be prefixed:\n%s", out)
+	}
+}

@@ -1,0 +1,173 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/storage"
+)
+
+// entries builds n random-keyed entries.
+func entries(seed int64, n int) []Entry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Key: float64(rng.Intn(n * 2)),
+			RID: storage.RID{Page: storage.PageID(i / 100), Slot: i % 100},
+		}
+	}
+	return out
+}
+
+func TestBulkLoadAndValidate(t *testing.T) {
+	for _, n := range []int{0, 1, 10, LeafFanout, LeafFanout + 1, 10000, 100000} {
+		tr := BulkLoad("K", entries(int64(n), n))
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if tr.Count() != n {
+			t.Errorf("n=%d: Count = %d", n, tr.Count())
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	es := entries(42, 5000)
+	tr := BulkLoad("K", es)
+	// Oracle: sort keys and count in range.
+	keys := make([]float64, len(es))
+	for i, e := range es {
+		keys[i] = e.Key
+	}
+	sort.Float64s(keys)
+	for _, r := range [][2]float64{{0, 100}, {500, 600}, {-10, -1}, {9000, 20000}, {0, 1e9}} {
+		rids, pages := tr.RangeScan(r[0], r[1])
+		want := sort.SearchFloat64s(keys, r[1]+1) - sort.SearchFloat64s(keys, r[0])
+		if len(rids) != want {
+			t.Errorf("range [%g,%g]: %d rids, want %d", r[0], r[1], len(rids), want)
+		}
+		if want > 0 && pages < 1 {
+			t.Errorf("range [%g,%g]: no pages touched", r[0], r[1])
+		}
+	}
+}
+
+func TestInsertMaintainsInvariants(t *testing.T) {
+	tr := BulkLoad("K", nil)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		tr.Insert(Entry{Key: float64(rng.Intn(5000)), RID: storage.RID{Slot: i}})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 20000 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+	rids, _ := tr.RangeScan(0, 5000)
+	if len(rids) != 20000 {
+		t.Errorf("full range returned %d", len(rids))
+	}
+}
+
+func TestMixedBulkAndInsert(t *testing.T) {
+	tr := BulkLoad("K", entries(3, 3000))
+	for i := 0; i < 3000; i++ {
+		tr.Insert(Entry{Key: float64(i), RID: storage.RID{Slot: i}})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Count() != 6000 {
+		t.Errorf("Count = %d", tr.Count())
+	}
+}
+
+// TestSizeAccounting: the page count grows roughly linearly with entries —
+// the basis of the paper's 230 MB claim at SF 1 — and exceeds the SMA size
+// by orders of magnitude per indexed row.
+func TestSizeAccounting(t *testing.T) {
+	small := BulkLoad("K", entries(1, 10000))
+	big := BulkLoad("K", entries(2, 100000))
+	if small.NumPages() >= big.NumPages() {
+		t.Errorf("page counts should grow: %d vs %d", small.NumPages(), big.NumPages())
+	}
+	wantLeaves := (100000 + LeafFanout - 1) / LeafFanout
+	if big.NumPages() < wantLeaves {
+		t.Errorf("NumPages %d < leaf count %d", big.NumPages(), wantLeaves)
+	}
+	if big.SizeBytes() != int64(big.NumPages())*storage.PageSize {
+		t.Errorf("SizeBytes inconsistent")
+	}
+	if big.Height() < 2 {
+		t.Errorf("height = %d", big.Height())
+	}
+}
+
+// TestQuickRangeScanMatchesOracle: random keys, random ranges.
+func TestQuickRangeScanMatchesOracle(t *testing.T) {
+	f := func(seed int64, lo, hi float64) bool {
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		n := 2000
+		es := entries(seed, n)
+		tr := BulkLoad("K", es)
+		count := 0
+		for _, e := range es {
+			if e.Key >= lo && e.Key <= hi {
+				count++
+			}
+		}
+		rids, _ := tr.RangeScan(lo, hi)
+		return len(rids) == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertEqualsBulk: inserting one by one yields the same key
+// multiset as bulkloading.
+func TestQuickInsertEqualsBulk(t *testing.T) {
+	f := func(seed int64) bool {
+		es := entries(seed, 1500)
+		bulk := BulkLoad("K", append([]Entry(nil), es...))
+		inc := BulkLoad("K", nil)
+		for _, e := range es {
+			inc.Insert(e)
+		}
+		if inc.Validate() != nil || bulk.Validate() != nil {
+			return false
+		}
+		a, _ := bulk.RangeScan(-1e18, 1e18)
+		b, _ := inc.RangeScan(-1e18, 1e18)
+		return len(a) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFillFactor: lower fill factors inflate the leaf level proportionally
+// while preserving all invariants and scan results.
+func TestFillFactor(t *testing.T) {
+	es := entries(9, 50000)
+	packed := BulkLoadWithFill("K", append([]Entry(nil), es...), 1.0)
+	twoThirds := BulkLoadWithFill("K", append([]Entry(nil), es...), 0.67)
+	if err := twoThirds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(twoThirds.NumPages()) / float64(packed.NumPages())
+	if ratio < 1.3 || ratio > 1.7 {
+		t.Errorf("2/3-fill tree is %.2fx the packed tree, want ≈1.5x", ratio)
+	}
+	a, _ := packed.RangeScan(-1e18, 1e18)
+	b, _ := twoThirds.RangeScan(-1e18, 1e18)
+	if len(a) != len(b) {
+		t.Errorf("fill factor changed scan results: %d vs %d", len(a), len(b))
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// BuildMany bulkloads several SMAs over the same relation in a single
+// sequential pass — the paper's creation table builds its eight SMAs one
+// scan each, but notes that SMA processing scans "all the SMAs ... at the
+// same time"; symmetrically, building them together amortizes the relation
+// scan across all definitions.
+//
+// The result slice is positionally aligned with defs.
+func BuildMany(h *storage.HeapFile, defs []Def) ([]*SMA, error) {
+	smas := make([]*SMA, len(defs))
+	accs := make([]map[GroupKey]*acc, len(defs))
+	for i, def := range defs {
+		s, err := newSMA(def, h.Schema(), h.BucketPages)
+		if err != nil {
+			return nil, err
+		}
+		smas[i] = s
+		accs[i] = make(map[GroupKey]*acc)
+	}
+	nb := h.NumBuckets()
+	for b := 0; b < nb; b++ {
+		if err := h.ScanBucket(b, func(t tuple.Tuple, _ storage.RID) error {
+			for i, s := range smas {
+				s.accumulate(accs[i], t)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		for i, s := range smas {
+			s.flushBucket(accs[i], b)
+		}
+	}
+	for _, s := range smas {
+		s.NumBuckets = nb
+	}
+	return smas, nil
+}

@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/testutil"
+	"sma/internal/tuple"
+)
+
+// TestBuildManyEqualsSeparate: the single-pass builder produces exactly the
+// SMAs of one-by-one bulkloads, across all aggregate kinds and groupings.
+func TestBuildManyEqualsSeparate(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 64)
+	tpl := tuple.NewTuple(h.Schema())
+	for i := 0; i < 2000; i++ {
+		tpl.SetFloat64(0, float64((i*37)%211)-100)
+		tpl.SetChar(1, []string{"X", "Y", "Z"}[i%3])
+		if _, err := h.Append(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defs := allDefs()
+	many, err := core.BuildMany(h, defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != len(defs) {
+		t.Fatalf("BuildMany returned %d SMAs for %d defs", len(many), len(defs))
+	}
+	for i, def := range defs {
+		single, err := core.Build(h, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := many[i]
+		if m.NumBuckets != single.NumBuckets || m.NumFiles() != single.NumFiles() {
+			t.Fatalf("%s: shape differs: %d/%d buckets, %d/%d files",
+				def.Name, m.NumBuckets, single.NumBuckets, m.NumFiles(), single.NumFiles())
+		}
+		if err := m.Verify(h); err != nil {
+			t.Errorf("%s: %v", def.Name, err)
+		}
+	}
+}
+
+// TestBuildManyValidation: a bad definition fails the whole batch before
+// any scanning happens.
+func TestBuildManyValidation(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 16)
+	defs := []core.Def{
+		core.NewDef("ok", "T", core.Count, nil),
+		core.NewDef("bad", "T", core.Min, expr.NewCol("NOPE")),
+	}
+	if _, err := core.BuildMany(h, defs); err == nil {
+		t.Errorf("expected validation error")
+	}
+}
+
+// TestBuildManyEmpty: zero definitions and empty heaps are fine.
+func TestBuildManyEmpty(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 16)
+	out, err := core.BuildMany(h, nil)
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty defs: %v, %d", err, len(out))
+	}
+	out, err = core.BuildMany(h, []core.Def{core.NewDef("c", "T", core.Count, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].NumBuckets != 0 {
+		t.Errorf("empty heap should give 0 buckets")
+	}
+}

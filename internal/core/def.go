@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/expr"
+	"sma/internal/tuple"
+)
+
+// AggKind enumerates the aggregate functions an SMA may materialize.
+// The paper: "Besides min, we allow for the aggregate functions max, sum,
+// and count in the select clause of a SMA definition."
+type AggKind uint8
+
+// Supported SMA aggregates.
+const (
+	Min AggKind = iota
+	Max
+	Sum
+	Count
+)
+
+// String renders the SQL name of the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	default:
+		return fmt.Sprintf("AggKind(%d)", uint8(k))
+	}
+}
+
+// ParseAggKind parses an aggregate function name.
+func ParseAggKind(s string) (AggKind, error) {
+	switch strings.ToLower(s) {
+	case "min":
+		return Min, nil
+	case "max":
+		return Max, nil
+	case "sum":
+		return Sum, nil
+	case "count":
+		return Count, nil
+	default:
+		return 0, fmt.Errorf("core: unknown aggregate %q", s)
+	}
+}
+
+// Def is an SMA definition: a single aggregate over an expression of one
+// relation, optionally grouped. It corresponds to the paper's
+//
+//	define sma <name>
+//	select <agg>(<expr>)
+//	from <table>
+//	[group by <cols>]
+//
+// For Count, Expr is nil (count(*)).
+type Def struct {
+	Name    string
+	Table   string
+	Agg     AggKind
+	Expr    expr.Expr // nil iff Agg == Count
+	GroupBy []string
+}
+
+// NewDef builds a definition, normalizing names to upper case.
+func NewDef(name, table string, agg AggKind, e expr.Expr, groupBy ...string) Def {
+	gb := make([]string, len(groupBy))
+	for i, g := range groupBy {
+		gb[i] = strings.ToUpper(g)
+	}
+	return Def{Name: strings.ToLower(name), Table: strings.ToUpper(table), Agg: agg, Expr: e, GroupBy: gb}
+}
+
+// Validate checks the definition against a schema: the expression must bind
+// and group-by columns must exist and be groupable.
+func (d *Def) Validate(s *tuple.Schema) error {
+	if d.Name == "" {
+		return fmt.Errorf("core: SMA must have a name")
+	}
+	if d.Agg == Count {
+		if d.Expr != nil {
+			return fmt.Errorf("core: sma %s: count(*) takes no expression", d.Name)
+		}
+	} else {
+		if d.Expr == nil {
+			return fmt.Errorf("core: sma %s: %s requires an expression", d.Name, d.Agg)
+		}
+		if err := d.Expr.Bind(s); err != nil {
+			return fmt.Errorf("core: sma %s: %w", d.Name, err)
+		}
+	}
+	for _, g := range d.GroupBy {
+		i := s.ColumnIndex(g)
+		if i < 0 {
+			return fmt.Errorf("core: sma %s: unknown group-by column %q", d.Name, g)
+		}
+	}
+	return nil
+}
+
+// ExprString renders the aggregated expression ("*" for count).
+func (d *Def) ExprString() string {
+	if d.Expr == nil {
+		return "*"
+	}
+	return d.Expr.String()
+}
+
+// String renders the definition in the paper's DDL syntax.
+func (d *Def) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "define sma %s select %s(%s) from %s", d.Name, d.Agg, d.ExprString(), d.Table)
+	if len(d.GroupBy) > 0 {
+		fmt.Fprintf(&b, " group by %s", strings.Join(d.GroupBy, ", "))
+	}
+	return b.String()
+}
+
+// Grouped reports whether the SMA is split into per-group SMA-files.
+func (d *Def) Grouped() bool { return len(d.GroupBy) > 0 }
+
+// ColumnOf returns the bare column name if the SMA aggregates a single
+// column reference (as min/max selection SMAs do), else "".
+func (d *Def) ColumnOf() string {
+	if c, ok := d.Expr.(*expr.Col); ok {
+		return strings.ToUpper(c.Name)
+	}
+	return ""
+}
+
+// ElemTypeFor chooses the on-disk element width for the SMA, following the
+// paper's accounting: "For counts and dates, 4 bytes are needed. For all
+// other aggregate values we used 8 bytes."
+func (d *Def) ElemTypeFor(s *tuple.Schema) ElemType {
+	if d.Agg == Count {
+		return EInt32
+	}
+	if col := d.ColumnOf(); col != "" && (d.Agg == Min || d.Agg == Max) {
+		switch s.Column(s.ColumnIndex(col)).Type {
+		case tuple.TDate, tuple.TInt32:
+			return EInt32
+		case tuple.TInt64:
+			return EInt64
+		}
+	}
+	return EFloat64
+}

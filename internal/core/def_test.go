@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/tuple"
+)
+
+func defSchema(t testing.TB) *tuple.Schema {
+	t.Helper()
+	return tuple.MustSchema([]tuple.Column{
+		{Name: "D", Type: tuple.TDate},
+		{Name: "I", Type: tuple.TInt32},
+		{Name: "L", Type: tuple.TInt64},
+		{Name: "F", Type: tuple.TFloat64},
+		{Name: "C", Type: tuple.TChar, Len: 1},
+	})
+}
+
+// TestDefValidate covers validation rules.
+func TestDefValidate(t *testing.T) {
+	s := defSchema(t)
+	good := []core.Def{
+		core.NewDef("a", "T", core.Min, expr.NewCol("D")),
+		core.NewDef("b", "T", core.Sum, expr.Mul(expr.NewCol("F"), expr.NewConst(2)), "C"),
+		core.NewDef("c", "T", core.Count, nil, "C", "I"),
+	}
+	for _, d := range good {
+		if err := d.Validate(s); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+	bad := []core.Def{
+		core.NewDef("", "T", core.Count, nil),                          // no name
+		core.NewDef("x", "T", core.Count, expr.NewCol("F")),            // count with expr
+		core.NewDef("x", "T", core.Min, nil),                           // min without expr
+		core.NewDef("x", "T", core.Min, expr.NewCol("NOPE")),           // unknown column
+		core.NewDef("x", "T", core.Min, expr.NewCol("C")),              // non-numeric expr
+		core.NewDef("x", "T", core.Count, nil, "NOPE"),                 // unknown group col
+		core.NewDef("x", "T", core.Sum, expr.NewCol("F"), "C", "NOPE"), // one bad group col
+	}
+	for i, d := range bad {
+		if err := d.Validate(s); err == nil {
+			t.Errorf("bad def %d should not validate", i)
+		}
+	}
+}
+
+// TestDefElemTypes checks the paper's width rules ("For counts and dates, 4
+// bytes are needed. For all other aggregate values we used 8 bytes.").
+func TestDefElemTypes(t *testing.T) {
+	s := defSchema(t)
+	cases := []struct {
+		def  core.Def
+		want core.ElemType
+	}{
+		{core.NewDef("a", "T", core.Count, nil), core.EInt32},
+		{core.NewDef("b", "T", core.Min, expr.NewCol("D")), core.EInt32},
+		{core.NewDef("c", "T", core.Max, expr.NewCol("I")), core.EInt32},
+		{core.NewDef("d", "T", core.Min, expr.NewCol("L")), core.EInt64},
+		{core.NewDef("e", "T", core.Min, expr.NewCol("F")), core.EFloat64},
+		{core.NewDef("f", "T", core.Sum, expr.NewCol("D")), core.EFloat64}, // sums are 8 bytes
+		{core.NewDef("g", "T", core.Min, expr.Mul(expr.NewCol("D"), expr.NewConst(1))), core.EFloat64},
+	}
+	for _, tc := range cases {
+		if got := tc.def.ElemTypeFor(s); got != tc.want {
+			t.Errorf("%s(%s): elem %s, want %s", tc.def.Agg, tc.def.ExprString(), got, tc.want)
+		}
+	}
+}
+
+// TestDefString renders the paper's DDL shape.
+func TestDefString(t *testing.T) {
+	d := core.NewDef("extdis", "LINEITEM", core.Sum,
+		expr.Mul(expr.NewCol("EXTPRICE"), expr.Sub(expr.NewConst(1), expr.NewCol("DIS"))),
+		"L_RETFLAG", "L_LINESTAT")
+	got := d.String()
+	for _, want := range []string{"define sma extdis", "select sum(", "from LINEITEM", "group by L_RETFLAG, L_LINESTAT"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q missing %q", got, want)
+		}
+	}
+	c := core.NewDef("count", "T", core.Count, nil)
+	if !strings.Contains(c.String(), "count(*)") {
+		t.Errorf("count renders as %q", c.String())
+	}
+}
+
+// TestDefColumnOf identifies bare-column SMAs (the selection-usable ones).
+func TestDefColumnOf(t *testing.T) {
+	bare := core.NewDef("a", "T", core.Min, expr.NewCol("d"))
+	if col := bare.ColumnOf(); col != "D" {
+		t.Errorf("ColumnOf = %q", col)
+	}
+	compound := core.NewDef("a", "T", core.Min, expr.Mul(expr.NewCol("D"), expr.NewConst(2)))
+	if col := compound.ColumnOf(); col != "" {
+		t.Errorf("compound expression should have no ColumnOf, got %q", col)
+	}
+}
+
+// TestNewDefNormalizes: names are case-normalized.
+func TestNewDefNormalizes(t *testing.T) {
+	d := core.NewDef("MyName", "lineitem", core.Min, expr.NewCol("D"), "c")
+	if d.Name != "myname" || d.Table != "LINEITEM" || d.GroupBy[0] != "C" {
+		t.Errorf("normalization failed: %+v", d)
+	}
+	if !d.Grouped() {
+		t.Errorf("Grouped should be true")
+	}
+}

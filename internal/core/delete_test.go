@@ -1,0 +1,105 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/core"
+	"sma/internal/storage"
+	"sma/internal/testutil"
+	"sma/internal/tuple"
+)
+
+// TestOnDeleteAllKinds deletes interior, boundary and last-of-group tuples
+// and verifies every SMA kind stays consistent.
+func TestOnDeleteAllKinds(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 64)
+	tpl := tuple.NewTuple(h.Schema())
+	var rids []storage.RID
+	rows := []struct {
+		a float64
+		g string
+	}{
+		{10, "X"}, {20, "X"}, {30, "X"}, // bucket contents
+		{5, "Y"}, // single tuple of group Y
+	}
+	for _, r := range rows {
+		tpl.SetFloat64(0, r.a)
+		tpl.SetChar(1, r.g)
+		rid, err := h.Append(tpl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	var smas []*core.SMA
+	for _, def := range allDefs() {
+		smas = append(smas, build(t, h, def))
+	}
+	del := func(i int) {
+		t.Helper()
+		old, err := h.Delete(rids[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range smas {
+			if err := s.OnDelete(h, old, rids[i]); err != nil {
+				t.Fatalf("OnDelete(%s): %v", s.Def.Name, err)
+			}
+		}
+		verifyAll(t, h, smas, "after delete")
+	}
+	del(1) // interior of group X (20)
+	del(0) // minimum of group X (10) — boundary recompute
+	del(3) // last tuple of group Y — presence must flip
+	del(2) // last tuple of group X in the bucket
+}
+
+// TestQuickDeleteEquivalence: random mixed append/delete workloads keep
+// every SMA identical to a fresh bulkload.
+func TestQuickDeleteEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := testutil.NewHeap(t, groupedSchema(t), 1, 64)
+		var smas []*core.SMA
+		for _, def := range allDefs() {
+			s, err := core.Build(h, def)
+			if err != nil {
+				return false
+			}
+			smas = append(smas, s)
+		}
+		groups := []string{"P", "Q", "R"}
+		var live []storage.RID
+		for op := 0; op < 300; op++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				live = append(live, appendRow(t, h, smas,
+					float64(rng.Intn(100)), groups[rng.Intn(3)]))
+			} else {
+				i := rng.Intn(len(live))
+				rid := live[i]
+				live = append(live[:i], live[i+1:]...)
+				old, err := h.Delete(rid)
+				if err != nil {
+					return false
+				}
+				for _, s := range smas {
+					if err := s.OnDelete(h, old, rid); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		for _, s := range smas {
+			if err := s.Verify(h); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

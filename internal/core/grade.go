@@ -1,0 +1,424 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/pred"
+)
+
+// Grade is the three-way classification of a bucket against a selection
+// predicate (§3.1): every tuple qualifies, no tuple qualifies, or the bucket
+// must be inspected.
+type Grade uint8
+
+// Grades. The zero value is Ambivalent so that "no information" degrades
+// safely to inspection.
+const (
+	Ambivalent Grade = iota
+	Qualifies
+	Disqualifies
+)
+
+// String names the grade.
+func (g Grade) String() string {
+	switch g {
+	case Qualifies:
+		return "qualifies"
+	case Disqualifies:
+		return "disqualifies"
+	case Ambivalent:
+		return "ambivalent"
+	default:
+		return fmt.Sprintf("Grade(%d)", uint8(g))
+	}
+}
+
+// and combines two partition memberships under conjunction (§3.1):
+// BU_q = BU_q¹ ∩ BU_q², BU_d = BU_d¹ ∪ BU_d², rest ambivalent.
+func (g Grade) and(h Grade) Grade {
+	switch {
+	case g == Disqualifies || h == Disqualifies:
+		return Disqualifies
+	case g == Qualifies && h == Qualifies:
+		return Qualifies
+	default:
+		return Ambivalent
+	}
+}
+
+// or combines two partition memberships under disjunction (§3.1):
+// BU_q = BU_q¹ ∪ BU_q², BU_d = BU_d¹ ∩ BU_d², rest ambivalent.
+func (g Grade) or(h Grade) Grade {
+	switch {
+	case g == Qualifies || h == Qualifies:
+		return Qualifies
+	case g == Disqualifies && h == Disqualifies:
+		return Disqualifies
+	default:
+		return Ambivalent
+	}
+}
+
+// not inverts a grade: if all tuples satisfy p, none satisfy ¬p, and vice
+// versa. (Sound extension of the paper's rules to negation.)
+func (g Grade) not() Grade {
+	switch g {
+	case Qualifies:
+		return Disqualifies
+	case Disqualifies:
+		return Qualifies
+	default:
+		return Ambivalent
+	}
+}
+
+// bound is an optionally-known scalar bound.
+type bound struct {
+	v  float64
+	ok bool
+}
+
+// gradeConst implements the paper's rules for atomic predicates A op c given
+// the bucket's min/max of A (either possibly unknown). Unknown information
+// always degrades to Ambivalent ("The else case is also applied if the
+// max/min aggregates are not defined").
+func gradeConst(min, max bound, op pred.CmpOp, c float64) Grade {
+	switch op {
+	case pred.Eq:
+		// if c < min_i(A) or c > max_i(A): disqualifies; else ambivalent.
+		if min.ok && c < min.v {
+			return Disqualifies
+		}
+		if max.ok && c > max.v {
+			return Disqualifies
+		}
+		// Refinement: a constant bucket equal to c fully qualifies.
+		if min.ok && max.ok && min.v == max.v && min.v == c {
+			return Qualifies
+		}
+		return Ambivalent
+	case pred.Ne:
+		if min.ok && c < min.v {
+			return Qualifies
+		}
+		if max.ok && c > max.v {
+			return Qualifies
+		}
+		if min.ok && max.ok && min.v == max.v && min.v == c {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Le:
+		// if max_i(A) <= c: qualifies; if min_i(A) > c: disqualifies.
+		if max.ok && max.v <= c {
+			return Qualifies
+		}
+		if min.ok && min.v > c {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Lt:
+		if max.ok && max.v < c {
+			return Qualifies
+		}
+		if min.ok && min.v >= c {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Ge:
+		// if min_i(A) >= c: qualifies; if max_i(A) < c: disqualifies.
+		if min.ok && min.v >= c {
+			return Qualifies
+		}
+		if max.ok && max.v < c {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Gt:
+		if min.ok && min.v > c {
+			return Qualifies
+		}
+		if max.ok && max.v <= c {
+			return Disqualifies
+		}
+		return Ambivalent
+	default:
+		return Ambivalent
+	}
+}
+
+// gradeColCol implements the paper's A θ B rules given per-bucket bounds of
+// both columns: if max_i(A) <= min_i(B) the bucket qualifies for A <= B; if
+// min_i(A) > max_i(B) it disqualifies.
+func gradeColCol(minA, maxA, minB, maxB bound, op pred.CmpOp) Grade {
+	switch op {
+	case pred.Le:
+		if maxA.ok && minB.ok && maxA.v <= minB.v {
+			return Qualifies
+		}
+		if minA.ok && maxB.ok && minA.v > maxB.v {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Lt:
+		if maxA.ok && minB.ok && maxA.v < minB.v {
+			return Qualifies
+		}
+		if minA.ok && maxB.ok && minA.v >= maxB.v {
+			return Disqualifies
+		}
+		return Ambivalent
+	case pred.Ge:
+		return gradeColCol(minB, maxB, minA, maxA, pred.Le)
+	case pred.Gt:
+		return gradeColCol(minB, maxB, minA, maxA, pred.Lt)
+	case pred.Eq:
+		if minA.ok && maxB.ok && minA.v > maxB.v {
+			return Disqualifies
+		}
+		if maxA.ok && minB.ok && maxA.v < minB.v {
+			return Disqualifies
+		}
+		if minA.ok && maxA.ok && minB.ok && maxB.ok &&
+			minA.v == maxA.v && minB.v == maxB.v && minA.v == minB.v {
+			return Qualifies
+		}
+		return Ambivalent
+	case pred.Ne:
+		if minA.ok && maxB.ok && minA.v > maxB.v {
+			return Qualifies
+		}
+		if maxA.ok && minB.ok && maxA.v < minB.v {
+			return Qualifies
+		}
+		return Ambivalent
+	default:
+		return Ambivalent
+	}
+}
+
+// Grader implements the paper's grade(bucket, predicate) function over a set
+// of SMAs: min/max SMAs on bare columns (grouped or not) and count SMAs
+// grouped by a single column (per-value counts, §3.1's last rule family).
+type Grader struct {
+	numBuckets int
+	mins       map[string]*SMA // column -> min SMA
+	maxs       map[string]*SMA // column -> max SMA
+	counts     map[string]*SMA // column -> count(*) group by column SMA
+}
+
+// NewGrader indexes the given SMAs by the columns they can grade. SMAs that
+// cannot help with selection (e.g. sums, or min/max of compound
+// expressions) are ignored, mirroring the paper: grading only ever uses
+// min/max SMAs and count-group-by-A SMAs.
+func NewGrader(smas ...*SMA) *Grader {
+	g := &Grader{
+		mins:   make(map[string]*SMA),
+		maxs:   make(map[string]*SMA),
+		counts: make(map[string]*SMA),
+	}
+	for _, s := range smas {
+		if s == nil {
+			continue
+		}
+		if s.NumBuckets > g.numBuckets {
+			g.numBuckets = s.NumBuckets
+		}
+		switch s.Def.Agg {
+		case Min:
+			if col := s.Def.ColumnOf(); col != "" {
+				g.mins[col] = s
+			}
+		case Max:
+			if col := s.Def.ColumnOf(); col != "" {
+				g.maxs[col] = s
+			}
+		case Count:
+			if len(s.Def.GroupBy) == 1 {
+				g.counts[strings.ToUpper(s.Def.GroupBy[0])] = s
+			}
+		}
+	}
+	return g
+}
+
+// NumBuckets returns the bucket count covered by the grader's SMAs.
+func (g *Grader) NumBuckets() int { return g.numBuckets }
+
+// HasSelectionSMA reports whether any atom of p can be graded by the
+// available SMAs (i.e. whether an SMA scan can prune anything at all).
+func (g *Grader) HasSelectionSMA(p pred.Predicate) bool {
+	for _, a := range pred.Atoms(p) {
+		if g.mins[a.Col] != nil || g.maxs[a.Col] != nil || g.counts[a.Col] != nil {
+			return true
+		}
+		if a.RightCol != "" && (g.mins[a.RightCol] != nil || g.maxs[a.RightCol] != nil) {
+			return true
+		}
+	}
+	return false
+}
+
+// minOf returns the bucket minimum of col, if a min SMA covers it.
+func (g *Grader) minOf(col string, b int) bound {
+	if s := g.mins[col]; s != nil && b < s.NumBuckets {
+		if v, ok := s.BucketMin(b); ok {
+			return bound{v, true}
+		}
+	}
+	return bound{}
+}
+
+// maxOf returns the bucket maximum of col, if a max SMA covers it.
+func (g *Grader) maxOf(col string, b int) bound {
+	if s := g.maxs[col]; s != nil && b < s.NumBuckets {
+		if v, ok := s.BucketMax(b); ok {
+			return bound{v, true}
+		}
+	}
+	return bound{}
+}
+
+// Grade classifies bucket b against predicate p, combining atom grades with
+// the §3.1 partition algebra. It never errs toward Qualifies/Disqualifies:
+// any atom it cannot decide contributes Ambivalent.
+func (g *Grader) Grade(b int, p pred.Predicate) Grade {
+	switch q := p.(type) {
+	case *pred.Atom:
+		return g.gradeAtom(b, q)
+	case *pred.And:
+		out := Qualifies
+		for _, k := range q.Kids {
+			out = out.and(g.Grade(b, k))
+			if out == Disqualifies {
+				return Disqualifies
+			}
+		}
+		return out
+	case *pred.Or:
+		out := Disqualifies
+		for _, k := range q.Kids {
+			out = out.or(g.Grade(b, k))
+			if out == Qualifies {
+				return Qualifies
+			}
+		}
+		return out
+	case *pred.Not:
+		return g.Grade(b, q.Kid).not()
+	case pred.True, *pred.True:
+		return Qualifies
+	default:
+		return Ambivalent
+	}
+}
+
+// gradeAtom grades one atomic comparison, preferring min/max SMAs and
+// falling back to a count-group-by-A SMA when min/max information is absent
+// or indecisive.
+func (g *Grader) gradeAtom(b int, a *pred.Atom) Grade {
+	var grade Grade
+	if a.RightCol != "" {
+		grade = gradeColCol(
+			g.minOf(a.Col, b), g.maxOf(a.Col, b),
+			g.minOf(a.RightCol, b), g.maxOf(a.RightCol, b),
+			a.Op)
+	} else {
+		grade = gradeConst(g.minOf(a.Col, b), g.maxOf(a.Col, b), a.Op, a.Value)
+	}
+	if grade != Ambivalent {
+		return grade
+	}
+	if a.RightCol == "" {
+		if s := g.counts[a.Col]; s != nil {
+			return gradeByValueCounts(s, b, a.Op, a.Value)
+		}
+	}
+	return Ambivalent
+}
+
+// gradeByValueCounts grades bucket b of a count(*) SMA grouped by exactly
+// the predicate column: the group keys enumerate the values occurring in
+// the bucket, so the bucket qualifies when every present value satisfies
+// the comparison and disqualifies when none does (§3.1).
+func gradeByValueCounts(s *SMA, b int, op pred.CmpOp, c float64) Grade {
+	if b >= s.NumBuckets {
+		return Ambivalent
+	}
+	sawAny := false
+	allSat, noneSat := true, true
+	for _, key := range s.order {
+		gf := s.groups[key]
+		v, present := gf.ValueAt(b)
+		if !present || v <= 0 {
+			continue
+		}
+		x, ok := gf.Vals[0].Numeric()
+		if !ok {
+			return Ambivalent // value not comparable (multi-char string)
+		}
+		sawAny = true
+		if op.Compare(x, c) {
+			noneSat = false
+		} else {
+			allSat = false
+		}
+		if !allSat && !noneSat {
+			return Ambivalent
+		}
+	}
+	if !sawAny {
+		// Empty bucket: vacuously no qualifying tuples.
+		return Disqualifies
+	}
+	if allSat {
+		return Qualifies
+	}
+	return Disqualifies
+}
+
+// GradeAll grades every bucket and returns the slice of grades.
+func (g *Grader) GradeAll(p pred.Predicate) []Grade {
+	out := make([]Grade, g.numBuckets)
+	for b := range out {
+		out[b] = g.Grade(b, p)
+	}
+	return out
+}
+
+// GradeCounts summarizes a grading pass; the planner uses it for the
+// breakeven decision (Fig. 5: SMAs stop paying off at ≈25% ambivalent
+// buckets).
+type GradeCounts struct {
+	Qualifying    int
+	Disqualifying int
+	Ambivalent    int
+}
+
+// Total returns the number of graded buckets.
+func (c GradeCounts) Total() int { return c.Qualifying + c.Disqualifying + c.Ambivalent }
+
+// AmbivalentFrac returns the fraction of buckets that must be inspected.
+func (c GradeCounts) AmbivalentFrac() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.Ambivalent) / float64(c.Total())
+}
+
+// CountGrades tallies a grade slice.
+func CountGrades(grades []Grade) GradeCounts {
+	var c GradeCounts
+	for _, g := range grades {
+		switch g {
+		case Qualifies:
+			c.Qualifying++
+		case Disqualifies:
+			c.Disqualifying++
+		default:
+			c.Ambivalent++
+		}
+	}
+	return c
+}

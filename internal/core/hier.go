@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/pred"
+)
+
+// TwoLevel is a hierarchical SMA (§4): the level-1 min/max SMA-files are
+// themselves partitioned into runs of Fanout entries, and a second-level
+// min-of-mins / max-of-maxes is materialized per run. When a level-2 run
+// qualifies or disqualifies, the level-1 entries for its buckets need not be
+// read at all — the I/O saving the paper describes.
+type TwoLevel struct {
+	Col    string
+	Fanout int
+
+	l1Min, l1Max *SMA
+
+	l2min, l2max []float64
+	l2ok         []bool
+	numBuckets   int
+}
+
+// NewTwoLevel builds the second level over a matching pair of min and max
+// SMAs on the same column.
+func NewTwoLevel(minSMA, maxSMA *SMA, fanout int) (*TwoLevel, error) {
+	if fanout < 2 {
+		return nil, fmt.Errorf("core: hierarchical SMA fanout must be >= 2, got %d", fanout)
+	}
+	if minSMA.Def.Agg != Min || maxSMA.Def.Agg != Max {
+		return nil, fmt.Errorf("core: hierarchical SMA needs a (min, max) pair, got (%s, %s)",
+			minSMA.Def.Agg, maxSMA.Def.Agg)
+	}
+	col := minSMA.Def.ColumnOf()
+	if col == "" || col != maxSMA.Def.ColumnOf() {
+		return nil, fmt.Errorf("core: hierarchical SMA needs min and max over the same bare column")
+	}
+	if minSMA.NumBuckets != maxSMA.NumBuckets {
+		return nil, fmt.Errorf("core: min/max SMAs disagree on bucket count: %d vs %d",
+			minSMA.NumBuckets, maxSMA.NumBuckets)
+	}
+	nb := minSMA.NumBuckets
+	runs := (nb + fanout - 1) / fanout
+	t := &TwoLevel{
+		Col: col, Fanout: fanout,
+		l1Min: minSMA, l1Max: maxSMA,
+		l2min: make([]float64, runs), l2max: make([]float64, runs), l2ok: make([]bool, runs),
+		numBuckets: nb,
+	}
+	for r := 0; r < runs; r++ {
+		lo, hi, ok := math.Inf(1), math.Inf(-1), false
+		for b := r * fanout; b < (r+1)*fanout && b < nb; b++ {
+			if v, p := minSMA.BucketMin(b); p {
+				if v < lo {
+					lo = v
+				}
+				ok = true
+			}
+			if v, p := maxSMA.BucketMax(b); p {
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		t.l2min[r], t.l2max[r], t.l2ok[r] = lo, hi, ok
+	}
+	return t, nil
+}
+
+// NumRuns returns the number of level-2 entries.
+func (t *TwoLevel) NumRuns() int { return len(t.l2min) }
+
+// NumBuckets returns the number of level-1 buckets covered.
+func (t *TwoLevel) NumBuckets() int { return t.numBuckets }
+
+// Level2SizeBytes returns the payload size of the second level (two 8-byte
+// values per run).
+func (t *TwoLevel) Level2SizeBytes() int64 { return int64(len(t.l2min)) * 16 }
+
+// HierStats reports how much level-1 work a hierarchical grading pass
+// skipped.
+type HierStats struct {
+	RunsDecided    int // level-2 runs decided without touching level 1
+	L1EntriesRead  int // level-1 entries consulted
+	L1EntriesTotal int // level-1 entries that a flat pass would consult
+}
+
+// GradeAtom grades every bucket against the atomic predicate col op c,
+// consulting level 1 only inside ambivalent level-2 runs. The atom's column
+// must be t.Col; otherwise every bucket is Ambivalent.
+func (t *TwoLevel) GradeAtom(a *pred.Atom, grades []Grade) (HierStats, error) {
+	if len(grades) != t.numBuckets {
+		return HierStats{}, fmt.Errorf("core: grades slice has %d entries, want %d", len(grades), t.numBuckets)
+	}
+	if a.RightCol != "" || a.Col != t.Col {
+		for i := range grades {
+			grades[i] = Ambivalent
+		}
+		return HierStats{L1EntriesTotal: t.numBuckets}, nil
+	}
+	stats := HierStats{L1EntriesTotal: t.numBuckets}
+	for r := 0; r < t.NumRuns(); r++ {
+		first := r * t.Fanout
+		last := first + t.Fanout
+		if last > t.numBuckets {
+			last = t.numBuckets
+		}
+		var g Grade
+		if t.l2ok[r] {
+			g = gradeConst(bound{t.l2min[r], true}, bound{t.l2max[r], true}, a.Op, a.Value)
+		}
+		if g != Ambivalent {
+			stats.RunsDecided++
+			for b := first; b < last; b++ {
+				grades[b] = g
+			}
+			continue
+		}
+		for b := first; b < last; b++ {
+			stats.L1EntriesRead++
+			var mn, mx bound
+			if v, ok := t.l1Min.BucketMin(b); ok {
+				mn = bound{v, true}
+			}
+			if v, ok := t.l1Max.BucketMax(b); ok {
+				mx = bound{v, true}
+			}
+			grades[b] = gradeConst(mn, mx, a.Op, a.Value)
+		}
+	}
+	return stats, nil
+}

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/pred"
+	"sma/internal/testutil"
+	"sma/internal/tuple"
+)
+
+// buildMinMax loads n random values (16 per page, so n/16 buckets) and
+// builds the min/max SMA pair.
+func buildMinMax(t testing.TB, seed int64, n int) (*core.SMA, *core.SMA, *core.Grader) {
+	t.Helper()
+	h := testutil.NewHeap(t, testutil.PaddedFloatSchema(t, 16), 1, 64)
+	rng := rand.New(rand.NewSource(seed))
+	tpl := tuple.NewTuple(h.Schema())
+	for i := 0; i < n; i++ {
+		// Mildly clustered values so some runs are decidable at level 2.
+		tpl.SetFloat64(0, float64(i)+rng.Float64()*50)
+		if _, err := h.Append(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mn := build(t, h, core.NewDef("mn", "T", core.Min, expr.NewCol("A")))
+	mx := build(t, h, core.NewDef("mx", "T", core.Max, expr.NewCol("A")))
+	return mn, mx, core.NewGrader(mn, mx)
+}
+
+// TestTwoLevelEquivalence: hierarchical grading must agree with flat
+// grading on every bucket for every operator.
+func TestTwoLevelEquivalence(t *testing.T) {
+	mn, mx, g := buildMinMax(t, 11, 5000)
+	tl, err := core.NewTwoLevel(mn, mx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades := make([]core.Grade, tl.NumBuckets())
+	for _, op := range []pred.CmpOp{pred.Eq, pred.Ne, pred.Lt, pred.Le, pred.Gt, pred.Ge} {
+		for _, c := range []float64{-10, 100, 2500, 6000} {
+			atom := pred.NewAtom("A", op, c)
+			stats, err := tl.GradeAtom(atom, grades)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for b := range grades {
+				if want := g.Grade(b, atom); grades[b] != want {
+					t.Fatalf("A %s %g bucket %d: hierarchical %s, flat %s", op, c, b, grades[b], want)
+				}
+			}
+			if stats.L1EntriesRead > stats.L1EntriesTotal {
+				t.Fatalf("stats inconsistent: %+v", stats)
+			}
+		}
+	}
+}
+
+// TestTwoLevelSavesL1 on clustered data: a selective cutoff decides most
+// runs at level 2.
+func TestTwoLevelSavesL1(t *testing.T) {
+	mn, mx, _ := buildMinMax(t, 5, 5000)
+	tl, err := core.NewTwoLevel(mn, mx, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades := make([]core.Grade, tl.NumBuckets())
+	stats, err := tl.GradeAtom(pred.NewAtom("A", pred.Le, 500), grades)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.L1EntriesRead*2 > stats.L1EntriesTotal {
+		t.Errorf("two-level read %d of %d L1 entries; expected at least 50%% savings on clustered data",
+			stats.L1EntriesRead, stats.L1EntriesTotal)
+	}
+	if stats.RunsDecided == 0 {
+		t.Errorf("no runs decided at level 2")
+	}
+}
+
+// TestTwoLevelValidation covers constructor error cases.
+func TestTwoLevelValidation(t *testing.T) {
+	mn, mx, _ := buildMinMax(t, 7, 100)
+	if _, err := core.NewTwoLevel(mn, mx, 1); err == nil {
+		t.Errorf("fanout 1 should be rejected")
+	}
+	if _, err := core.NewTwoLevel(mx, mn, 8); err == nil {
+		t.Errorf("swapped (max, min) pair should be rejected")
+	}
+	if _, err := core.NewTwoLevel(mn, mn, 8); err == nil {
+		t.Errorf("(min, min) pair should be rejected")
+	}
+}
+
+// TestTwoLevelOtherColumnAmbivalent: atoms on a different column grade
+// everything ambivalent.
+func TestTwoLevelOtherColumnAmbivalent(t *testing.T) {
+	mn, mx, _ := buildMinMax(t, 7, 200)
+	tl, err := core.NewTwoLevel(mn, mx, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grades := make([]core.Grade, tl.NumBuckets())
+	if _, err := tl.GradeAtom(pred.NewAtom("OTHER", pred.Le, 1), grades); err != nil {
+		t.Fatal(err)
+	}
+	for b, g := range grades {
+		if g != core.Ambivalent {
+			t.Fatalf("bucket %d: %s, want ambivalent", b, g)
+		}
+	}
+	if _, err := tl.GradeAtom(pred.NewAtom("A", pred.Le, 1), grades[:1]); err == nil {
+		t.Errorf("short grades slice should be rejected")
+	}
+}
+
+// TestQuickTwoLevelEquivalence: random data, fanout and cutoffs.
+func TestQuickTwoLevelEquivalence(t *testing.T) {
+	f := func(seed int64, fan uint8, cut float64) bool {
+		fanout := 2 + int(fan%30)
+		mn, mx, g := buildMinMax(t, seed, 600)
+		tl, err := core.NewTwoLevel(mn, mx, fanout)
+		if err != nil {
+			return false
+		}
+		atom := pred.NewAtom("A", pred.Le, cut)
+		grades := make([]core.Grade, tl.NumBuckets())
+		if _, err := tl.GradeAtom(atom, grades); err != nil {
+			return false
+		}
+		for b := range grades {
+			if grades[b] != g.Grade(b, atom) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/testutil"
+	"sma/internal/tuple"
+)
+
+// TestSaveLoadRoundTrip persists grouped and ungrouped SMAs and reloads
+// them bit-identically.
+func TestSaveLoadRoundTrip(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 64)
+	tpl := tuple.NewTuple(h.Schema())
+	for i := 0; i < 500; i++ {
+		tpl.SetFloat64(0, float64(i%97)-40)
+		tpl.SetChar(1, []string{"X", "Y", "Z"}[i%3])
+		if _, err := h.Append(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	for _, def := range allDefs() {
+		orig, err := core.Build(h, def)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := orig.Save(dir); err != nil {
+			t.Fatalf("save %s: %v", def.Name, err)
+		}
+		loaded, err := core.Load(dir, def, h.Schema())
+		if err != nil {
+			t.Fatalf("load %s: %v", def.Name, err)
+		}
+		if loaded.NumBuckets != orig.NumBuckets {
+			t.Fatalf("%s: buckets %d != %d", def.Name, loaded.NumBuckets, orig.NumBuckets)
+		}
+		if loaded.NumFiles() != orig.NumFiles() {
+			t.Fatalf("%s: files %d != %d", def.Name, loaded.NumFiles(), orig.NumFiles())
+		}
+		if loaded.ElemType() != orig.ElemType() {
+			t.Fatalf("%s: elem %s != %s", def.Name, loaded.ElemType(), orig.ElemType())
+		}
+		for _, key := range orig.GroupKeys() {
+			og, lg := orig.Group(key), loaded.Group(key)
+			if lg == nil {
+				t.Fatalf("%s: lost group %q", def.Name, key)
+			}
+			for b := 0; b < orig.NumBuckets; b++ {
+				ov, op := og.ValueAt(b)
+				lv, lp := lg.ValueAt(b)
+				if ov != lv || op != lp {
+					t.Fatalf("%s group %q bucket %d: (%v,%v) != (%v,%v)",
+						def.Name, key, b, lv, lp, ov, op)
+				}
+			}
+		}
+		// The reloaded SMA must verify against the heap too.
+		if err := loaded.Verify(h); err != nil {
+			t.Fatalf("loaded %s does not verify: %v", def.Name, err)
+		}
+	}
+}
+
+// TestLoadMissing returns a clear error for unknown SMAs.
+func TestLoadMissing(t *testing.T) {
+	def := core.NewDef("ghost", "T", core.Count, nil)
+	if _, err := core.Load(t.TempDir(), def, groupedSchema(t)); err == nil {
+		t.Errorf("loading a non-existent SMA should fail")
+	}
+}
+
+// TestLoadCorrupt rejects damaged SMA-files.
+func TestLoadCorrupt(t *testing.T) {
+	h := testutil.NewHeap(t, groupedSchema(t), 1, 16)
+	tpl := tuple.NewTuple(h.Schema())
+	tpl.SetFloat64(0, 1)
+	tpl.SetChar(1, "X")
+	if _, err := h.Append(tpl); err != nil {
+		t.Fatal(err)
+	}
+	def := core.NewDef("c", "T", core.Count, nil)
+	s, err := core.Build(h, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, core.FileName("c", 0))
+	for name, data := range map[string][]byte{
+		"bad magic": []byte("XXXXjunkjunkjunkjunkjunk"),
+		"truncated": {0x53, 0x4D, 0x41, 0x46, 1, 0},
+	} {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Load(dir, def, h.Schema()); err == nil {
+			t.Errorf("%s: expected load error", name)
+		}
+	}
+}
+
+// TestSaveRemovesStaleGroups: saving an SMA with fewer groups than a prior
+// save removes the orphaned group files.
+func TestSaveRemovesStaleGroups(t *testing.T) {
+	h1 := testutil.NewHeap(t, groupedSchema(t), 1, 16)
+	tpl := tuple.NewTuple(h1.Schema())
+	for _, g := range []string{"X", "Y", "Z"} {
+		tpl.SetFloat64(0, 1)
+		tpl.SetChar(1, g)
+		if _, err := h1.Append(tpl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	def := core.NewDef("g", "T", core.Count, nil, "G")
+	s3, err := core.Build(h1, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := s3.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := testutil.NewHeap(t, groupedSchema(t), 1, 16)
+	tpl.SetFloat64(0, 1)
+	tpl.SetChar(1, "X")
+	if _, err := h2.Append(tpl); err != nil {
+		t.Fatal(err)
+	}
+	s1, err := core.Build(h2, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.Load(dir, def, h2.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumFiles() != 1 {
+		t.Errorf("stale group files not removed: %d files", loaded.NumFiles())
+	}
+}
+
+// TestGroupKeyRoundTrip checks key encode/decode for mixed value kinds.
+func TestGroupKeyRoundTrip(t *testing.T) {
+	vals := []core.GroupVal{core.StrVal("R"), core.NumVal(42.5), core.StrVal(""), core.NumVal(-3)}
+	key := core.MakeGroupKey(vals)
+	back, err := core.ParseGroupKey(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(vals) {
+		t.Fatalf("round trip lost values: %v", back)
+	}
+	for i := range vals {
+		if vals[i] != back[i] {
+			t.Errorf("val %d: %v != %v", i, back[i], vals[i])
+		}
+	}
+	if _, err := core.ParseGroupKey("garbage"); err == nil {
+		t.Errorf("bad key should fail to parse")
+	}
+	if v, err := core.ParseGroupKey(""); err != nil || v != nil {
+		t.Errorf("empty key should decode to no values")
+	}
+}
+
+// TestGroupValNumeric covers the comparison-domain conversion.
+func TestGroupValNumeric(t *testing.T) {
+	if v, ok := core.NumVal(7).Numeric(); !ok || v != 7 {
+		t.Errorf("NumVal.Numeric = %v, %v", v, ok)
+	}
+	if v, ok := core.StrVal("R").Numeric(); !ok || v != float64('R') {
+		t.Errorf("StrVal(1 char).Numeric = %v, %v", v, ok)
+	}
+	if _, ok := core.StrVal("LONG").Numeric(); ok {
+		t.Errorf("multi-char strings are not comparable")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// JoinBounds summarizes the value range of the join column S.B for the
+// paper's semi-join generalization (§4): "If we can associate a minimax
+// value of the S.B values with each bucket of R, SMAs can be used to
+// decrease the input to the semi-join."
+type JoinBounds struct {
+	Min, Max float64
+	NonEmpty bool
+}
+
+// JoinBoundsFromSMAs derives the global bounds of S.B from S's min and max
+// SMAs (either may be nil; a scan fallback is ComputeJoinBounds).
+func JoinBoundsFromSMAs(minSMA, maxSMA *SMA) (JoinBounds, error) {
+	if minSMA == nil || maxSMA == nil {
+		return JoinBounds{}, fmt.Errorf("core: semi-join bounds need both min and max SMAs")
+	}
+	jb := JoinBounds{Min: math.Inf(1), Max: math.Inf(-1)}
+	for b := 0; b < minSMA.NumBuckets; b++ {
+		if v, ok := minSMA.BucketMin(b); ok {
+			if v < jb.Min {
+				jb.Min = v
+			}
+			jb.NonEmpty = true
+		}
+	}
+	for b := 0; b < maxSMA.NumBuckets; b++ {
+		if v, ok := maxSMA.BucketMax(b); ok && v > jb.Max {
+			jb.Max = v
+		}
+	}
+	return jb, nil
+}
+
+// ComputeJoinBounds scans S once to find the range of column col.
+func ComputeJoinBounds(h *storage.HeapFile, col string) (JoinBounds, error) {
+	idx := h.Schema().ColumnIndex(col)
+	if idx < 0 {
+		return JoinBounds{}, fmt.Errorf("core: unknown join column %q", col)
+	}
+	jb := JoinBounds{Min: math.Inf(1), Max: math.Inf(-1)}
+	err := h.Scan(func(t tuple.Tuple, _ storage.RID) error {
+		v := t.Numeric(idx)
+		if v < jb.Min {
+			jb.Min = v
+		}
+		if v > jb.Max {
+			jb.Max = v
+		}
+		jb.NonEmpty = true
+		return nil
+	})
+	return jb, err
+}
+
+// SemiJoinGrade grades bucket b of R against the semi-join condition
+// "exists s in S with R.col θ s.B", using R's min/max SMAs (via g) and the
+// bounds of S.B. For inequality operators the reduction to a constant
+// comparison is exact; for equality only disqualification is sound, so a
+// qualifying range check degrades to Ambivalent.
+func SemiJoinGrade(g *Grader, b int, leftCol string, op pred.CmpOp, jb JoinBounds) Grade {
+	if !jb.NonEmpty {
+		return Disqualifies // semi-join with empty S yields nothing
+	}
+	switch op {
+	case pred.Lt, pred.Le:
+		// r.A θ some s.B  ⟺  r.A θ max(B).
+		return g.Grade(b, pred.NewAtom(leftCol, op, jb.Max))
+	case pred.Gt, pred.Ge:
+		// r.A θ some s.B  ⟺  r.A θ min(B).
+		return g.Grade(b, pred.NewAtom(leftCol, op, jb.Min))
+	case pred.Eq:
+		// Necessary condition: min(B) <= r.A <= max(B). Sufficiency would
+		// need per-value information, so Qualifies degrades to Ambivalent.
+		rangeGrade := g.Grade(b, pred.NewAnd(
+			pred.NewAtom(leftCol, pred.Ge, jb.Min),
+			pred.NewAtom(leftCol, pred.Le, jb.Max)))
+		if rangeGrade == Qualifies {
+			return Ambivalent
+		}
+		return rangeGrade
+	case pred.Ne:
+		if jb.Min < jb.Max {
+			return Qualifies // at least two distinct B values: every r.A differs from one
+		}
+		return g.Grade(b, pred.NewAtom(leftCol, pred.Ne, jb.Min))
+	default:
+		return Ambivalent
+	}
+}
+
+// SemiJoinPredicate returns the residual tuple-level predicate equivalent
+// to the semi-join condition for ambivalent buckets, when it is expressible
+// as a constant comparison (all operators except Eq with gaps; Eq returns
+// nil and callers must probe S).
+func SemiJoinPredicate(leftCol string, op pred.CmpOp, jb JoinBounds) pred.Predicate {
+	if !jb.NonEmpty {
+		return nil
+	}
+	switch op {
+	case pred.Lt, pred.Le:
+		return pred.NewAtom(leftCol, op, jb.Max)
+	case pred.Gt, pred.Ge:
+		return pred.NewAtom(leftCol, op, jb.Min)
+	case pred.Ne:
+		if jb.Min < jb.Max {
+			return pred.True{}
+		}
+		return pred.NewAtom(leftCol, pred.Ne, jb.Min)
+	default:
+		return nil
+	}
+}

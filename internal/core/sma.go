@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// GroupFile is one SMA-file: the materialized aggregate of one group,
+// aligned positionally with the buckets of the indexed relation. An
+// ungrouped SMA has exactly one GroupFile with the empty key.
+type GroupFile struct {
+	Key  GroupKey
+	Vals []GroupVal // decoded group-by column values (nil for ungrouped)
+
+	Vec *Vector
+	// Present marks buckets in which the group has at least one tuple;
+	// min/max entries of absent buckets are meaningless and must be
+	// skipped during grading and aggregation.
+	Present *Bitmap
+}
+
+// ValueAt returns the aggregate for bucket b and whether it is present.
+func (g *GroupFile) ValueAt(b int) (float64, bool) {
+	if !g.Present.Get(b) {
+		return 0, false
+	}
+	return g.Vec.Get(b), true
+}
+
+// SMA is a built Small Materialized Aggregate over one relation: the
+// definition plus one GroupFile per group.
+type SMA struct {
+	Def         Def
+	BucketPages int
+	NumBuckets  int
+
+	elem   ElemType
+	schema *tuple.Schema
+	gx     *Extractor // nil for ungrouped SMAs
+
+	groups map[GroupKey]*GroupFile
+	order  []GroupKey // deterministic iteration order
+}
+
+// newSMA allocates an empty SMA skeleton bound to schema.
+func newSMA(def Def, schema *tuple.Schema, bucketPages int) (*SMA, error) {
+	if err := def.Validate(schema); err != nil {
+		return nil, err
+	}
+	s := &SMA{
+		Def:         def,
+		BucketPages: bucketPages,
+		elem:        def.ElemTypeFor(schema),
+		schema:      schema,
+		groups:      make(map[GroupKey]*GroupFile),
+	}
+	if def.Grouped() {
+		gx, err := NewExtractor(schema, def.GroupBy)
+		if err != nil {
+			return nil, err
+		}
+		s.gx = gx
+	}
+	return s, nil
+}
+
+// ElemType returns the storage type of the SMA's entries.
+func (s *SMA) ElemType() ElemType { return s.elem }
+
+// Schema returns the schema the SMA is bound to.
+func (s *SMA) Schema() *tuple.Schema { return s.schema }
+
+// NumFiles returns the number of SMA-files (one per group).
+func (s *SMA) NumFiles() int { return len(s.groups) }
+
+// GroupKeys returns the group keys in deterministic order.
+func (s *SMA) GroupKeys() []GroupKey {
+	out := make([]GroupKey, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Group returns the SMA-file for key (nil if the group never occurred).
+func (s *SMA) Group(key GroupKey) *GroupFile { return s.groups[key] }
+
+// Groups visits every SMA-file in deterministic order.
+func (s *SMA) Groups(visit func(g *GroupFile) error) error {
+	for _, k := range s.order {
+		if err := visit(s.groups[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addGroup registers a new group, backfilling absent entries for the first
+// backfill buckets.
+func (s *SMA) addGroup(key GroupKey, vals []GroupVal, backfill int) *GroupFile {
+	g := &GroupFile{Key: key, Vals: vals, Vec: NewVector(s.elem), Present: NewBitmap()}
+	for i := 0; i < backfill; i++ {
+		g.Vec.Append(0)
+		g.Present.Append(false)
+	}
+	s.groups[key] = g
+	s.order = append(s.order, key)
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i] < s.order[j] })
+	return g
+}
+
+// BucketMin returns the smallest aggregate value over all groups present in
+// bucket b. For an SMA defined with the min aggregate this is the bucket
+// minimum of the indexed expression (the paper's min_i(A)); grouped min
+// SMAs are usable for selection by taking the min over all groups (§3.1).
+func (s *SMA) BucketMin(b int) (float64, bool) {
+	lo, ok := math.Inf(1), false
+	for _, k := range s.order {
+		if v, present := s.groups[k].ValueAt(b); present {
+			if v < lo {
+				lo = v
+			}
+			ok = true
+		}
+	}
+	return lo, ok
+}
+
+// BucketMax returns the largest aggregate value over all groups present in
+// bucket b (the paper's max_i(A) for max SMAs).
+func (s *SMA) BucketMax(b int) (float64, bool) {
+	hi, ok := math.Inf(-1), false
+	for _, k := range s.order {
+		if v, present := s.groups[k].ValueAt(b); present {
+			if v > hi {
+				hi = v
+			}
+			ok = true
+		}
+	}
+	return hi, ok
+}
+
+// SizeBytes returns the total payload size of all SMA-files (aggregate
+// entries only, the quantity the paper's size table reports).
+func (s *SMA) SizeBytes() int64 {
+	var total int64
+	for _, g := range s.groups {
+		total += g.Vec.SizeBytes()
+	}
+	return total
+}
+
+// PagesUsed returns the number of pages the SMA-files occupy, rounding each
+// file up to whole pages as the paper's per-file accounting does.
+func (s *SMA) PagesUsed() int64 {
+	var total int64
+	for _, g := range s.groups {
+		bytes := g.Vec.SizeBytes()
+		total += (bytes + storage.PageSize - 1) / storage.PageSize
+	}
+	return total
+}
+
+// checkBucket validates a bucket index.
+func (s *SMA) checkBucket(b int) error {
+	if b < 0 || b >= s.NumBuckets {
+		return fmt.Errorf("core: sma %s: bucket %d out of range [0,%d)", s.Def.Name, b, s.NumBuckets)
+	}
+	return nil
+}

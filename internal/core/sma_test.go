@@ -1,0 +1,305 @@
+package core_test
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/exec"
+	"sma/internal/expr"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/testutil"
+	"sma/internal/tuple"
+)
+
+func d(s string) float64 { return float64(tuple.MustParseDate(s)) }
+
+// TestPaperFigure1 reproduces the paper's Figure 1: three buckets of three
+// tuples, min/max/count SMA-files, and the §2.2 count query
+// "select count(*) from LINEITEM where L_SHIPDATE < 97-04-30".
+func TestPaperFigure1(t *testing.T) {
+	h := testutil.LoadFig1(t)
+
+	minSMA, err := core.Build(h, core.NewDef("min", "LINEITEM", core.Min, expr.NewCol("L_SHIPDATE")))
+	if err != nil {
+		t.Fatalf("build min: %v", err)
+	}
+	maxSMA, err := core.Build(h, core.NewDef("max", "LINEITEM", core.Max, expr.NewCol("L_SHIPDATE")))
+	if err != nil {
+		t.Fatalf("build max: %v", err)
+	}
+	countSMA, err := core.Build(h, core.NewDef("count", "LINEITEM", core.Count, nil))
+	if err != nil {
+		t.Fatalf("build count: %v", err)
+	}
+
+	wantMin := []string{"1997-02-02", "1997-04-01", "1997-05-02"}
+	wantMax := []string{"1997-04-22", "1997-05-07", "1997-06-03"}
+	for b := 0; b < 3; b++ {
+		if v, ok := minSMA.BucketMin(b); !ok || v != d(wantMin[b]) {
+			t.Errorf("min SMA bucket %d = %v (ok=%v), want %v", b, v, ok, d(wantMin[b]))
+		}
+		if v, ok := maxSMA.BucketMax(b); !ok || v != d(wantMax[b]) {
+			t.Errorf("max SMA bucket %d = %v (ok=%v), want %v", b, v, ok, d(wantMax[b]))
+		}
+		if v, ok := countSMA.Group("").ValueAt(b); !ok || v != 3 {
+			t.Errorf("count SMA bucket %d = %v (ok=%v), want 3", b, v, ok)
+		}
+	}
+
+	// Grading for L_SHIPDATE < 97-04-30: bucket 1 qualifies, bucket 3
+	// disqualifies, bucket 2 is ambivalent — exactly the paper's example.
+	g := core.NewGrader(minSMA, maxSMA)
+	p := pred.NewAtom("L_SHIPDATE", pred.Lt, d("1997-04-30"))
+	wantGrades := []core.Grade{core.Qualifies, core.Ambivalent, core.Disqualifies}
+	for b, want := range wantGrades {
+		if got := g.Grade(b, p); got != want {
+			t.Errorf("grade(bucket %d) = %s, want %s", b, got, want)
+		}
+	}
+
+	// The count query: bucket 1 contributes its SMA count (3), bucket 2 is
+	// inspected (2 of 3 tuples qualify), bucket 3 contributes nothing.
+	agg := exec.NewSMAGAggr(h, p,
+		[]exec.AggSpec{{Func: exec.AggCount, Name: "COUNT_ORDER"}}, nil,
+		g, []*core.SMA{countSMA}, countSMA)
+	rows, err := exec.CollectRows(agg)
+	if err != nil {
+		t.Fatalf("run count query: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Aggs[0] != 5 {
+		t.Fatalf("count(*) = %v, want [5]", rows)
+	}
+	st := agg.Stats()
+	if st.Qualifying != 1 || st.Ambivalent != 1 || st.Disqualifying != 1 {
+		t.Errorf("bucket stats = %+v, want 1/1/1", st)
+	}
+	if st.PagesRead != 1 {
+		t.Errorf("pages read = %d, want 1 (only the ambivalent bucket)", st.PagesRead)
+	}
+}
+
+// TestGradeConstRules exercises every §3.1 rule for atomic predicates
+// against a constant, on a bucket with min=10 and max=20.
+func TestGradeConstRules(t *testing.T) {
+	h := testutil.NewHeap(t, oneColSchema(t), 1, 8)
+	appendVals(t, h, 10, 15, 20)
+
+	minS := build(t, h, core.NewDef("mn", "T", core.Min, expr.NewCol("A")))
+	maxS := build(t, h, core.NewDef("mx", "T", core.Max, expr.NewCol("A")))
+	g := core.NewGrader(minS, maxS)
+
+	cases := []struct {
+		op   pred.CmpOp
+		c    float64
+		want core.Grade
+	}{
+		{pred.Eq, 5, core.Disqualifies},  // c < min
+		{pred.Eq, 25, core.Disqualifies}, // c > max
+		{pred.Eq, 15, core.Ambivalent},
+		{pred.Le, 20, core.Qualifies},   // max <= c
+		{pred.Le, 9, core.Disqualifies}, // min > c
+		{pred.Le, 15, core.Ambivalent},
+		{pred.Lt, 21, core.Qualifies},    // max < c
+		{pred.Lt, 10, core.Disqualifies}, // min >= c
+		{pred.Lt, 15, core.Ambivalent},
+		{pred.Ge, 10, core.Qualifies},    // min >= c
+		{pred.Ge, 21, core.Disqualifies}, // max < c
+		{pred.Ge, 15, core.Ambivalent},
+		{pred.Gt, 9, core.Qualifies},     // min > c
+		{pred.Gt, 20, core.Disqualifies}, // max <= c
+		{pred.Gt, 15, core.Ambivalent},
+		{pred.Ne, 5, core.Qualifies},
+		{pred.Ne, 25, core.Qualifies},
+		{pred.Ne, 15, core.Ambivalent},
+	}
+	for _, tc := range cases {
+		if got := g.Grade(0, pred.NewAtom("A", tc.op, tc.c)); got != tc.want {
+			t.Errorf("grade(A %s %g) = %s, want %s", tc.op, tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestGradeBoolAlgebra checks the AND/OR/NOT combination rules on grades.
+func TestGradeBoolAlgebra(t *testing.T) {
+	h := testutil.NewHeap(t, oneColSchema(t), 1, 8)
+	appendVals(t, h, 10, 15, 20)
+	minS := build(t, h, core.NewDef("mn", "T", core.Min, expr.NewCol("A")))
+	maxS := build(t, h, core.NewDef("mx", "T", core.Max, expr.NewCol("A")))
+	g := core.NewGrader(minS, maxS)
+
+	q := pred.NewAtom("A", pred.Le, 25.0)  // qualifies
+	dq := pred.NewAtom("A", pred.Gt, 25.0) // disqualifies
+	am := pred.NewAtom("A", pred.Le, 15.0) // ambivalent
+
+	cases := []struct {
+		name string
+		p    pred.Predicate
+		want core.Grade
+	}{
+		{"q AND q", pred.NewAnd(q, q), core.Qualifies},
+		{"q AND d", pred.NewAnd(q, dq), core.Disqualifies},
+		{"q AND a", pred.NewAnd(q, am), core.Ambivalent},
+		{"a AND d", pred.NewAnd(am, dq), core.Disqualifies},
+		{"a AND a", pred.NewAnd(am, am), core.Ambivalent},
+		{"q OR d", pred.NewOr(q, dq), core.Qualifies},
+		{"a OR d", pred.NewOr(am, dq), core.Ambivalent},
+		{"d OR d", pred.NewOr(dq, dq), core.Disqualifies},
+		{"a OR q", pred.NewOr(am, q), core.Qualifies},
+		{"NOT q", pred.NewNot(q), core.Disqualifies},
+		{"NOT d", pred.NewNot(dq), core.Qualifies},
+		{"NOT a", pred.NewNot(am), core.Ambivalent},
+	}
+	for _, tc := range cases {
+		if got := g.Grade(0, tc.p); got != tc.want {
+			t.Errorf("%s: grade = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestGradeColCol checks the A θ B rules with min/max SMAs on two columns.
+func TestGradeColCol(t *testing.T) {
+	schema := tuple.MustSchema([]tuple.Column{
+		{Name: "A", Type: tuple.TFloat64},
+		{Name: "B", Type: tuple.TFloat64},
+	})
+	h := testutil.NewHeap(t, schema, 1, 8)
+	tp := tuple.NewTuple(schema)
+	// Bucket 0: A in [1,5], B in [10,20] -> A <= B qualifies.
+	for _, row := range [][2]float64{{1, 10}, {5, 20}} {
+		tp.SetFloat64(0, row[0])
+		tp.SetFloat64(1, row[1])
+		if _, err := h.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minA := build(t, h, core.NewDef("mna", "T", core.Min, expr.NewCol("A")))
+	maxA := build(t, h, core.NewDef("mxa", "T", core.Max, expr.NewCol("A")))
+	minB := build(t, h, core.NewDef("mnb", "T", core.Min, expr.NewCol("B")))
+	maxB := build(t, h, core.NewDef("mxb", "T", core.Max, expr.NewCol("B")))
+	g := core.NewGrader(minA, maxA, minB, maxB)
+
+	cases := []struct {
+		op   pred.CmpOp
+		want core.Grade
+	}{
+		{pred.Le, core.Qualifies},    // maxA(5) <= minB(10)
+		{pred.Lt, core.Qualifies},    // maxA(5) < minB(10)
+		{pred.Gt, core.Disqualifies}, // A > B never: maxA < minB
+		{pred.Ge, core.Disqualifies},
+		{pred.Eq, core.Disqualifies}, // ranges disjoint
+		{pred.Ne, core.Qualifies},
+	}
+	for _, tc := range cases {
+		if got := g.Grade(0, pred.NewColAtom("A", tc.op, "B")); got != tc.want {
+			t.Errorf("grade(A %s B) = %s, want %s", tc.op, got, tc.want)
+		}
+	}
+}
+
+// TestGradeWithoutSMA: atoms on columns without SMAs are ambivalent.
+func TestGradeWithoutSMA(t *testing.T) {
+	h := testutil.NewHeap(t, oneColSchema(t), 1, 8)
+	appendVals(t, h, 10)
+	g := core.NewGrader(build(t, h, core.NewDef("mn", "T", core.Min, expr.NewCol("A"))))
+	if got := g.Grade(0, pred.NewAtom("ZZZ", pred.Le, 5)); got != core.Ambivalent {
+		t.Errorf("grade on unindexed column = %s, want ambivalent", got)
+	}
+	// With only a min SMA, "A <= c" can disqualify but never qualify.
+	if got := g.Grade(0, pred.NewAtom("A", pred.Le, 5)); got != core.Disqualifies {
+		t.Errorf("min-only grade(A <= 5) = %s, want disqualifies", got)
+	}
+	if got := g.Grade(0, pred.NewAtom("A", pred.Le, 15)); got != core.Ambivalent {
+		t.Errorf("min-only grade(A <= 15) = %s, want ambivalent", got)
+	}
+}
+
+// TestGradeByValueCounts exercises the count-group-by-A grading rules.
+func TestGradeByValueCounts(t *testing.T) {
+	h := testutil.NewHeap(t, oneColSchema(t), 1, 8)
+	appendVals(t, h, 10, 10, 30) // one bucket with values {10, 30}
+	cnt := build(t, h, core.NewDef("c", "T", core.Count, nil, "A"))
+	g := core.NewGrader(cnt)
+
+	cases := []struct {
+		op   pred.CmpOp
+		c    float64
+		want core.Grade
+	}{
+		{pred.Eq, 10, core.Ambivalent},   // some tuples are 10, some 30
+		{pred.Eq, 20, core.Disqualifies}, // no tuple has value 20
+		{pred.Le, 30, core.Qualifies},    // all values <= 30
+		{pred.Le, 5, core.Disqualifies},  // none
+		{pred.Le, 15, core.Ambivalent},   // 10 yes, 30 no
+		{pred.Ge, 10, core.Qualifies},
+		{pred.Gt, 30, core.Disqualifies},
+	}
+	for _, tc := range cases {
+		if got := g.Grade(0, pred.NewAtom("A", tc.op, tc.c)); got != tc.want {
+			t.Errorf("count grading A %s %g = %s, want %s", tc.op, tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestGroupedMinMaxSelection: grouped min/max SMAs are usable for selection
+// by rolling the per-group bounds up to bucket bounds (§3.1).
+func TestGroupedMinMaxSelection(t *testing.T) {
+	schema := tuple.MustSchema([]tuple.Column{
+		{Name: "A", Type: tuple.TFloat64},
+		{Name: "F", Type: tuple.TChar, Len: 1},
+	})
+	h := testutil.NewHeap(t, schema, 1, 8)
+	tp := tuple.NewTuple(schema)
+	for _, row := range []struct {
+		a float64
+		f string
+	}{{10, "X"}, {20, "Y"}, {30, "X"}} {
+		tp.SetFloat64(0, row.a)
+		tp.SetChar(1, row.f)
+		if _, err := h.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	minS := build(t, h, core.NewDef("mn", "T", core.Min, expr.NewCol("A"), "F"))
+	maxS := build(t, h, core.NewDef("mx", "T", core.Max, expr.NewCol("A"), "F"))
+	if v, ok := minS.BucketMin(0); !ok || v != 10 {
+		t.Errorf("grouped BucketMin = %v (%v), want 10", v, ok)
+	}
+	if v, ok := maxS.BucketMax(0); !ok || v != 30 {
+		t.Errorf("grouped BucketMax = %v (%v), want 30", v, ok)
+	}
+	g := core.NewGrader(minS, maxS)
+	if got := g.Grade(0, pred.NewAtom("A", pred.Le, 30)); got != core.Qualifies {
+		t.Errorf("grouped grade(A <= 30) = %s, want qualifies", got)
+	}
+	if got := g.Grade(0, pred.NewAtom("A", pred.Gt, 30)); got != core.Disqualifies {
+		t.Errorf("grouped grade(A > 30) = %s, want disqualifies", got)
+	}
+}
+
+func oneColSchema(t testing.TB) *tuple.Schema {
+	t.Helper()
+	return tuple.MustSchema([]tuple.Column{{Name: "A", Type: tuple.TFloat64}})
+}
+
+// appendVals appends single-column float tuples to h.
+func appendVals(t testing.TB, h *storage.HeapFile, vals ...float64) {
+	t.Helper()
+	tp := tuple.NewTuple(h.Schema())
+	for _, v := range vals {
+		tp.SetFloat64(0, v)
+		if _, err := h.Append(tp); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+}
+
+// build bulkloads an SMA, failing the test on error.
+func build(t testing.TB, h *storage.HeapFile, def core.Def) *core.SMA {
+	t.Helper()
+	s, err := core.Build(h, def)
+	if err != nil {
+		t.Fatalf("build sma %s: %v", def.Name, err)
+	}
+	return s
+}

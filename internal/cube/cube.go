@@ -1,0 +1,175 @@
+// Package cube implements the materialized data cube baseline the paper
+// argues against (§2.4): a cube over (L_RETURNFLAG, L_LINESTATUS) and one
+// or more date dimensions, with the paper's storage-cost model
+//
+//	bytes = 2556^d * 4 * 48
+//
+// for d date dimensions, 4 flag combinations and 48-byte entries (6
+// aggregates of 8 bytes). A one-date-dimension cube is actually
+// materialized and can answer Query 1 by an exact lookup over cumulative
+// aggregates — fast, but usable only for the selections it was designed
+// for, which is precisely the inflexibility the paper contrasts with SMAs.
+package cube
+
+import (
+	"fmt"
+
+	"sma/internal/storage"
+	"sma/internal/tpcd"
+	"sma/internal/tuple"
+)
+
+// EntryBytes is the width of one cube cell: 6 aggregates of 8 bytes, per
+// the paper ("every entry in the data cube is 48 byte wide").
+const EntryBytes = 48
+
+// FlagCombinations is the number of (L_RETURNFLAG, L_LINESTATUS) groups
+// the paper's model assumes ("For the two flags, 4 possibilities exist").
+const FlagCombinations = 4
+
+// SpaceBytes returns the paper's storage model for a cube over the flag
+// columns and dateDims date dimensions of 2556 days each.
+func SpaceBytes(dateDims int) float64 {
+	cells := float64(FlagCombinations) * float64(EntryBytes)
+	for i := 0; i < dateDims; i++ {
+		cells *= float64(tpcd.DateDomainDays)
+	}
+	return cells
+}
+
+// aggSlots is the per-cell aggregate layout of the Query-1 cube.
+const aggSlots = 6 // sum_qty, sum_base, sum_disc_price, sum_charge, sum_disc, count
+
+// Cube is a materialized Query-1 data cube over one date dimension
+// (L_SHIPDATE): for every (returnflag, linestatus, day) cell the six
+// aggregates needed by Query 1, stored cumulatively over days so that a
+// "shipdate <= cutoff" query is answered by one lookup per group.
+type Cube struct {
+	groups []string // "RF|LS" labels in sorted order
+	gidx   map[string]int
+	days   int
+	base   int32 // first day of the domain
+	// cum[g][d*aggSlots+k] = aggregate k of group g over days <= base+d.
+	cum [][]float64
+}
+
+// GroupRow is one output row of a cube lookup.
+type GroupRow struct {
+	ReturnFlag string
+	LineStatus string
+	SumQty     float64
+	SumBase    float64
+	SumDisc    float64 // sum of extendedprice*(1-discount)
+	SumCharge  float64
+	SumDiscAgg float64 // sum of discount (for AVG_DISC)
+	Count      float64
+}
+
+// Build scans LINEITEM and materializes the cube.
+func Build(h *storage.HeapFile) (*Cube, error) {
+	s := h.Schema()
+	need := []string{"L_RETURNFLAG", "L_LINESTATUS", "L_SHIPDATE", "L_QUANTITY",
+		"L_EXTENDEDPRICE", "L_DISCOUNT", "L_TAX"}
+	idx := make([]int, len(need))
+	for i, n := range need {
+		idx[i] = s.ColumnIndex(n)
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("cube: relation lacks column %s", n)
+		}
+	}
+	c := &Cube{
+		gidx: make(map[string]int),
+		days: tpcd.DateDomainDays,
+		base: tpcd.StartDate,
+	}
+	// Dense per-day cells, later turned cumulative.
+	var cells [][]float64
+	err := h.Scan(func(t tuple.Tuple, _ storage.RID) error {
+		rf, ls := t.Char(idx[0]), t.Char(idx[1])
+		key := rf + "|" + ls
+		g, ok := c.gidx[key]
+		if !ok {
+			g = len(c.groups)
+			c.gidx[key] = g
+			c.groups = append(c.groups, key)
+			cells = append(cells, make([]float64, c.days*aggSlots))
+		}
+		d := int(t.Int32(idx[2]) - c.base)
+		if d < 0 {
+			d = 0
+		}
+		if d >= c.days {
+			d = c.days - 1
+		}
+		qty := t.Float64(idx[3])
+		ext := t.Float64(idx[4])
+		disc := t.Float64(idx[5])
+		tax := t.Float64(idx[6])
+		cell := cells[g][d*aggSlots : d*aggSlots+aggSlots]
+		cell[0] += qty
+		cell[1] += ext
+		cell[2] += ext * (1 - disc)
+		cell[3] += ext * (1 - disc) * (1 + tax)
+		cell[4] += disc
+		cell[5]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Cumulate over the date dimension.
+	c.cum = cells
+	for _, cum := range c.cum {
+		for d := 1; d < c.days; d++ {
+			for k := 0; k < aggSlots; k++ {
+				cum[d*aggSlots+k] += cum[(d-1)*aggSlots+k]
+			}
+		}
+	}
+	return c, nil
+}
+
+// QueryShipdateLE answers Query 1's grouping for WHERE L_SHIPDATE <=
+// cutoff, by one lookup per group. Groups with zero count are omitted.
+func (c *Cube) QueryShipdateLE(cutoff int32) []GroupRow {
+	d := int(cutoff - c.base)
+	if d < 0 {
+		return nil
+	}
+	if d >= c.days {
+		d = c.days - 1
+	}
+	var out []GroupRow
+	for g, key := range c.groups {
+		cell := c.cum[g][d*aggSlots : d*aggSlots+aggSlots]
+		if cell[5] == 0 {
+			continue
+		}
+		out = append(out, GroupRow{
+			ReturnFlag: key[:1],
+			LineStatus: key[2:],
+			SumQty:     cell[0],
+			SumBase:    cell[1],
+			SumDisc:    cell[2],
+			SumCharge:  cell[3],
+			SumDiscAgg: cell[4],
+			Count:      cell[5],
+		})
+	}
+	return out
+}
+
+// CanAnswer reports whether the cube applies to a selection on the given
+// column: only its single date dimension works. This encodes the paper's
+// inflexibility argument — "As soon as for example an additional selection
+// condition occurs in the query, the data cube might not be applicable any
+// more."
+func (c *Cube) CanAnswer(selectionColumn string) bool {
+	return selectionColumn == "L_SHIPDATE"
+}
+
+// MaterializedBytes returns the actual size of the dense materialized cube
+// (per-day cells for every group).
+func (c *Cube) MaterializedBytes() int64 {
+	return int64(len(c.groups)) * int64(c.days) * aggSlots * 8
+}

@@ -1,0 +1,84 @@
+package engine_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"sma/internal/tuple"
+)
+
+// TestConcurrentQueriesAndAppends hammers a table with parallel readers and
+// writers; run with -race to check the locking discipline. Every query must
+// see a consistent count (monotonically related to the appends completed).
+func TestConcurrentQueriesAndAppends(t *testing.T) {
+	db, tbl := openSales(t, t.TempDir())
+	defer db.Close()
+	for _, ddl := range []string{
+		"define sma dmin select min(SALE_DATE) from SALES",
+		"define sma dmax select max(SALE_DATE) from SALES",
+		"define sma cnt select count(*) from SALES group by REGION",
+	} {
+		if _, err := db.DefineSMA(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const writers, readers, perWriter = 4, 4, 100
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tp := tuple.NewTuple(tbl.Schema)
+			for i := 0; i < perWriter; i++ {
+				tp.SetInt32(0, tuple.DateFromYMD(2022, 1, 1)+int32(i))
+				tp.SetChar(1, "N")
+				tp.SetFloat64(2, float64(w*1000+i))
+				if _, err := tbl.Append(tp); err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := db.Query("select count(*) as N from SALES where SALE_DATE >= date '2022-01-01'")
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					errCh <- fmt.Errorf("reader %d: %d rows", r, len(res.Rows))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Final state is fully consistent.
+	res, err := db.Query("select count(*) as N from SALES where SALE_DATE >= date '2022-01-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%d", writers*perWriter)
+	if res.Rows[0][0] != want {
+		t.Errorf("final count = %s, want %s", res.Rows[0][0], want)
+	}
+	for _, s := range tbl.SMAs() {
+		if err := s.Verify(tbl.Heap); err != nil {
+			t.Errorf("after concurrent load: %v", err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package engine_test
+
+import (
+	"testing"
+
+	"sma/internal/engine"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// TestEngineDeleteMaintainsSMAs: deletes through the Table keep SMAs valid
+// and query results correct.
+func TestEngineDeleteMaintainsSMAs(t *testing.T) {
+	db, tbl := openSales(t, t.TempDir())
+	defer db.Close()
+	for _, ddl := range []string{
+		"define sma dmin select min(SALE_DATE) from SALES",
+		"define sma dmax select max(SALE_DATE) from SALES",
+		"define sma amt select sum(AMOUNT) from SALES group by REGION",
+		"define sma cnt select count(*) from SALES group by REGION",
+	} {
+		if _, err := db.DefineSMA(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := db.Query("select count(*) as N from SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete the first 25 records (first page region).
+	for slot := 0; slot < 25; slot++ {
+		page := storage.PageID(slot / tbl.Heap.RecordsPerPage())
+		if err := tbl.Delete(storage.RID{Page: page, Slot: slot % tbl.Heap.RecordsPerPage()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range tbl.SMAs() {
+		if err := s.Verify(tbl.Heap); err != nil {
+			t.Errorf("after deletes: %v", err)
+		}
+	}
+	after, err := db.Query("select count(*) as N from SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows[0][0] == after.Rows[0][0] {
+		t.Errorf("count unchanged after deletes: %s", after.Rows[0][0])
+	}
+}
+
+// TestEngineDeletePersistence: the delete vector survives reopen.
+func TestEngineDeletePersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, tbl := openSales(t, dir)
+	n0, err := tbl.Heap.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 10; slot++ {
+		if err := tbl.Delete(storage.RID{Page: 0, Slot: slot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := engine.Open(dir, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tbl2, err := db2.Table("SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := tbl2.Heap.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n0-10 {
+		t.Errorf("after reopen: %d records, want %d", n1, n0-10)
+	}
+	if _, err := tbl2.Heap.Get(storage.RID{Page: 0, Slot: 0}); err == nil {
+		t.Errorf("deleted record resurfaced after reopen")
+	}
+	// Deleting more after reopen still works.
+	if err := tbl2.Delete(storage.RID{Page: 0, Slot: 20}); err != nil {
+		t.Fatal(err)
+	}
+	tp := tuple.NewTuple(tbl2.Schema)
+	tp.SetInt32(0, tuple.DateFromYMD(2023, 1, 1))
+	tp.SetChar(1, "N")
+	tp.SetFloat64(2, 1)
+	if _, err := tbl2.Append(tp); err != nil {
+		t.Fatal(err)
+	}
+	n2, err := tbl2.Heap.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != n1-1+1 {
+		t.Errorf("record count after delete+append = %d", n2)
+	}
+}

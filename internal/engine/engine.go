@@ -1,0 +1,486 @@
+// Package engine is the public face of the library: a small embedded
+// warehouse engine that owns the on-disk catalog, tables, and SMAs, and
+// runs SQL through the SMA-aware planner.
+//
+// Typical use:
+//
+//	db, _ := engine.Open(dir, engine.Options{})
+//	tbl, _ := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
+//	... load tuples via tbl.Append ...
+//	db.DefineSMA("define sma min select min(L_SHIPDATE) from LINEITEM")
+//	res, _ := db.Query("select count(*) from LINEITEM where L_SHIPDATE <= date '1998-09-02'")
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sma/internal/core"
+	"sma/internal/parser"
+	"sma/internal/planner"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// Options configures an engine instance.
+type Options struct {
+	// PoolPages is the buffer pool capacity per table (default 2048 pages
+	// = 8 MB, the paper's intertransaction buffer size).
+	PoolPages int
+	// BucketPages is the SMA bucket granularity for new tables (default 1
+	// page, the paper's default).
+	BucketPages int
+	// ReadLatency simulates per-page disk read latency (0 = off).
+	ReadLatency time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.PoolPages <= 0 {
+		o.PoolPages = 2048
+	}
+	if o.BucketPages <= 0 {
+		o.BucketPages = 1
+	}
+	return o
+}
+
+// Table is a stored relation with its SMAs.
+type Table struct {
+	Name        string
+	Schema      *tuple.Schema
+	Heap        *storage.HeapFile
+	BucketPages int
+
+	db   *DB
+	disk *storage.DiskManager
+	pool *storage.BufferPool
+	smas map[string]*core.SMA
+}
+
+// DB is an embedded warehouse instance rooted at a directory. A DB is safe
+// for concurrent use: queries take a read lock, while DDL and data
+// modifications (which mutate SMA vectors in place) take the write lock.
+type DB struct {
+	mu     sync.RWMutex
+	dir    string
+	opts   Options
+	tables map[string]*Table
+	pl     *planner.Planner
+}
+
+// Open opens (or initializes) a database directory.
+func Open(dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: open %s: %w", dir, err)
+	}
+	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table), pl: planner.New()}
+	if err := db.loadCatalog(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Close flushes and closes every table, persisting delete vectors.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var firstErr error
+	for _, t := range db.tables {
+		if err := t.pool.FlushAll(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if dv := t.Heap.DeleteVector(); dv != nil && dv.Len() > 0 {
+			if err := dv.Save(db.deletePath(t.Name)); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if err := t.disk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// deletePath returns the delete-vector sidecar path of a table.
+func (db *DB) deletePath(name string) string {
+	return filepath.Join(db.dir, strings.ToLower(name)+".del")
+}
+
+// tablePath returns the page-file path of a table.
+func (db *DB) tablePath(name string) string {
+	return filepath.Join(db.dir, strings.ToLower(name)+".tbl")
+}
+
+// smaDir returns the SMA-file directory of a table.
+func (db *DB) smaDir(table string) string {
+	return filepath.Join(db.dir, "smas", strings.ToLower(table))
+}
+
+// openTable wires up the storage stack for a table.
+func (db *DB) openTable(name string, schema *tuple.Schema, bucketPages int) (*Table, error) {
+	dm, err := storage.OpenDiskManager(db.tablePath(name))
+	if err != nil {
+		return nil, err
+	}
+	if db.opts.ReadLatency > 0 {
+		dm.SetReadLatency(db.opts.ReadLatency)
+	}
+	pool := storage.NewBufferPool(dm, db.opts.PoolPages)
+	heap, err := storage.NewHeapFile(pool, schema, bucketPages)
+	if err != nil {
+		dm.Close()
+		return nil, err
+	}
+	t := &Table{
+		Name: strings.ToUpper(name), Schema: schema, Heap: heap,
+		BucketPages: bucketPages, db: db, disk: dm, pool: pool,
+		smas: make(map[string]*core.SMA),
+	}
+	dv, err := storage.LoadDeleteVector(db.deletePath(t.Name))
+	if err != nil {
+		dm.Close()
+		return nil, err
+	}
+	if dv.Len() > 0 {
+		heap.SetDeleteVector(dv)
+	}
+	db.tables[t.Name] = t
+	return t, nil
+}
+
+// CreateTable creates a new table and persists the catalog.
+func (db *DB) CreateTable(name string, cols []tuple.Column) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToUpper(name)
+	if _, exists := db.tables[key]; exists {
+		return nil, fmt.Errorf("engine: table %s already exists", key)
+	}
+	schema, err := tuple.NewSchema(cols)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.openTable(key, schema, db.opts.BucketPages)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// table resolves a table without locking; callers hold db.mu.
+func (db *DB) table(name string) (*Table, error) {
+	t, ok := db.tables[strings.ToUpper(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.table(name)
+}
+
+// Tables lists table names in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableNames()
+}
+
+// tableNames lists names without locking; callers hold db.mu.
+func (db *DB) tableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Append adds a tuple and maintains every SMA of the table.
+func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	rid, err := t.Heap.Append(tp)
+	if err != nil {
+		return rid, err
+	}
+	for _, s := range t.smas {
+		if err := s.OnAppend(t.Heap, tp, rid); err != nil {
+			return rid, err
+		}
+	}
+	return rid, nil
+}
+
+// Update overwrites the record at rid and maintains every SMA.
+func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	old, err := t.Heap.Get(rid)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Update(rid, tp); err != nil {
+		return err
+	}
+	for _, s := range t.smas {
+		if err := s.OnUpdate(t.Heap, old, tp, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete marks the record at rid as deleted and maintains every SMA. The
+// delete vector is persisted on Close.
+func (t *Table) Delete(rid storage.RID) error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	old, err := t.Heap.Delete(rid)
+	if err != nil {
+		return err
+	}
+	for _, s := range t.smas {
+		if err := s.OnDelete(t.Heap, old, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SMAs returns the table's SMAs in name order.
+func (t *Table) SMAs() []*core.SMA {
+	names := make([]string, 0, len(t.smas))
+	for n := range t.smas {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*core.SMA, len(names))
+	for i, n := range names {
+		out[i] = t.smas[n]
+	}
+	return out
+}
+
+// SMA returns one SMA by name.
+func (t *Table) SMA(name string) (*core.SMA, bool) {
+	s, ok := t.smas[strings.ToLower(name)]
+	return s, ok
+}
+
+// Pool exposes the table's buffer pool (benchmarks use it for cold/warm
+// control and I/O statistics).
+func (t *Table) Pool() *storage.BufferPool { return t.pool }
+
+// Disk exposes the table's disk manager.
+func (t *Table) Disk() *storage.DiskManager { return t.disk }
+
+// DefineSMA parses a "define sma" statement, bulkloads the SMA, persists
+// its SMA-files, and registers it in the catalog.
+func (db *DB) DefineSMA(ddl string) (*core.SMA, error) {
+	def, err := parser.ParseSMADef(ddl)
+	if err != nil {
+		return nil, err
+	}
+	return db.DefineSMADef(def)
+}
+
+// DefineSMADef is DefineSMA for an already-constructed definition.
+func (db *DB) DefineSMADef(def core.Def) (*core.SMA, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(def.Table)
+	if err != nil {
+		return nil, err
+	}
+	if _, dup := t.smas[def.Name]; dup {
+		return nil, fmt.Errorf("engine: sma %s already exists on %s", def.Name, t.Name)
+	}
+	s, err := core.Build(t.Heap, def)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Save(db.smaDir(t.Name)); err != nil {
+		return nil, err
+	}
+	t.smas[def.Name] = s
+	if err := db.saveCatalog(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DropSMA removes an SMA and its files.
+func (db *DB) DropSMA(table, name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(table)
+	if err != nil {
+		return err
+	}
+	name = strings.ToLower(name)
+	if _, ok := t.smas[name]; !ok {
+		return fmt.Errorf("engine: no sma %s on %s", name, t.Name)
+	}
+	delete(t.smas, name)
+	paths, err := filepath.Glob(filepath.Join(db.smaDir(t.Name), name+".g*.smaf"))
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+	}
+	return db.saveCatalog()
+}
+
+// Result is a query result: column names and rows of rendered values plus
+// the raw float aggregates.
+type Result struct {
+	Columns []string
+	Rows    [][]string
+	Plan    *planner.Plan
+}
+
+// Plan parses and plans a query without executing it.
+func (db *DB) Plan(sql string) (*planner.Plan, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.planLocked(sql)
+}
+
+// planLocked plans under a held lock.
+func (db *DB) planLocked(sql string) (*planner.Plan, error) {
+	q, err := parser.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.table(q.Table)
+	if err != nil {
+		return nil, err
+	}
+	if q.Where != nil {
+		if err := q.Where.Bind(t.Schema); err != nil {
+			return nil, err
+		}
+	}
+	return db.pl.PlanQuery(q, t.Heap, t.SMAs())
+}
+
+// Query parses, plans, executes and renders a SELECT. The read lock is
+// held across planning and execution so concurrent appends cannot mutate
+// SMA vectors mid-query.
+func (db *DB) Query(sql string) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	plan, err := db.planLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := plan.Execute()
+	if err != nil {
+		return nil, err
+	}
+	t, _ := db.table(plan.Query.Table)
+	res := &Result{Plan: plan}
+	// Column headers: select-list order.
+	for _, it := range plan.Query.Items {
+		if it.IsAgg {
+			res.Columns = append(res.Columns, it.Agg.Name)
+		} else {
+			res.Columns = append(res.Columns, it.Col)
+		}
+	}
+	// Map group-by columns to their position in the group key.
+	groupPos := map[string]int{}
+	for i, g := range plan.Query.GroupBy {
+		groupPos[strings.ToUpper(g)] = i
+	}
+	dateCols := map[string]bool{}
+	for _, c := range t.Schema.Columns() {
+		if c.Type == tuple.TDate {
+			dateCols[strings.ToUpper(c.Name)] = true
+		}
+	}
+	for _, r := range rows {
+		var out []string
+		aggIdx := 0
+		for _, it := range plan.Query.Items {
+			if it.IsAgg {
+				out = append(out, formatAgg(r.Aggs[aggIdx]))
+				aggIdx++
+				continue
+			}
+			gv := r.Vals[groupPos[it.Col]]
+			if !gv.IsStr && dateCols[it.Col] {
+				out = append(out, tuple.FormatDate(int32(gv.Num)))
+			} else {
+				out = append(out, gv.String())
+			}
+		}
+		// Aggregates not in the select list cannot happen (specs come from
+		// the list), but keep aggIdx honest.
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// formatAgg renders an aggregate value, trimming integral floats.
+func formatAgg(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

@@ -1,0 +1,240 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"sma/internal/core"
+	"sma/internal/tuple"
+)
+
+// GAggr is Dayal's grouping-with-aggregation operator computed by hash
+// aggregation over an arbitrary tuple input. It is the non-SMA baseline
+// used by "Query 1 without SMAs" (below a TableScan) and the post-filter
+// aggregation below an SMAScan.
+type GAggr struct {
+	Input   TupleIter
+	Specs   []AggSpec
+	GroupBy []string
+
+	schema *tuple.Schema
+	gx     *core.Extractor
+	groups map[core.GroupKey]*groupAcc
+	out    []Row
+	pos    int
+}
+
+// NewGAggr creates the operator. schema is the input tuple schema.
+func NewGAggr(input TupleIter, schema *tuple.Schema, specs []AggSpec, groupBy []string) *GAggr {
+	return &GAggr{Input: input, Specs: specs, GroupBy: groupBy, schema: schema}
+}
+
+// Open consumes the entire input and computes all groups: the operator is a
+// pipeline breaker, like SMA_GAggr in the paper.
+func (g *GAggr) Open() error {
+	for i := range g.Specs {
+		if err := g.Specs[i].Validate(g.schema); err != nil {
+			return err
+		}
+	}
+	var err error
+	if len(g.GroupBy) > 0 {
+		g.gx, err = core.NewExtractor(g.schema, g.GroupBy)
+		if err != nil {
+			return err
+		}
+	}
+	if err := g.Input.Open(); err != nil {
+		return err
+	}
+	defer g.Input.Close()
+	g.groups = make(map[core.GroupKey]*groupAcc)
+	for {
+		t, ok, err := g.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		var key core.GroupKey
+		var vals []core.GroupVal
+		if g.gx != nil {
+			vals = g.gx.Vals(t)
+			key = core.MakeGroupKey(vals)
+		}
+		acc := g.groups[key]
+		if acc == nil {
+			acc = newGroupAcc(vals, len(g.Specs))
+			g.groups[key] = acc
+		}
+		acc.addTuple(g.Specs, t)
+	}
+	g.out = finishGroups(g.groups, g.Specs, len(g.GroupBy) == 0)
+	g.pos = 0
+	return nil
+}
+
+// Next returns one result group after another.
+func (g *GAggr) Next() (Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return Row{}, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close drops the hash table.
+func (g *GAggr) Close() error {
+	g.groups = nil
+	g.out = nil
+	return nil
+}
+
+// finishGroups runs the post-processing phase and emits rows in key order.
+// For a global aggregate (no GROUP BY) with empty input, one all-zero row is
+// emitted, matching SQL COUNT semantics well enough for this engine.
+func finishGroups(groups map[core.GroupKey]*groupAcc, specs []AggSpec, global bool) []Row {
+	if global && len(groups) == 0 {
+		groups[""] = newGroupAcc(nil, len(specs))
+	}
+	keys := make([]core.GroupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Row, 0, len(keys))
+	for _, k := range keys {
+		acc := groups[k]
+		acc.finish(specs)
+		out = append(out, Row{Key: k, Vals: acc.vals, Aggs: acc.aggs})
+	}
+	return out
+}
+
+// SortRows is an ORDER BY over aggregation rows; it sorts by the group-by
+// values (ascending), which is what TPC-D Query 1 requires.
+type SortRows struct {
+	Input RowIter
+
+	rows []Row
+	pos  int
+}
+
+// NewSortRows wraps input.
+func NewSortRows(input RowIter) *SortRows { return &SortRows{Input: input} }
+
+// Open materializes and sorts the input.
+func (s *SortRows) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	defer s.Input.Close()
+	s.rows = s.rows[:0]
+	for {
+		r, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, r)
+	}
+	sort.Slice(s.rows, func(i, j int) bool { return lessVals(s.rows[i].Vals, s.rows[j].Vals) })
+	s.pos = 0
+	return nil
+}
+
+// lessVals orders group values lexicographically.
+func lessVals(a, b []core.GroupVal) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i].IsStr != b[i].IsStr {
+			return a[i].IsStr // strings before numbers; schemas make this consistent
+		}
+		if a[i].IsStr {
+			if a[i].Str != b[i].Str {
+				return a[i].Str < b[i].Str
+			}
+		} else if a[i].Num != b[i].Num {
+			return a[i].Num < b[i].Num
+		}
+	}
+	return len(a) < len(b)
+}
+
+// Next returns rows in sorted order.
+func (s *SortRows) Next() (Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return Row{}, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+// Close releases the sorted rows.
+func (s *SortRows) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// CollectRows drains a RowIter, returning all rows; a convenience for tests
+// and examples.
+func CollectRows(it RowIter) ([]Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// CollectTuples drains a TupleIter, copying each tuple (scan iterators
+// return tuples that alias page memory).
+func CollectTuples(it TupleIter) ([]tuple.Tuple, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []tuple.Tuple
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t.Copy())
+	}
+}
+
+// RowString renders a row for display.
+func RowString(r Row) string {
+	s := "["
+	for i, v := range r.Vals {
+		if i > 0 {
+			s += " "
+		}
+		s += v.String()
+	}
+	s += " |"
+	for _, a := range r.Aggs {
+		s += fmt.Sprintf(" %.4f", a)
+	}
+	return s + "]"
+}

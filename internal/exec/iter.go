@@ -1,0 +1,183 @@
+// Package exec implements the physical operators of the query engine as
+// Volcano-style iterators ("the iterator concept" the paper cites): plain
+// table scans and hash aggregation as baselines, and the paper's two
+// SMA-aware operators, SMA_Scan (Fig. 6) and SMA_GAggr (Fig. 7).
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/tuple"
+)
+
+// TupleIter produces storage tuples.
+type TupleIter interface {
+	// Open initializes the iterator; it must be called before Next.
+	Open() error
+	// Next returns the next tuple. ok is false at end of stream. The
+	// returned tuple is owned by the caller (it does not alias page
+	// memory).
+	Next() (t tuple.Tuple, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Row is an output row of an aggregation operator: the group-by values
+// followed by one float64 per aggregate.
+type Row struct {
+	Key  core.GroupKey
+	Vals []core.GroupVal
+	Aggs []float64
+}
+
+// RowIter produces aggregation rows.
+type RowIter interface {
+	Open() error
+	Next() (r Row, ok bool, err error)
+	Close() error
+}
+
+// AggFunc enumerates query-level aggregate functions. AVG is rewritten to
+// SUM/COUNT internally, as §3.3 prescribes ("we first compute the sum and
+// divide by the count in the last phase").
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggSum AggFunc = iota
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the SQL name.
+func (f AggFunc) String() string {
+	switch f {
+	case AggSum:
+		return "sum"
+	case AggCount:
+		return "count"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// NeededSMAKind returns the SMA aggregate that can supply this function's
+// per-bucket contribution (AVG needs Sum, plus a Count SMA for the divisor).
+func (f AggFunc) NeededSMAKind() core.AggKind {
+	switch f {
+	case AggSum, AggAvg:
+		return core.Sum
+	case AggCount:
+		return core.Count
+	case AggMin:
+		return core.Min
+	default:
+		return core.Max
+	}
+}
+
+// AggSpec is one aggregate in a query's select clause.
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr // nil for COUNT(*)
+	Name string    // output column name / alias
+}
+
+// String renders the spec.
+func (a AggSpec) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	s := fmt.Sprintf("%s(%s)", a.Func, arg)
+	if a.Name != "" && !strings.EqualFold(a.Name, s) {
+		s += " AS " + a.Name
+	}
+	return s
+}
+
+// Validate checks the spec against a schema.
+func (a *AggSpec) Validate(s *tuple.Schema) error {
+	if a.Arg == nil {
+		if a.Func != AggCount {
+			return fmt.Errorf("exec: %s requires an argument", a.Func)
+		}
+		return nil
+	}
+	return a.Arg.Bind(s)
+}
+
+// groupAcc accumulates all aggregates of one output group.
+type groupAcc struct {
+	vals  []core.GroupVal
+	aggs  []float64
+	seen  []bool // per-slot: any contribution yet (for min/max init)
+	count float64
+}
+
+func newGroupAcc(vals []core.GroupVal, n int) *groupAcc {
+	return &groupAcc{vals: vals, aggs: make([]float64, n), seen: make([]bool, n)}
+}
+
+// addTuple folds one tuple into the accumulator.
+func (g *groupAcc) addTuple(specs []AggSpec, t tuple.Tuple) {
+	g.count++
+	for i := range specs {
+		sp := &specs[i]
+		switch sp.Func {
+		case AggCount:
+			g.aggs[i]++
+		case AggSum, AggAvg:
+			g.aggs[i] += sp.Arg.Eval(t)
+		case AggMin:
+			v := sp.Arg.Eval(t)
+			if !g.seen[i] || v < g.aggs[i] {
+				g.aggs[i] = v
+			}
+		case AggMax:
+			v := sp.Arg.Eval(t)
+			if !g.seen[i] || v > g.aggs[i] {
+				g.aggs[i] = v
+			}
+		}
+		g.seen[i] = true
+	}
+}
+
+// addSMA folds one per-bucket SMA value into slot i.
+func (g *groupAcc) addSMA(specs []AggSpec, i int, v float64) {
+	switch specs[i].Func {
+	case AggCount, AggSum, AggAvg:
+		g.aggs[i] += v
+	case AggMin:
+		if !g.seen[i] || v < g.aggs[i] {
+			g.aggs[i] = v
+		}
+	case AggMax:
+		if !g.seen[i] || v > g.aggs[i] {
+			g.aggs[i] = v
+		}
+	}
+	g.seen[i] = true
+}
+
+// finish performs the paper's last phase: "we divide the sums which should
+// be averages by the computed count".
+func (g *groupAcc) finish(specs []AggSpec) {
+	for i := range specs {
+		if specs[i].Func == AggAvg && g.count > 0 {
+			g.aggs[i] /= g.count
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/pred"
+	"sma/internal/tuple"
+)
+
+// Filter applies a tuple-level predicate above any tuple iterator. Scans
+// usually take their predicate directly (so SMA grading can see it); Filter
+// exists for residual predicates above other operators.
+type Filter struct {
+	Input  TupleIter
+	Pred   pred.Predicate
+	Schema *tuple.Schema
+}
+
+// NewFilter wraps input with predicate p over schema s.
+func NewFilter(input TupleIter, s *tuple.Schema, p pred.Predicate) *Filter {
+	return &Filter{Input: input, Pred: p, Schema: s}
+}
+
+// Open binds the predicate and opens the input.
+func (f *Filter) Open() error {
+	if err := f.Pred.Bind(f.Schema); err != nil {
+		return err
+	}
+	return f.Input.Open()
+}
+
+// Next returns the next tuple satisfying the predicate.
+func (f *Filter) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return t, ok, err
+		}
+		if f.Pred.Eval(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.Input.Close() }
+
+// Project narrows tuples to a subset of columns, producing tuples of a
+// derived schema. Because records are fixed-width, projection materializes
+// a new record per tuple.
+type Project struct {
+	Input TupleIter
+	Cols  []string
+
+	in  *tuple.Schema
+	out *tuple.Schema
+	idx []int
+	buf tuple.Tuple
+}
+
+// NewProject projects input (with schema s) onto cols.
+func NewProject(input TupleIter, s *tuple.Schema, cols []string) *Project {
+	return &Project{Input: input, Cols: cols, in: s}
+}
+
+// OutputSchema returns the projected schema (available after Open).
+func (p *Project) OutputSchema() *tuple.Schema { return p.out }
+
+// Open resolves the projection columns and builds the output schema.
+func (p *Project) Open() error {
+	if len(p.Cols) == 0 {
+		return fmt.Errorf("exec: projection needs at least one column")
+	}
+	cols := make([]tuple.Column, len(p.Cols))
+	p.idx = make([]int, len(p.Cols))
+	for i, name := range p.Cols {
+		j := p.in.ColumnIndex(name)
+		if j < 0 {
+			return fmt.Errorf("exec: projection column %q not found", name)
+		}
+		p.idx[i] = j
+		cols[i] = p.in.Column(j)
+	}
+	out, err := tuple.NewSchema(cols)
+	if err != nil {
+		return err
+	}
+	p.out = out
+	p.buf = tuple.NewTuple(out)
+	return p.Input.Open()
+}
+
+// Next returns the projection of the next input tuple. The returned tuple
+// aliases an internal buffer valid until the next call.
+func (p *Project) Next() (tuple.Tuple, bool, error) {
+	t, ok, err := p.Input.Next()
+	if err != nil || !ok {
+		return tuple.Tuple{}, ok, err
+	}
+	for i, j := range p.idx {
+		src := p.in.Column(j)
+		switch src.Type {
+		case tuple.TChar:
+			p.buf.SetChar(i, t.Char(j))
+		case tuple.TInt64:
+			p.buf.SetInt64(i, t.Int64(j))
+		default:
+			p.buf.SetNumeric(i, t.Numeric(j))
+		}
+	}
+	return p.buf, true, nil
+}
+
+// Close closes the input.
+func (p *Project) Close() error { return p.Input.Close() }
+
+// LimitTuples truncates a tuple stream after N tuples.
+type LimitTuples struct {
+	Input TupleIter
+	N     int
+	seen  int
+}
+
+// NewLimitTuples wraps input.
+func NewLimitTuples(input TupleIter, n int) *LimitTuples {
+	return &LimitTuples{Input: input, N: n}
+}
+
+// Open opens the input.
+func (l *LimitTuples) Open() error {
+	l.seen = 0
+	return l.Input.Open()
+}
+
+// Next returns tuples until the limit is reached.
+func (l *LimitTuples) Next() (tuple.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return tuple.Tuple{}, false, nil
+	}
+	t, ok, err := l.Input.Next()
+	if ok {
+		l.seen++
+	}
+	return t, ok, err
+}
+
+// Close closes the input.
+func (l *LimitTuples) Close() error { return l.Input.Close() }
+
+// RowCond is a comparison on an output column of an aggregation (a HAVING
+// condition): the named column is an aggregate alias or a group-by column.
+type RowCond struct {
+	Name  string
+	Op    pred.CmpOp
+	Value float64
+}
+
+// String renders the condition.
+func (c RowCond) String() string {
+	return fmt.Sprintf("%s %s %g", c.Name, c.Op, c.Value)
+}
+
+// HavingFilter applies RowConds (conjunctively) to aggregation rows.
+type HavingFilter struct {
+	Input RowIter
+	Conds []RowCond
+
+	// Layout of the rows: group-by column names and aggregate aliases.
+	GroupBy []string
+	Specs   []AggSpec
+
+	resolve []func(Row) (float64, bool)
+}
+
+// NewHavingFilter builds the filter; groupBy and specs describe the row
+// layout produced by the aggregation below.
+func NewHavingFilter(input RowIter, groupBy []string, specs []AggSpec, conds []RowCond) *HavingFilter {
+	return &HavingFilter{Input: input, Conds: conds, GroupBy: groupBy, Specs: specs}
+}
+
+// Open resolves condition names against the row layout.
+func (h *HavingFilter) Open() error {
+	h.resolve = h.resolve[:0]
+	for _, c := range h.Conds {
+		fn, err := h.resolver(c.Name)
+		if err != nil {
+			return err
+		}
+		h.resolve = append(h.resolve, fn)
+	}
+	return h.Input.Open()
+}
+
+// resolver maps a HAVING column name to a row accessor.
+func (h *HavingFilter) resolver(name string) (func(Row) (float64, bool), error) {
+	for i, g := range h.GroupBy {
+		if strings.EqualFold(g, name) {
+			i := i
+			return func(r Row) (float64, bool) { return r.Vals[i].Numeric() }, nil
+		}
+	}
+	for i, sp := range h.Specs {
+		if strings.EqualFold(sp.Name, name) {
+			i := i
+			return func(r Row) (float64, bool) { return r.Aggs[i], true }, nil
+		}
+	}
+	return nil, fmt.Errorf("exec: HAVING references unknown output column %q", name)
+}
+
+// Next returns the next row passing every condition.
+func (h *HavingFilter) Next() (Row, bool, error) {
+	for {
+		r, ok, err := h.Input.Next()
+		if err != nil || !ok {
+			return r, ok, err
+		}
+		pass := true
+		for i, c := range h.Conds {
+			v, comparable := h.resolve[i](r)
+			if !comparable || !c.Op.Compare(v, c.Value) {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			return r, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (h *HavingFilter) Close() error { return h.Input.Close() }
+
+// LimitRows truncates a row stream after N rows.
+type LimitRows struct {
+	Input RowIter
+	N     int
+	seen  int
+}
+
+// NewLimitRows wraps input.
+func NewLimitRows(input RowIter, n int) *LimitRows {
+	return &LimitRows{Input: input, N: n}
+}
+
+// Open opens the input.
+func (l *LimitRows) Open() error {
+	l.seen = 0
+	return l.Input.Open()
+}
+
+// Next returns rows until the limit is reached.
+func (l *LimitRows) Next() (Row, bool, error) {
+	if l.seen >= l.N {
+		return Row{}, false, nil
+	}
+	r, ok, err := l.Input.Next()
+	if ok {
+		l.seen++
+	}
+	return r, ok, err
+}
+
+// Close closes the input.
+func (l *LimitRows) Close() error { return l.Input.Close() }

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// TableScan reads every page of the relation in physical order, optionally
+// applying a tuple-level predicate. It is the baseline the paper's "Query 1
+// without SMAs" runs on.
+//
+// Returned tuples alias buffer-pool memory and are valid until the next
+// Next or Close call; callers that retain tuples must Copy them.
+type TableScan struct {
+	H    *storage.HeapFile
+	Pred pred.Predicate // nil means no filter
+
+	page storage.PageID
+	cur  *storage.PageCursor
+}
+
+// NewTableScan creates a full scan with an optional filter.
+func NewTableScan(h *storage.HeapFile, p pred.Predicate) *TableScan {
+	return &TableScan{H: h, Pred: p}
+}
+
+// Open binds the predicate and positions before the first page.
+func (s *TableScan) Open() error {
+	if s.Pred != nil {
+		if err := s.Pred.Bind(s.H.Schema()); err != nil {
+			return err
+		}
+	}
+	s.page = 0
+	s.cur = nil
+	return nil
+}
+
+// Next returns the next qualifying tuple.
+func (s *TableScan) Next() (tuple.Tuple, bool, error) {
+	for {
+		if s.cur != nil {
+			for {
+				t, ok := s.cur.Next()
+				if !ok {
+					break
+				}
+				if s.Pred == nil || s.Pred.Eval(t) {
+					return t, true, nil
+				}
+			}
+			if err := s.cur.Close(); err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			s.cur = nil
+		}
+		if int64(s.page) >= s.H.NumPages() {
+			return tuple.Tuple{}, false, nil
+		}
+		cur, err := s.H.OpenPage(s.page)
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		s.cur = cur
+		s.page++
+	}
+}
+
+// Close unpins any current page.
+func (s *TableScan) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}

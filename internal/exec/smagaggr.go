@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// SMAGAggr is the paper's SMA_GAggr operator (Fig. 7): it computes a
+// grouping with aggregation, using selection SMAs (via the Grader) to grade
+// buckets and aggregate SMAs to advance the result aggregates of qualifying
+// buckets without touching their pages. Only ambivalent buckets are
+// inspected tuple by tuple. The operator is a pipeline breaker: init()
+// computes the whole result, next() merely returns one group after another.
+type SMAGAggr struct {
+	H       *storage.HeapFile
+	Pred    pred.Predicate // nil: every bucket qualifies
+	Specs   []AggSpec
+	GroupBy []string
+
+	// Grader holds the selection SMAs.
+	Grader *core.Grader
+	// AggSMAs maps each spec (by position) to the SMA supplying its
+	// per-bucket values. The SMA's grouping must equal the query grouping
+	// or be finer (a superset of the group-by columns, §2.3: "a SMA has to
+	// reflect the grouping of the query or a finer grouping").
+	AggSMAs []*core.SMA
+	// CountSMA supplies the per-group tuple count used as the AVG divisor;
+	// required when any spec is AVG ("If the result aggregates do not
+	// contain a count(*) and if averages are demanded by the query, we add
+	// it").
+	CountSMA *core.SMA
+
+	schema *tuple.Schema
+	gx     *core.Extractor
+
+	// per-spec: SMA group files with their projected query-level group.
+	projected [][]projectedGroup
+	countProj []projectedGroup
+
+	groups map[core.GroupKey]*groupAcc
+	out    []Row
+	pos    int
+	stats  ScanStats
+}
+
+// projectedGroup caches the roll-up mapping from one SMA-file to the query
+// group it contributes to.
+type projectedGroup struct {
+	gf   *core.GroupFile
+	key  core.GroupKey
+	vals []core.GroupVal
+}
+
+// NewSMAGAggr constructs the operator; see the field docs for parameters.
+func NewSMAGAggr(h *storage.HeapFile, p pred.Predicate, specs []AggSpec, groupBy []string,
+	grader *core.Grader, aggSMAs []*core.SMA, countSMA *core.SMA) *SMAGAggr {
+	return &SMAGAggr{H: h, Pred: p, Specs: specs, GroupBy: groupBy,
+		Grader: grader, AggSMAs: aggSMAs, CountSMA: countSMA}
+}
+
+// projectGroups validates that s's grouping is equal to or finer than the
+// query grouping and computes, for every SMA-file, the query-level group it
+// rolls up into.
+func projectGroups(s *core.SMA, queryGroupBy []string) ([]projectedGroup, error) {
+	pos := make([]int, len(queryGroupBy))
+	for i, q := range queryGroupBy {
+		found := -1
+		for j, g := range s.Def.GroupBy {
+			if strings.EqualFold(q, g) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("exec: sma %s groups by (%s), which does not cover query group-by column %s",
+				s.Def.Name, strings.Join(s.Def.GroupBy, ","), q)
+		}
+		pos[i] = found
+	}
+	var out []projectedGroup
+	err := s.Groups(func(gf *core.GroupFile) error {
+		vals := make([]core.GroupVal, len(pos))
+		for i, j := range pos {
+			vals[i] = gf.Vals[j]
+		}
+		out = append(out, projectedGroup{gf: gf, key: core.MakeGroupKey(vals), vals: vals})
+		return nil
+	})
+	return out, err
+}
+
+// Open computes the result, the paper's three phases: initialize, advance
+// per bucket, post-process averages.
+func (g *SMAGAggr) Open() error {
+	g.schema = g.H.Schema()
+	if g.Pred != nil {
+		if err := g.Pred.Bind(g.schema); err != nil {
+			return err
+		}
+	}
+	for i := range g.Specs {
+		if err := g.Specs[i].Validate(g.schema); err != nil {
+			return err
+		}
+	}
+	if len(g.AggSMAs) != len(g.Specs) {
+		return fmt.Errorf("exec: %d aggregate SMAs for %d specs", len(g.AggSMAs), len(g.Specs))
+	}
+	needCount := false
+	for i := range g.Specs {
+		s := g.AggSMAs[i]
+		if s == nil {
+			return fmt.Errorf("exec: spec %s has no aggregate SMA", g.Specs[i])
+		}
+		if want := g.Specs[i].Func.NeededSMAKind(); s.Def.Agg != want {
+			return fmt.Errorf("exec: spec %s needs a %s SMA, got %s (%s)", g.Specs[i], want, s.Def.Agg, s.Def.Name)
+		}
+		if g.Specs[i].Arg != nil && !expr.Equal(g.Specs[i].Arg, s.Def.Expr) {
+			return fmt.Errorf("exec: spec %s does not match sma %s over %s",
+				g.Specs[i], s.Def.Name, s.Def.ExprString())
+		}
+		if g.Specs[i].Func == AggAvg {
+			needCount = true
+		}
+	}
+	if needCount && g.CountSMA == nil {
+		return fmt.Errorf("exec: AVG aggregates require a count SMA")
+	}
+
+	var err error
+	if len(g.GroupBy) > 0 {
+		g.gx, err = core.NewExtractor(g.schema, g.GroupBy)
+		if err != nil {
+			return err
+		}
+	}
+	g.projected = make([][]projectedGroup, len(g.Specs))
+	for i, s := range g.AggSMAs {
+		if g.projected[i], err = projectGroups(s, g.GroupBy); err != nil {
+			return err
+		}
+	}
+	if g.CountSMA != nil {
+		if g.countProj, err = projectGroups(g.CountSMA, g.GroupBy); err != nil {
+			return err
+		}
+	}
+
+	g.groups = make(map[core.GroupKey]*groupAcc)
+	g.stats = ScanStats{}
+	nb := g.H.NumBuckets()
+	for b := 0; b < nb; b++ {
+		grade := core.Qualifies
+		if g.Pred != nil {
+			grade = g.Grader.Grade(b, g.Pred)
+		}
+		switch grade {
+		case core.Disqualifies:
+			g.stats.Disqualifying++ // "do nothing"
+		case core.Qualifies:
+			g.stats.Qualifying++
+			g.advanceFromSMAs(b)
+		default:
+			g.stats.Ambivalent++
+			if err := g.advanceFromBucket(b); err != nil {
+				return err
+			}
+		}
+	}
+	g.out = finishGroups(g.groups, g.Specs, len(g.GroupBy) == 0)
+	g.pos = 0
+	return nil
+}
+
+// acc returns (creating if needed) the accumulator for a query group.
+func (g *SMAGAggr) acc(key core.GroupKey, vals []core.GroupVal) *groupAcc {
+	a := g.groups[key]
+	if a == nil {
+		a = newGroupAcc(vals, len(g.Specs))
+		g.groups[key] = a
+	}
+	return a
+}
+
+// advanceFromSMAs advances the result aggregates of a qualifying bucket
+// using only SMA entries — no page access.
+func (g *SMAGAggr) advanceFromSMAs(b int) {
+	for i := range g.Specs {
+		for _, pg := range g.projected[i] {
+			if v, ok := pg.gf.ValueAt(b); ok {
+				g.acc(pg.key, pg.vals).addSMA(g.Specs, i, v)
+			}
+		}
+	}
+	for _, pg := range g.countProj {
+		if v, ok := pg.gf.ValueAt(b); ok {
+			g.acc(pg.key, pg.vals).count += v
+		}
+	}
+}
+
+// advanceFromBucket inspects an ambivalent bucket tuple by tuple.
+func (g *SMAGAggr) advanceFromBucket(b int) error {
+	first, last := g.H.BucketRange(b)
+	g.stats.PagesRead += int(last-first) + 1
+	return g.H.ScanBucket(b, func(t tuple.Tuple, _ storage.RID) error {
+		if g.Pred != nil && !g.Pred.Eval(t) {
+			return nil
+		}
+		var key core.GroupKey
+		var vals []core.GroupVal
+		if g.gx != nil {
+			vals = g.gx.Vals(t)
+			key = core.MakeGroupKey(vals)
+		}
+		g.acc(key, vals).addTuple(g.Specs, t)
+		return nil
+	})
+}
+
+// Next returns the next unseen group.
+func (g *SMAGAggr) Next() (Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return Row{}, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close drops the result.
+func (g *SMAGAggr) Close() error {
+	g.groups = nil
+	g.out = nil
+	return nil
+}
+
+// Stats returns the bucket classification of the completed computation.
+func (g *SMAGAggr) Stats() ScanStats { return g.stats }

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"sma/internal/core"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// SMAScan is the paper's SMA_Scan operator (Fig. 6): a scan that grades
+// every bucket with the selection SMAs, skips disqualifying buckets without
+// touching their pages, returns the tuples of qualifying buckets without
+// evaluating the predicate, and filters only inside ambivalent buckets.
+//
+// "The three parameters of the iterator are the relation R to be scanned,
+// the predicate to be evaluated on its tuples and a set of SMAs useful for
+// partitioning the buckets of R."
+//
+// Returned tuples alias buffer-pool memory and are valid until the next
+// Next or Close call; callers that retain tuples must Copy them.
+type SMAScan struct {
+	H      *storage.HeapFile
+	Pred   pred.Predicate
+	Grader *core.Grader
+
+	bucket    int // currBucketNo
+	numBucket int
+
+	grade    core.Grade
+	page     storage.PageID // next page within the current bucket
+	lastPage storage.PageID // last page of the current bucket
+	inBucket bool
+	cur      *storage.PageCursor
+
+	stats ScanStats
+}
+
+// ScanStats reports the bucket classification observed by an SMA scan.
+type ScanStats struct {
+	Qualifying    int
+	Disqualifying int
+	Ambivalent    int
+	PagesRead     int // heap pages fetched (disqualified buckets cost none)
+}
+
+// NewSMAScan creates the operator. grader must cover the heap's buckets.
+func NewSMAScan(h *storage.HeapFile, p pred.Predicate, grader *core.Grader) *SMAScan {
+	return &SMAScan{H: h, Pred: p, Grader: grader}
+}
+
+// Open implements the paper's init(): position before bucket 0.
+func (s *SMAScan) Open() error {
+	if s.Pred != nil {
+		if err := s.Pred.Bind(s.H.Schema()); err != nil {
+			return err
+		}
+	}
+	s.bucket = 0
+	s.numBucket = s.H.NumBuckets()
+	s.inBucket = false
+	s.cur = nil
+	s.stats = ScanStats{}
+	return nil
+}
+
+// getBucket advances currBucketNo past disqualifying buckets, mirroring
+// Fig. 6's getBucket subroutine ("advance currBucketNo; advance all smas;
+// currGrade = grade(...)" until qualifying or ambivalent).
+func (s *SMAScan) getBucket() bool {
+	for ; s.bucket < s.numBucket; s.bucket++ {
+		grade := core.Qualifies
+		if s.Pred != nil {
+			grade = s.Grader.Grade(s.bucket, s.Pred)
+		}
+		switch grade {
+		case core.Disqualifies:
+			s.stats.Disqualifying++
+			continue // skipped without reading any page
+		case core.Qualifies:
+			s.stats.Qualifying++
+		default:
+			s.stats.Ambivalent++
+		}
+		s.grade = grade
+		s.page, s.lastPage = s.H.BucketRange(s.bucket)
+		s.inBucket = true
+		s.bucket++
+		return true
+	}
+	return false
+}
+
+// Next returns pointers to qualifying tuples, in physical order: every
+// tuple of a qualifying bucket, and predicate-checked tuples of ambivalent
+// buckets.
+func (s *SMAScan) Next() (tuple.Tuple, bool, error) {
+	for {
+		if s.cur != nil {
+			for {
+				t, ok := s.cur.Next()
+				if !ok {
+					break
+				}
+				// "if(currGrade == qualifies) return tuple; else if
+				// (pred(tuple)) return tuple".
+				if s.grade == core.Qualifies || s.Pred == nil || s.Pred.Eval(t) {
+					return t, true, nil
+				}
+			}
+			if err := s.cur.Close(); err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			s.cur = nil
+		}
+		if s.inBucket && s.page <= s.lastPage {
+			cur, err := s.H.OpenPage(s.page)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			s.cur = cur
+			s.page++
+			s.stats.PagesRead++
+			continue
+		}
+		s.inBucket = false
+		if !s.getBucket() {
+			return tuple.Tuple{}, false, nil
+		}
+	}
+}
+
+// Close unpins any current page.
+func (s *SMAScan) Close() error {
+	if s.cur != nil {
+		err := s.cur.Close()
+		s.cur = nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns the bucket classification of the completed scan.
+func (s *SMAScan) Stats() ScanStats { return s.stats }

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sma/internal/btree"
+	"sma/internal/core"
+	"sma/internal/cube"
+	"sma/internal/exec"
+	"sma/internal/expr"
+	"sma/internal/storage"
+)
+
+// mb converts bytes to megabytes.
+func mb(bytes int64) float64 { return float64(bytes) / (1024 * 1024) }
+
+// --- E1: SMA creation time and size table (§2.4) --------------------------
+
+// SMAStat is one column of the paper's creation table.
+type SMAStat struct {
+	Name     string
+	Creation time.Duration
+	Pages    int64
+	Files    int
+}
+
+// E1Result is the measured version of the paper's per-SMA table.
+type E1Result struct {
+	SF    float64
+	Stats []SMAStat
+	// TotalPages and TotalMB correspond to the paper's "8444 4K-pages or
+	// 33.776 MB" at SF 1.
+	TotalPages int64
+	TotalMB    float64
+	// RelationMB and SMAPct correspond to "733.33 MB" and "about 4%".
+	RelationMB float64
+	SMAPct     float64
+}
+
+// RunE1 collects the creation-time/size table from an environment.
+func RunE1(e *Env) E1Result {
+	r := E1Result{SF: e.Cfg.SF}
+	for _, name := range Q1SMAOrder() {
+		s := e.SMAs[name]
+		r.Stats = append(r.Stats, SMAStat{
+			Name:     name,
+			Creation: e.BuildTime[name],
+			Pages:    s.PagesUsed(),
+			Files:    s.NumFiles(),
+		})
+		r.TotalPages += s.PagesUsed()
+	}
+	r.TotalMB = mb(e.SMASizeBytes())
+	r.RelationMB = mb(e.LineItem.SizeBytes())
+	if r.RelationMB > 0 {
+		r.SMAPct = 100 * r.TotalMB / r.RelationMB
+	}
+	return r
+}
+
+// Render prints the table in the paper's layout.
+func (r E1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E1 — SMA creation time and size (SF %.3g)\n", r.SF)
+	fmt.Fprintf(&b, "%-14s", "sma file")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "%12s", s.Name)
+	}
+	fmt.Fprintf(&b, "\n%-14s", "creation time")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "%12s", s.Creation.Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "\n%-14s", "size")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "%11dp", s.Pages)
+	}
+	fmt.Fprintf(&b, "\n%-14s", "sma-files")
+	for _, s := range r.Stats {
+		fmt.Fprintf(&b, "%12d", s.Files)
+	}
+	fmt.Fprintf(&b, "\ntotal: %d pages = %.3f MB; LINEITEM %.2f MB; SMAs are %.2f%% of the relation\n",
+		r.TotalPages, r.TotalMB, r.RelationMB, r.SMAPct)
+	return b.String()
+}
+
+// --- E2: space and creation vs a B+-tree (§2.4) ----------------------------
+
+// E2Result compares all SMA-files against a shipdate B+-tree.
+type E2Result struct {
+	SF            float64
+	RelationMB    float64
+	SMAMB         float64
+	SMACreation   time.Duration
+	BTreeMB       float64
+	BTreeCreation time.Duration
+	BTreePages    int
+	// SizeRatio is btree/sma at 2/3 leaf fill, the paper's ~230MB vs ~34MB ≈ 6.8x.
+	SizeRatio float64
+}
+
+// RunE2 builds the B+-tree on L_SHIPDATE and tallies sizes.
+func RunE2(e *Env) (E2Result, error) {
+	r := E2Result{SF: e.Cfg.SF, RelationMB: mb(e.LineItem.SizeBytes()), SMAMB: mb(e.SMASizeBytes())}
+	for _, d := range e.BuildTime {
+		r.SMACreation += d
+	}
+	start := time.Now()
+	t, err := btree.BuildFromHeap(e.LineItem, "L_SHIPDATE", 0.67)
+	if err != nil {
+		return r, err
+	}
+	r.BTreeCreation = time.Since(start)
+	r.BTreePages = t.NumPages()
+	r.BTreeMB = mb(t.SizeBytes())
+	if r.SMAMB > 0 {
+		r.SizeRatio = r.BTreeMB / r.SMAMB
+	}
+	return r, nil
+}
+
+// Render prints the comparison.
+func (r E2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E2 — space: SMAs vs B+-tree on L_SHIPDATE (SF %.3g)\n", r.SF)
+	fmt.Fprintf(&b, "  LINEITEM:          %10.2f MB\n", r.RelationMB)
+	fmt.Fprintf(&b, "  all 8 SMAs:        %10.3f MB   creation %v\n", r.SMAMB, r.SMACreation.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  B+-tree(shipdate): %10.2f MB   creation %v   (%d pages)\n",
+		r.BTreeMB, r.BTreeCreation.Round(time.Millisecond), r.BTreePages)
+	fmt.Fprintf(&b, "  B+-tree / SMAs size ratio: %.1fx (paper: 230 MB / 33.8 MB = 6.8x)\n", r.SizeRatio)
+	return b.String()
+}
+
+// --- E3: data-cube storage model (§2.4) ------------------------------------
+
+// E3Result is the cube-vs-SMA storage comparison.
+type E3Result struct {
+	// CubeBytes[d] is the modeled cube size with d+1 date dimensions.
+	CubeBytes [3]float64
+	// SMAAllDatesMB is the measured size of the Query-1 SMAs plus min/max
+	// SMAs for the two additional dates (the paper's 51.12 MB at SF 1).
+	SMAAllDatesMB float64
+	// ExtraDateMB is the size of the added commit/receipt min/max SMAs
+	// (the paper's 17.34 MB at SF 1).
+	ExtraDateMB float64
+	SF          float64
+}
+
+// RunE3 evaluates the cube storage model and measures the extra date SMAs.
+func RunE3(e *Env) (E3Result, error) {
+	r := E3Result{SF: e.Cfg.SF}
+	for d := 1; d <= 3; d++ {
+		r.CubeBytes[d-1] = cube.SpaceBytes(d)
+	}
+	var extra int64
+	for _, col := range []string{"L_COMMITDATE", "L_RECEIPTDATE"} {
+		for _, agg := range []core.AggKind{core.Min, core.Max} {
+			def := core.NewDef(strings.ToLower(col)+"_"+agg.String(), "LINEITEM", agg, expr.NewCol(col))
+			s, err := core.Build(e.LineItem, def)
+			if err != nil {
+				return r, err
+			}
+			extra += s.SizeBytes()
+		}
+	}
+	r.ExtraDateMB = mb(extra)
+	r.SMAAllDatesMB = mb(e.SMASizeBytes() + extra)
+	return r, nil
+}
+
+// Render prints the paper's three cube sizes against the SMA total.
+func (r E3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E3 — materialized data cube storage model vs SMAs\n")
+	labels := []string{"1 date dim", "2 date dims", "3 date dims"}
+	paper := []string{"479.25 KB", "1196.25 MB", "2985.95 GB"}
+	for i, c := range r.CubeBytes {
+		fmt.Fprintf(&b, "  cube %-12s %14.2f MB   (paper: %s)\n", labels[i], c/(1024*1024), paper[i])
+	}
+	fmt.Fprintf(&b, "  SMAs incl. all 3 dates (SF %.3g): %.3f MB (+%.3f MB for the 2 extra dates; paper: 51.12 MB total at SF 1)\n",
+		r.SF, r.SMAAllDatesMB, r.ExtraDateMB)
+	scale := 1.0
+	if r.SF > 0 {
+		scale = 1 / r.SF
+	}
+	fmt.Fprintf(&b, "  scaled to SF 1: %.1f MB of SMAs vs %.1f GB for the 3-dim cube\n",
+		r.SMAAllDatesMB*scale, r.CubeBytes[2]/(1024*1024*1024))
+	return b.String()
+}
+
+// --- E4: Query 1 runtime (§2.4) --------------------------------------------
+
+// E4Result is the measured version of the paper's Query-1 runtime table
+// (without SMAs 128 s; with SMAs cold 4.9 s, warm 1.9 s).
+type E4Result struct {
+	SF    float64
+	Delta int
+
+	NoSMA     time.Duration
+	NoSMAPage int64
+
+	Cold     time.Duration
+	ColdPage int64
+
+	Warm     time.Duration
+	WarmPage int64
+
+	Stats exec.ScanStats
+
+	SpeedupCold float64
+	SpeedupWarm float64
+	Groups      int
+}
+
+// RunE4 measures Query 1 without SMAs (cold), with SMAs cold, and with SMAs
+// warm. Cold SMA runs charge the sequential read of all SMA-files at the
+// configured latency (the vectors themselves live in memory, so the charge
+// is modeled explicitly, mirroring how the paper's cold run reads 8444 SMA
+// pages from disk).
+func RunE4(e *Env, deltaDays int) (E4Result, error) {
+	r := E4Result{SF: e.Cfg.SF, Delta: deltaDays}
+
+	// Without SMAs (the paper reports cold == warm: the relation does not
+	// fit in the buffer, so every run reads every page).
+	if err := e.GoCold(); err != nil {
+		return r, err
+	}
+	start := time.Now()
+	rows, err := e.RunQ1Baseline(deltaDays)
+	if err != nil {
+		return r, err
+	}
+	r.NoSMA = time.Since(start)
+	reads, _ := e.Disk().Stats()
+	r.NoSMAPage = reads
+	r.Groups = len(rows)
+
+	// With SMAs, cold: charge the sequential SMA-file read, then run with
+	// an empty pool.
+	if err := e.GoCold(); err != nil {
+		return r, err
+	}
+	start = time.Now()
+	if e.Cfg.ReadLatency > 0 {
+		storage.SimulateLatency(time.Duration(e.SMAPages()) * e.Cfg.ReadLatency)
+	}
+	smaRows, stats, err := e.RunQ1SMA(deltaDays)
+	if err != nil {
+		return r, err
+	}
+	r.Cold = time.Since(start)
+	reads, _ = e.Disk().Stats()
+	r.ColdPage = reads + e.SMAPages()
+	r.Stats = stats
+	if len(smaRows) != len(rows) {
+		return r, fmt.Errorf("E4: SMA plan produced %d groups, baseline %d", len(smaRows), len(rows))
+	}
+
+	// Warm: run again; SMA vectors and the few ambivalent pages are hot.
+	e.ResetStats()
+	start = time.Now()
+	if _, _, err := e.RunQ1SMA(deltaDays); err != nil {
+		return r, err
+	}
+	r.Warm = time.Since(start)
+	reads, _ = e.Disk().Stats()
+	r.WarmPage = reads
+
+	if r.Cold > 0 {
+		r.SpeedupCold = float64(r.NoSMA) / float64(r.Cold)
+	}
+	if r.Warm > 0 {
+		r.SpeedupWarm = float64(r.NoSMA) / float64(r.Warm)
+	}
+	return r, nil
+}
+
+// Render prints the runtime table with the paper's numbers alongside.
+func (r E4Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E4 — TPC-D Query 1 runtime (SF %.3g, delta %d days)\n", r.SF, r.Delta)
+	fmt.Fprintf(&b, "  %-22s %12s %12s\n", "plan", "time", "pages read")
+	fmt.Fprintf(&b, "  %-22s %12s %12d   (paper: 128 s)\n", "without SMAs", r.NoSMA.Round(time.Millisecond), r.NoSMAPage)
+	fmt.Fprintf(&b, "  %-22s %12s %12d   (paper: 4.9 s)\n", "with SMAs (cold)", r.Cold.Round(time.Millisecond), r.ColdPage)
+	fmt.Fprintf(&b, "  %-22s %12s %12d   (paper: 1.9 s)\n", "with SMAs (warm)", r.Warm.Round(time.Millisecond), r.WarmPage)
+	fmt.Fprintf(&b, "  buckets: %d qualify / %d disqualify / %d ambivalent\n",
+		r.Stats.Qualifying, r.Stats.Disqualifying, r.Stats.Ambivalent)
+	fmt.Fprintf(&b, "  speedup: cold %.0fx, warm %.0fx (paper: two orders of magnitude)\n",
+		r.SpeedupCold, r.SpeedupWarm)
+	return b.String()
+}

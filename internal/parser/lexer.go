@@ -1,0 +1,131 @@
+// Package parser implements the small SQL dialect of the engine: the
+// paper's SMA definition DDL
+//
+//	define sma min
+//	select min(L_SHIPDATE)
+//	from LINEITEM
+//	group by L_RETURNFLAG, L_LINESTATUS
+//
+// and the SELECT subset needed for the paper's workloads: aggregate select
+// lists, arithmetic expressions, WHERE with AND/OR/NOT and comparisons,
+// GROUP BY, ORDER BY, plus DATE and INTERVAL literals so that TPC-D
+// Query 1 parses verbatim.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted
+	tokSymbol // punctuation / operator
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer splits the input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			seenDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+				} else if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				return nil, fmt.Errorf("parser: unterminated string literal at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: l.src[start+1 : l.pos], pos: start})
+			l.pos++
+		default:
+			// Multi-character operators first.
+			for _, op := range []string{"<=", ">=", "<>", "!="} {
+				if strings.HasPrefix(l.src[l.pos:], op) {
+					l.toks = append(l.toks, token{kind: tokSymbol, text: op, pos: start})
+					l.pos += len(op)
+					goto next
+				}
+			}
+			if strings.ContainsRune("()*+-/,<>=;", rune(c)) {
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+				l.pos++
+			} else {
+				return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, l.pos)
+			}
+		next:
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if unicode.IsSpace(c) {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

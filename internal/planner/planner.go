@@ -1,0 +1,308 @@
+// Package planner generates physical plans for parsed queries, the problem
+// the paper devotes §3 to: "query processing — especially the generation of
+// query execution plans — becomes a little more complex".
+//
+// For a query with a selection and grouped aggregates the planner
+//
+//  1. collects the table's SMAs and builds a Grader from the min/max and
+//     count-group-by SMAs applicable to the WHERE clause,
+//  2. tries to cover every select-list aggregate with an aggregate SMA of
+//     compatible (equal or finer) grouping,
+//  3. grades all buckets to estimate the ambivalent fraction, and
+//  4. applies a page-cost model with the paper's Fig.-5 breakeven: if
+//     reading the SMA-files plus the ambivalent buckets (at random-I/O
+//     cost) exceeds a sequential scan, it falls back to the scan.
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/core"
+	"sma/internal/exec"
+	"sma/internal/expr"
+	"sma/internal/parser"
+	"sma/internal/pred"
+	"sma/internal/storage"
+)
+
+// CostModel weights page accesses. The defaults make one random bucket
+// fetch cost four sequential page reads, which places the breakeven where
+// the paper's Figure 5 has it (≈25% ambivalent buckets).
+type CostModel struct {
+	SeqPageCost  float64
+	RandPageCost float64
+}
+
+// DefaultCostModel returns the standard weights.
+func DefaultCostModel() CostModel {
+	return CostModel{SeqPageCost: 1, RandPageCost: 4}
+}
+
+// Strategy identifies the chosen physical plan shape.
+type Strategy uint8
+
+// Plan strategies.
+const (
+	// StrategyFullScan is TableScan + Filter + GAggr, the paper's
+	// "Query 1 without SMAs" baseline.
+	StrategyFullScan Strategy = iota
+	// StrategySMAGAggr answers the aggregation from aggregate SMAs for
+	// qualifying buckets (Fig. 7).
+	StrategySMAGAggr
+	// StrategySMAScan uses SMAs only to skip disqualified buckets, with a
+	// hash aggregation on top (Fig. 6 + GAggr).
+	StrategySMAScan
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyFullScan:
+		return "FullScan+GAggr"
+	case StrategySMAGAggr:
+		return "SMA_GAggr"
+	case StrategySMAScan:
+		return "SMA_Scan+GAggr"
+	default:
+		return fmt.Sprintf("Strategy(%d)", uint8(s))
+	}
+}
+
+// Plan is an executable physical plan.
+type Plan struct {
+	Query    *parser.Query
+	Strategy Strategy
+
+	Heap   *storage.HeapFile
+	Grader *core.Grader
+
+	// SMA_GAggr inputs (StrategySMAGAggr only).
+	AggSMAs  []*core.SMA
+	CountSMA *core.SMA
+
+	// Planning diagnostics.
+	Grades   core.GradeCounts
+	CostSMA  float64
+	CostScan float64
+	SMAPages int64 // pages of SMA-files the plan reads
+	Reason   string
+}
+
+// Explain renders a one-line plan description plus cost details.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s", p.Strategy, p.Query.Table)
+	if p.Query.Where != nil {
+		fmt.Fprintf(&b, " where %s", p.Query.Where)
+	}
+	fmt.Fprintf(&b, "\n  buckets: %d qualify / %d disqualify / %d ambivalent (%.1f%%)",
+		p.Grades.Qualifying, p.Grades.Disqualifying, p.Grades.Ambivalent,
+		100*p.Grades.AmbivalentFrac())
+	fmt.Fprintf(&b, "\n  cost: sma=%.0f scan=%.0f (sma pages %d)", p.CostSMA, p.CostScan, p.SMAPages)
+	fmt.Fprintf(&b, "\n  %s", p.Reason)
+	return b.String()
+}
+
+// Planner plans queries against a table and its SMAs.
+type Planner struct {
+	Cost CostModel
+}
+
+// New creates a planner with the default cost model.
+func New() *Planner { return &Planner{Cost: DefaultCostModel()} }
+
+// matchAggSMA finds an SMA that supplies spec's per-bucket values with a
+// grouping equal to or finer than groupBy.
+func matchAggSMA(smas []*core.SMA, spec exec.AggSpec, groupBy []string) *core.SMA {
+	want := spec.Func.NeededSMAKind()
+	for _, s := range smas {
+		if s.Def.Agg != want {
+			continue
+		}
+		if spec.Arg == nil {
+			if s.Def.Expr != nil {
+				continue
+			}
+		} else if s.Def.Expr == nil || !expr.Equal(spec.Arg, s.Def.Expr) {
+			continue
+		}
+		if groupingCovers(s.Def.GroupBy, groupBy) {
+			return s
+		}
+	}
+	return nil
+}
+
+// groupingCovers reports whether the SMA grouping (superset semantics) can
+// be rolled up to the query grouping.
+func groupingCovers(smaGroupBy, queryGroupBy []string) bool {
+	for _, q := range queryGroupBy {
+		found := false
+		for _, g := range smaGroupBy {
+			if strings.EqualFold(q, g) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// selectionSMAPages sums the pages of the SMA-files a grader would read
+// for the predicate's columns.
+func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
+	if p == nil {
+		return 0
+	}
+	cols := map[string]bool{}
+	for _, a := range pred.Atoms(p) {
+		cols[a.Col] = true
+		if a.RightCol != "" {
+			cols[a.RightCol] = true
+		}
+	}
+	var total int64
+	for _, s := range smas {
+		use := false
+		switch s.Def.Agg {
+		case core.Min, core.Max:
+			use = cols[s.Def.ColumnOf()]
+		case core.Count:
+			use = len(s.Def.GroupBy) == 1 && cols[strings.ToUpper(s.Def.GroupBy[0])]
+		}
+		if use {
+			total += s.PagesUsed()
+		}
+	}
+	return total
+}
+
+// PlanQuery builds the cheapest plan for q over heap with the given SMAs.
+func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
+	specs := q.AggSpecs()
+	if len(specs) == 0 && len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("planner: query must aggregate or group")
+	}
+	plan := &Plan{Query: q, Heap: heap}
+	grader := core.NewGrader(smas...)
+	plan.Grader = grader
+
+	totalPages := heap.NumPages()
+	plan.CostScan = float64(totalPages) * pl.Cost.SeqPageCost
+
+	hasSelSMA := q.Where == nil || grader.HasSelectionSMA(q.Where)
+	if !hasSelSMA {
+		// No SMA can grade the predicate: every bucket would be ambivalent,
+		// so an SMA plan can only lose. (Aggregate SMAs alone cannot help:
+		// the selection forces tuple inspection everywhere.)
+		plan.Strategy = StrategyFullScan
+		plan.Grades = core.GradeCounts{Ambivalent: heap.NumBuckets()}
+		plan.CostSMA = plan.CostScan
+		plan.Reason = "no selection SMA matches the predicate; sequential scan"
+		return plan, nil
+	}
+
+	// Grade all buckets (an in-memory pass over the SMA vectors).
+	if q.Where != nil {
+		plan.Grades = core.CountGrades(grader.GradeAll(q.Where))
+	} else {
+		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
+	}
+
+	// Try to cover every aggregate with an SMA.
+	aggSMAs := make([]*core.SMA, len(specs))
+	covered := len(specs) > 0
+	needCount := false
+	for i, sp := range specs {
+		aggSMAs[i] = matchAggSMA(smas, sp, q.GroupBy)
+		if aggSMAs[i] == nil {
+			covered = false
+			break
+		}
+		if sp.Func == exec.AggAvg {
+			needCount = true
+		}
+	}
+	var countSMA *core.SMA
+	if covered && needCount {
+		countSMA = matchAggSMA(smas, exec.AggSpec{Func: exec.AggCount}, q.GroupBy)
+		if countSMA == nil {
+			covered = false
+		}
+	}
+
+	bucketPages := float64(heap.BucketPages)
+	plan.SMAPages = selectionSMAPages(smas, q.Where)
+	ambCost := float64(plan.Grades.Ambivalent) * bucketPages * pl.Cost.RandPageCost
+
+	if covered {
+		// SMA_GAggr reads the aggregate SMA files too.
+		smaPages := plan.SMAPages
+		seen := map[*core.SMA]bool{}
+		for _, s := range aggSMAs {
+			if !seen[s] {
+				smaPages += s.PagesUsed()
+				seen[s] = true
+			}
+		}
+		if countSMA != nil && !seen[countSMA] {
+			smaPages += countSMA.PagesUsed()
+		}
+		plan.CostSMA = float64(smaPages)*pl.Cost.SeqPageCost + ambCost
+		if plan.CostSMA <= plan.CostScan {
+			plan.Strategy = StrategySMAGAggr
+			plan.AggSMAs = aggSMAs
+			plan.CountSMA = countSMA
+			plan.SMAPages = smaPages
+			plan.Reason = "all aggregates covered by SMAs; qualifying buckets answered without page access"
+			return plan, nil
+		}
+		plan.Strategy = StrategyFullScan
+		plan.SMAPages = smaPages
+		plan.Reason = fmt.Sprintf("ambivalent fraction %.1f%% beyond breakeven; sequential scan is cheaper",
+			100*plan.Grades.AmbivalentFrac())
+		return plan, nil
+	}
+
+	// Aggregates not fully covered: SMA_Scan feeds a hash aggregation;
+	// qualifying buckets must be read too (their tuples feed the GAggr).
+	qualCost := float64(plan.Grades.Qualifying) * bucketPages * pl.Cost.RandPageCost
+	plan.CostSMA = float64(plan.SMAPages)*pl.Cost.SeqPageCost + ambCost + qualCost
+	if plan.CostSMA <= plan.CostScan {
+		plan.Strategy = StrategySMAScan
+		plan.Reason = "aggregates not covered by SMAs; SMA scan skips disqualified buckets"
+	} else {
+		plan.Strategy = StrategyFullScan
+		plan.Reason = "selection not selective enough for an SMA scan; sequential scan"
+	}
+	return plan, nil
+}
+
+// Execute runs the plan and returns the sorted result rows.
+func (p *Plan) Execute() ([]exec.Row, error) {
+	specs := p.Query.AggSpecs()
+	var it exec.RowIter
+	switch p.Strategy {
+	case StrategySMAGAggr:
+		it = exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
+			p.Grader, p.AggSMAs, p.CountSMA)
+	case StrategySMAScan:
+		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
+		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+	default:
+		scan := exec.NewTableScan(p.Heap, p.Query.Where)
+		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+	}
+	if len(p.Query.Having) > 0 {
+		it = exec.NewHavingFilter(it, p.Query.GroupBy, specs, p.Query.Having)
+	}
+	it = exec.NewSortRows(it)
+	if p.Query.Limit >= 0 {
+		it = exec.NewLimitRows(it, p.Query.Limit)
+	}
+	return exec.CollectRows(it)
+}

@@ -1,0 +1,326 @@
+// Package pred implements selection predicates: the paper's atomic
+// comparisons (A = c, A <= c, A < c, A >= c, A > c, and the column-column
+// forms A <= B, A < B) plus conjunction, disjunction and negation. Bucket
+// grading over these predicates lives in internal/core; this package owns
+// representation and tuple-level evaluation.
+package pred
+
+import (
+	"fmt"
+	"strings"
+
+	"sma/internal/tuple"
+)
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators. The paper's partitioning rules cover Eq, Le, Lt,
+// Ge and Gt; Ne is supported at evaluation level and graded conservatively.
+const (
+	Eq CmpOp = iota
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Compare applies op to two float64 values.
+func (op CmpOp) Compare(l, r float64) bool {
+	switch op {
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	case Ge:
+		return l >= r
+	default:
+		panic("pred: invalid operator")
+	}
+}
+
+// Flip mirrors the operator so that `c op A` becomes `A Flip(op) c`.
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return op
+	}
+}
+
+// Predicate is a boolean condition on a tuple.
+type Predicate interface {
+	// Eval decides the predicate for t. Bind must have been called.
+	Eval(t tuple.Tuple) bool
+	// Bind resolves column references against s.
+	Bind(s *tuple.Schema) error
+	// String renders the predicate in SQL-ish syntax.
+	String() string
+}
+
+// Atom is an atomic comparison: Col Op Value, or Col Op RightCol when
+// RightCol is non-empty. Single-character CHAR columns participate via
+// their byte value (see CharConst).
+type Atom struct {
+	Col      string
+	Op       CmpOp
+	RightCol string  // col-col comparison when non-empty
+	Value    float64 // constant otherwise
+
+	leftIdx, rightIdx int
+	bound             bool
+}
+
+// NewAtom builds a column-vs-constant atom.
+func NewAtom(col string, op CmpOp, value float64) *Atom {
+	return &Atom{Col: strings.ToUpper(col), Op: op, Value: value, leftIdx: -1, rightIdx: -1}
+}
+
+// NewColAtom builds a column-vs-column atom (the paper's A <= B form).
+func NewColAtom(col string, op CmpOp, rightCol string) *Atom {
+	return &Atom{Col: strings.ToUpper(col), Op: op, RightCol: strings.ToUpper(rightCol), leftIdx: -1, rightIdx: -1}
+}
+
+// CharConst converts a single character to the constant domain, for
+// predicates on CHAR(1) columns such as L_RETURNFLAG = 'R'.
+func CharConst(c byte) float64 { return float64(c) }
+
+// colValue extracts a comparable float64 from column i of t, treating
+// CHAR(1) columns as their byte value.
+func colValue(t tuple.Tuple, i int) float64 {
+	c := t.Schema.Column(i)
+	if c.Type == tuple.TChar {
+		return float64(t.CharByte(i))
+	}
+	return t.Numeric(i)
+}
+
+// bindCol resolves name in s and checks it is comparable.
+func bindCol(s *tuple.Schema, name string) (int, error) {
+	i := s.ColumnIndex(name)
+	if i < 0 {
+		return -1, fmt.Errorf("pred: unknown column %q", name)
+	}
+	c := s.Column(i)
+	if !c.Type.Numeric() && !(c.Type == tuple.TChar && c.Len == 1) {
+		return -1, fmt.Errorf("pred: column %q (type %s, len %d) is not comparable", name, c.Type, c.Len)
+	}
+	return i, nil
+}
+
+// Bind resolves the atom's column references.
+func (a *Atom) Bind(s *tuple.Schema) error {
+	i, err := bindCol(s, a.Col)
+	if err != nil {
+		return err
+	}
+	a.leftIdx = i
+	if a.RightCol != "" {
+		j, err := bindCol(s, a.RightCol)
+		if err != nil {
+			return err
+		}
+		a.rightIdx = j
+	}
+	a.bound = true
+	return nil
+}
+
+// Eval evaluates the comparison on t.
+func (a *Atom) Eval(t tuple.Tuple) bool {
+	if !a.bound {
+		if err := a.Bind(t.Schema); err != nil {
+			panic(err)
+		}
+	}
+	l := colValue(t, a.leftIdx)
+	r := a.Value
+	if a.RightCol != "" {
+		r = colValue(t, a.rightIdx)
+	}
+	return a.Op.Compare(l, r)
+}
+
+// String renders the atom.
+func (a *Atom) String() string {
+	if a.RightCol != "" {
+		return fmt.Sprintf("%s %s %s", a.Col, a.Op, a.RightCol)
+	}
+	return fmt.Sprintf("%s %s %g", a.Col, a.Op, a.Value)
+}
+
+// And is a conjunction of predicates.
+type And struct{ Kids []Predicate }
+
+// NewAnd conjoins the given predicates.
+func NewAnd(kids ...Predicate) *And { return &And{Kids: kids} }
+
+// Bind binds every conjunct.
+func (p *And) Bind(s *tuple.Schema) error {
+	for _, k := range p.Kids {
+		if err := k.Bind(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval is true when every conjunct holds.
+func (p *And) Eval(t tuple.Tuple) bool {
+	for _, k := range p.Kids {
+		if !k.Eval(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the conjunction.
+func (p *And) String() string { return joinKids(p.Kids, " AND ") }
+
+// Or is a disjunction of predicates.
+type Or struct{ Kids []Predicate }
+
+// NewOr disjoins the given predicates.
+func NewOr(kids ...Predicate) *Or { return &Or{Kids: kids} }
+
+// Bind binds every disjunct.
+func (p *Or) Bind(s *tuple.Schema) error {
+	for _, k := range p.Kids {
+		if err := k.Bind(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Eval is true when any disjunct holds.
+func (p *Or) Eval(t tuple.Tuple) bool {
+	for _, k := range p.Kids {
+		if k.Eval(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the disjunction.
+func (p *Or) String() string { return joinKids(p.Kids, " OR ") }
+
+// Not negates a predicate.
+type Not struct{ Kid Predicate }
+
+// NewNot negates p.
+func NewNot(p Predicate) *Not { return &Not{Kid: p} }
+
+// Bind binds the negated predicate.
+func (p *Not) Bind(s *tuple.Schema) error { return p.Kid.Bind(s) }
+
+// Eval inverts the child.
+func (p *Not) Eval(t tuple.Tuple) bool { return !p.Kid.Eval(t) }
+
+// String renders the negation.
+func (p *Not) String() string { return "NOT (" + p.Kid.String() + ")" }
+
+// True is the always-true predicate (absent WHERE clause).
+type True struct{}
+
+// Bind is a no-op.
+func (True) Bind(*tuple.Schema) error { return nil }
+
+// Eval is always true.
+func (True) Eval(tuple.Tuple) bool { return true }
+
+// String renders TRUE.
+func (True) String() string { return "TRUE" }
+
+func joinKids(kids []Predicate, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = "(" + k.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Atoms collects every atomic comparison in p, in syntax order.
+func Atoms(p Predicate) []*Atom {
+	var out []*Atom
+	var walk func(Predicate)
+	walk = func(q Predicate) {
+		switch x := q.(type) {
+		case *Atom:
+			out = append(out, x)
+		case *And:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *Or:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		case *Not:
+			walk(x.Kid)
+		}
+	}
+	walk(p)
+	return out
+}
+
+// Columns returns the sorted, de-duplicated set of columns referenced by p.
+func Columns(p Predicate) []string {
+	set := map[string]bool{}
+	for _, a := range Atoms(p) {
+		set[a.Col] = true
+		if a.RightCol != "" {
+			set[a.RightCol] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package pred
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sma/internal/tuple"
+)
+
+func schema(t testing.TB) *tuple.Schema {
+	t.Helper()
+	return tuple.MustSchema([]tuple.Column{
+		{Name: "A", Type: tuple.TFloat64},
+		{Name: "B", Type: tuple.TFloat64},
+		{Name: "D", Type: tuple.TDate},
+		{Name: "F", Type: tuple.TChar, Len: 1},
+		{Name: "LONG", Type: tuple.TChar, Len: 8},
+	})
+}
+
+func row(t testing.TB, a, b float64, f byte) tuple.Tuple {
+	t.Helper()
+	tp := tuple.NewTuple(schema(t))
+	tp.SetFloat64(0, a)
+	tp.SetFloat64(1, b)
+	tp.SetChar(3, string(f))
+	return tp
+}
+
+func TestCmpOps(t *testing.T) {
+	cases := []struct {
+		op   CmpOp
+		l, r float64
+		want bool
+	}{
+		{Eq, 1, 1, true}, {Eq, 1, 2, false},
+		{Ne, 1, 2, true}, {Ne, 1, 1, false},
+		{Lt, 1, 2, true}, {Lt, 2, 2, false},
+		{Le, 2, 2, true}, {Le, 3, 2, false},
+		{Gt, 3, 2, true}, {Gt, 2, 2, false},
+		{Ge, 2, 2, true}, {Ge, 1, 2, false},
+	}
+	for _, tc := range cases {
+		if got := tc.op.Compare(tc.l, tc.r); got != tc.want {
+			t.Errorf("%v %s %v = %v, want %v", tc.l, tc.op, tc.r, got, tc.want)
+		}
+	}
+}
+
+func TestFlip(t *testing.T) {
+	// c op A  must be equivalent to  A Flip(op) c.
+	for _, op := range []CmpOp{Eq, Ne, Lt, Le, Gt, Ge} {
+		for _, c := range []float64{1, 2, 3} {
+			for _, a := range []float64{1, 2, 3} {
+				if op.Compare(c, a) != op.Flip().Compare(a, c) {
+					t.Errorf("Flip(%s) broken for c=%v a=%v", op, c, a)
+				}
+			}
+		}
+	}
+}
+
+func TestAtomEval(t *testing.T) {
+	tp := row(t, 10, 20, 'R')
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{NewAtom("A", Le, 10), true},
+		{NewAtom("A", Lt, 10), false},
+		{NewAtom("a", Ge, 5), true}, // case-insensitive
+		{NewColAtom("A", Lt, "B"), true},
+		{NewColAtom("B", Lt, "A"), false},
+		{NewAtom("F", Eq, CharConst('R')), true},
+		{NewAtom("F", Eq, CharConst('N')), false},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Bind(tp.Schema); err != nil {
+			t.Fatalf("bind %s: %v", tc.p, err)
+		}
+		if got := tc.p.Eval(tp); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBoolEval(t *testing.T) {
+	tp := row(t, 10, 20, 'R')
+	lt := NewAtom("A", Lt, 15) // true
+	gt := NewAtom("A", Gt, 15) // false
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{NewAnd(lt, NewAtom("B", Eq, 20)), true},
+		{NewAnd(lt, gt), false},
+		{NewOr(gt, lt), true},
+		{NewOr(gt, gt), false},
+		{NewNot(gt), true},
+		{NewNot(lt), false},
+		{True{}, true},
+		{NewAnd(), true}, // empty conjunction is vacuously true
+		{NewOr(), false}, // empty disjunction is vacuously false
+	}
+	for _, tc := range cases {
+		if err := tc.p.Bind(tp.Schema); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		if got := tc.p.Eval(tp); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	s := schema(t)
+	if err := NewAtom("NOPE", Eq, 1).Bind(s); err == nil {
+		t.Errorf("unknown column should fail")
+	}
+	if err := NewAtom("LONG", Eq, 1).Bind(s); err == nil {
+		t.Errorf("multi-char column should not be comparable")
+	}
+	if err := NewColAtom("A", Le, "NOPE").Bind(s); err == nil {
+		t.Errorf("unknown right column should fail")
+	}
+}
+
+func TestAtomsAndColumns(t *testing.T) {
+	p := NewOr(
+		NewAnd(NewAtom("A", Le, 1), NewAtom("B", Gt, 2)),
+		NewNot(NewColAtom("D", Lt, "A")),
+	)
+	atoms := Atoms(p)
+	if len(atoms) != 3 {
+		t.Fatalf("Atoms = %d, want 3", len(atoms))
+	}
+	cols := Columns(p)
+	want := []string{"A", "B", "D"}
+	if len(cols) != len(want) {
+		t.Fatalf("Columns = %v", cols)
+	}
+	for i := range want {
+		if cols[i] != want[i] {
+			t.Errorf("Columns[%d] = %s, want %s", i, cols[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	p := NewAnd(NewAtom("A", Le, 5), NewNot(NewColAtom("A", Lt, "B")))
+	got := p.String()
+	if got != "(A <= 5) AND (NOT (A < B))" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestQuickDeMorgan property-tests ¬(p ∧ q) ≡ (¬p) ∨ (¬q) over random rows.
+func TestQuickDeMorgan(t *testing.T) {
+	s := schema(t)
+	f := func(a, b float64, c1, c2 float64) bool {
+		tp := tuple.NewTuple(s)
+		tp.SetFloat64(0, a)
+		tp.SetFloat64(1, b)
+		p := NewAtom("A", Le, c1)
+		q := NewAtom("B", Gt, c2)
+		lhs := NewNot(NewAnd(p, q))
+		rhs := NewOr(NewNot(p), NewNot(q))
+		if err := lhs.Bind(s); err != nil {
+			return false
+		}
+		if err := rhs.Bind(s); err != nil {
+			return false
+		}
+		return lhs.Eval(tp) == rhs.Eval(tp)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickFlipInvolution: flipping twice is the identity.
+func TestQuickFlipInvolution(t *testing.T) {
+	f := func(op uint8) bool {
+		o := CmpOp(op % 6)
+		return o.Flip().Flip() == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

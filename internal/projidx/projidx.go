@@ -1,0 +1,100 @@
+// Package projidx implements projection indexes (O'Neil/Quass), the
+// structure the paper generalizes: "In a projection index on a certain
+// attribute, for all tuples in the relation to index, the attribute value
+// is stored sequentially in a file. SMAs generalize this approach in that
+// an aggregate value is stored for a set of tuples instead of mere
+// projection values." An SMA whose buckets hold exactly one tuple
+// degenerates to a projection index; a property test asserts that.
+package projidx
+
+import (
+	"fmt"
+
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// Index is a projection index: the values of one column in tuple order.
+type Index struct {
+	Column string
+	width  int // bytes per value, for size accounting
+	vals   []float64
+	rids   []storage.RID
+}
+
+// Build scans the heap file and materializes the projection of column.
+func Build(h *storage.HeapFile, column string) (*Index, error) {
+	ci := h.Schema().ColumnIndex(column)
+	if ci < 0 {
+		return nil, fmt.Errorf("projidx: unknown column %q", column)
+	}
+	col := h.Schema().Column(ci)
+	width := col.Width()
+	idx := &Index{Column: column, width: width}
+	err := h.Scan(func(t tuple.Tuple, rid storage.RID) error {
+		idx.vals = append(idx.vals, t.Numeric(ci))
+		idx.rids = append(idx.rids, rid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return idx, nil
+}
+
+// Len returns the number of values.
+func (ix *Index) Len() int { return len(ix.vals) }
+
+// Value returns the i-th projected value.
+func (ix *Index) Value(i int) float64 { return ix.vals[i] }
+
+// RID returns the RID of the i-th tuple.
+func (ix *Index) RID(i int) storage.RID { return ix.rids[i] }
+
+// SizeBytes returns the value-file size (values only, as the paper counts
+// SMA sizes).
+func (ix *Index) SizeBytes() int64 { return int64(len(ix.vals)) * int64(ix.width) }
+
+// PagesUsed returns the page count of the value file.
+func (ix *Index) PagesUsed() int64 {
+	return (ix.SizeBytes() + storage.PageSize - 1) / storage.PageSize
+}
+
+// Select evaluates the comparison against every projected value and
+// returns the positions (tuple ordinals) of matches. This is the
+// projection-index selection path: sequential over the value file, no
+// access to the relation.
+func (ix *Index) Select(op pred.CmpOp, c float64) []int {
+	var out []int
+	for i, v := range ix.vals {
+		if op.Compare(v, c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SelectRIDs is Select returning RIDs.
+func (ix *Index) SelectRIDs(op pred.CmpOp, c float64) []storage.RID {
+	var out []storage.RID
+	for i, v := range ix.vals {
+		if op.Compare(v, c) {
+			out = append(out, ix.rids[i])
+		}
+	}
+	return out
+}
+
+// Sum aggregates the projected values of the positions that satisfy the
+// comparison — the projection-index way of computing a filtered aggregate
+// on the indexed column without touching the relation.
+func (ix *Index) Sum(op pred.CmpOp, c float64) (sum float64, n int) {
+	for _, v := range ix.vals {
+		if op.Compare(v, c) {
+			sum += v
+			n++
+		}
+	}
+	return sum, n
+}

@@ -1,0 +1,151 @@
+package projidx_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/pred"
+	"sma/internal/projidx"
+	"sma/internal/storage"
+	"sma/internal/testutil"
+)
+
+func load(t testing.TB, vals []float64) *storage.HeapFile {
+	t.Helper()
+	h := testutil.NewHeap(t, testutil.PaddedFloatSchema(t, 1), 1, 64)
+	testutil.AppendFloats(t, h, vals...)
+	return h
+}
+
+func TestBuildAndSelect(t *testing.T) {
+	vals := []float64{5, 1, 9, 3, 7}
+	ix, err := projidx.Build(load(t, vals), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i, v := range vals {
+		if ix.Value(i) != v {
+			t.Errorf("Value(%d) = %g, want %g (tuple order must be preserved)", i, ix.Value(i), v)
+		}
+	}
+	got := ix.Select(pred.Le, 5)
+	if len(got) != 3 { // 5, 1, 3
+		t.Errorf("Select(<=5) = %v", got)
+	}
+	rids := ix.SelectRIDs(pred.Gt, 6)
+	if len(rids) != 2 {
+		t.Errorf("SelectRIDs(>6) = %v", rids)
+	}
+	sum, n := ix.Sum(pred.Ge, 5)
+	if sum != 21 || n != 3 { // 5+9+7
+		t.Errorf("Sum(>=5) = %g/%d", sum, n)
+	}
+	if _, err := projidx.Build(load(t, vals), "NOPE"); err == nil {
+		t.Errorf("unknown column should fail")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	vals := make([]float64, 1000)
+	ix, err := projidx.Build(load(t, vals), "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SizeBytes() != 8000 {
+		t.Errorf("SizeBytes = %d, want 8000", ix.SizeBytes())
+	}
+	if ix.PagesUsed() != (8000+storage.PageSize-1)/storage.PageSize {
+		t.Errorf("PagesUsed = %d", ix.PagesUsed())
+	}
+}
+
+// TestSMADegeneratesToProjectionIndex is the paper's claim "For the case
+// where a bucket contains exactly a single tuple, a SMA degenerates to a
+// projection index": with one tuple per bucket, the min (or max) SMA's
+// entries are exactly the projection index's value file, and grading
+// equals per-value predicate evaluation.
+func TestSMADegeneratesToProjectionIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(1000))
+	}
+	h := load(t, vals) // 1 record per page, bucket = 1 page -> 1 tuple per bucket
+	if h.NumBuckets() != len(vals) {
+		t.Fatalf("setup: %d buckets for %d tuples", h.NumBuckets(), len(vals))
+	}
+	ix, err := projidx.Build(h, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn, err := core.Build(h, core.NewDef("mn", "T", core.Min, expr.NewCol("A")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx, err := core.Build(h, core.NewDef("mx", "T", core.Max, expr.NewCol("A")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry-by-entry equality with the projection index.
+	for b := 0; b < h.NumBuckets(); b++ {
+		lo, _ := mn.BucketMin(b)
+		hi, _ := mx.BucketMax(b)
+		if lo != ix.Value(b) || hi != ix.Value(b) {
+			t.Fatalf("bucket %d: SMA (%g,%g) != projection %g", b, lo, hi, ix.Value(b))
+		}
+	}
+	// Grading degenerates to exact selection: no ambivalence possible for
+	// range predicates on single-tuple buckets.
+	g := core.NewGrader(mn, mx)
+	for _, op := range []pred.CmpOp{pred.Le, pred.Lt, pred.Ge, pred.Gt} {
+		c := float64(rng.Intn(1000))
+		atom := pred.NewAtom("A", op, c)
+		matches := map[int]bool{}
+		for _, i := range ix.Select(op, c) {
+			matches[i] = true
+		}
+		for b := 0; b < h.NumBuckets(); b++ {
+			grade := g.Grade(b, atom)
+			if grade == core.Ambivalent {
+				t.Fatalf("op %s: single-tuple bucket %d graded ambivalent", op, b)
+			}
+			if (grade == core.Qualifies) != matches[b] {
+				t.Fatalf("op %s bucket %d: grade %s, projection match %v", op, b, grade, matches[b])
+			}
+		}
+	}
+}
+
+// TestQuickSelectMatchesScan: projection-index selection equals a naive
+// scan for random data and operators.
+func TestQuickSelectMatchesScan(t *testing.T) {
+	f := func(seed int64, opRaw uint8, c float64) bool {
+		op := []pred.CmpOp{pred.Eq, pred.Ne, pred.Lt, pred.Le, pred.Gt, pred.Ge}[opRaw%6]
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 200)
+		for i := range vals {
+			vals[i] = float64(rng.Intn(50))
+		}
+		c = float64(int(c) % 50)
+		ix, err := projidx.Build(load(t, vals), "A")
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, v := range vals {
+			if op.Compare(v, c) {
+				want++
+			}
+		}
+		return len(ix.Select(op, c)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

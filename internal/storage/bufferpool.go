@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+)
+
+// Frame is a buffer-pool slot holding one page image.
+type Frame struct {
+	id    PageID
+	data  [PageSize]byte
+	dirty bool
+	pins  int
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// ID returns the page id held by the frame.
+func (fr *Frame) ID() PageID { return fr.id }
+
+// Data returns the page bytes. The slice is valid while the frame is pinned.
+func (fr *Frame) Data() []byte { return fr.data[:] }
+
+// MarkDirty records that the page image was modified and must be written
+// back on eviction or flush.
+func (fr *Frame) MarkDirty() { fr.dirty = true }
+
+// PoolStats aggregates buffer pool activity.
+type PoolStats struct {
+	Hits      int64 // requests satisfied without disk I/O
+	Misses    int64 // requests that required a physical read
+	Evictions int64 // frames written back / recycled
+}
+
+// BufferPool caches pages of a single DiskManager with LRU replacement.
+// Pages are pinned while in use; unpinned frames are eviction candidates in
+// least-recently-used order.
+type BufferPool struct {
+	mu     sync.Mutex
+	disk   *DiskManager
+	cap    int
+	frames map[PageID]*Frame
+	lru    *list.List // of PageID, front = most recently unpinned
+	stats  PoolStats
+}
+
+// NewBufferPool creates a pool of the given capacity (in pages) over disk.
+func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		cap:    capacity,
+		frames: make(map[PageID]*Frame, capacity),
+		lru:    list.New(),
+	}
+}
+
+// Capacity returns the pool capacity in pages.
+func (bp *BufferPool) Capacity() int { return bp.cap }
+
+// Disk returns the underlying disk manager.
+func (bp *BufferPool) Disk() *DiskManager { return bp.disk }
+
+// FetchPage pins page id, reading it from disk on a miss.
+// The caller must UnpinPage it when done.
+func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
+	bp.mu.Lock()
+	if fr, ok := bp.frames[id]; ok {
+		bp.stats.Hits++
+		bp.pinLocked(fr)
+		bp.mu.Unlock()
+		return fr, nil
+	}
+	bp.stats.Misses++
+	fr, err := bp.victimLocked(id)
+	if err != nil {
+		bp.mu.Unlock()
+		return nil, err
+	}
+	// Read outside the lock would allow racing fetches of the same page;
+	// keep it simple and correct: the pool lock covers the read. Query
+	// processing in this engine is single-threaded per operator tree, and
+	// benchmarks measure page counts, so this is not a bottleneck.
+	if err := bp.disk.ReadPage(id, fr.data[:]); err != nil {
+		// Return the frame to the free pool.
+		delete(bp.frames, id)
+		fr.pins = 0
+		bp.mu.Unlock()
+		return nil, err
+	}
+	bp.mu.Unlock()
+	return fr, nil
+}
+
+// NewPage allocates a fresh page on disk, pins it, and returns the frame.
+func (bp *BufferPool) NewPage() (*Frame, error) {
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, err := bp.victimLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	return fr, nil
+}
+
+// pinLocked pins an in-pool frame, removing it from the LRU list.
+func (bp *BufferPool) pinLocked(fr *Frame) {
+	if fr.pins == 0 && fr.elem != nil {
+		bp.lru.Remove(fr.elem)
+		fr.elem = nil
+	}
+	fr.pins++
+}
+
+// victimLocked obtains a frame for page id (which must not be resident),
+// evicting the LRU unpinned page if the pool is full. The returned frame is
+// pinned and registered under id, with stale contents.
+func (bp *BufferPool) victimLocked(id PageID) (*Frame, error) {
+	if len(bp.frames) >= bp.cap {
+		back := bp.lru.Back()
+		if back == nil {
+			return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.cap)
+		}
+		victimID := back.Value.(PageID)
+		victim := bp.frames[victimID]
+		if victim.dirty {
+			if err := bp.disk.WritePage(victim.id, victim.data[:]); err != nil {
+				return nil, err
+			}
+			victim.dirty = false
+		}
+		bp.lru.Remove(back)
+		delete(bp.frames, victimID)
+		bp.stats.Evictions++
+		victim.id = id
+		victim.pins = 1
+		victim.elem = nil
+		bp.frames[id] = victim
+		return victim, nil
+	}
+	fr := &Frame{id: id, pins: 1}
+	bp.frames[id] = fr
+	return fr, nil
+}
+
+// UnpinPage releases one pin on page id. When the pin count reaches zero the
+// frame becomes an eviction candidate.
+func (bp *BufferPool) UnpinPage(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		return fmt.Errorf("storage: unpin of non-resident page %d", id)
+	}
+	if fr.pins <= 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	fr.pins--
+	if fr.pins == 0 {
+		fr.elem = bp.lru.PushFront(id)
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty resident page.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			if err := bp.disk.WritePage(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropAll flushes dirty pages and then empties the pool, simulating a cold
+// buffer. It fails if any page is still pinned.
+func (bp *BufferPool) DropAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, fr := range bp.frames {
+		if fr.pins > 0 {
+			return fmt.Errorf("storage: DropAll with page %d still pinned", id)
+		}
+		if fr.dirty {
+			if err := bp.disk.WritePage(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+		}
+	}
+	bp.frames = make(map[PageID]*Frame, bp.cap)
+	bp.lru.Init()
+	return nil
+}
+
+// Stats returns a snapshot of pool activity counters.
+func (bp *BufferPool) Stats() PoolStats {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return bp.stats
+}
+
+// ResetStats zeroes the activity counters.
+func (bp *BufferPool) ResetStats() {
+	bp.mu.Lock()
+	bp.stats = PoolStats{}
+	bp.mu.Unlock()
+}
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

@@ -1,0 +1,293 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sma/internal/tuple"
+)
+
+// pageHeaderSize reserves bytes at the start of every heap page for the
+// record count (2 bytes) plus padding for future use.
+const pageHeaderSize = 16
+
+// RID identifies a record by page and slot within that page.
+type RID struct {
+	Page PageID
+	Slot int
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// HeapFile stores fixed-width records of one schema in page order. New
+// records are appended to the last page — the "implicit clustering by time
+// of creation" the paper builds on. Pages are grouped into buckets of
+// BucketPages consecutive pages; SMA entries correspond positionally to
+// these buckets.
+type HeapFile struct {
+	pool    *BufferPool
+	schema  *tuple.Schema
+	deletes *DeleteVector // nil when no record was ever deleted
+
+	// BucketPages is the number of consecutive pages per SMA bucket.
+	// The paper: "Examples of buckets are single pages or consecutive
+	// sequences of pages." Must be >= 1.
+	BucketPages int
+
+	perPage int // records per page
+}
+
+// NewHeapFile wraps an open page file as a heap of records with the given
+// schema. bucketPages controls the SMA bucket granularity.
+func NewHeapFile(pool *BufferPool, schema *tuple.Schema, bucketPages int) (*HeapFile, error) {
+	if bucketPages < 1 {
+		return nil, fmt.Errorf("storage: bucketPages must be >= 1, got %d", bucketPages)
+	}
+	per := (PageSize - pageHeaderSize) / schema.RecordSize()
+	if per < 1 {
+		return nil, fmt.Errorf("storage: record size %d does not fit in a page", schema.RecordSize())
+	}
+	return &HeapFile{pool: pool, schema: schema, BucketPages: bucketPages, perPage: per}, nil
+}
+
+// Schema returns the record schema.
+func (h *HeapFile) Schema() *tuple.Schema { return h.schema }
+
+// Pool returns the buffer pool backing the heap file.
+func (h *HeapFile) Pool() *BufferPool { return h.pool }
+
+// RecordsPerPage returns the number of record slots per page.
+func (h *HeapFile) RecordsPerPage() int { return h.perPage }
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int64 { return h.pool.Disk().NumPages() }
+
+// NumBuckets returns the number of (possibly partial) buckets.
+func (h *HeapFile) NumBuckets() int {
+	np := h.NumPages()
+	bp := int64(h.BucketPages)
+	return int((np + bp - 1) / bp)
+}
+
+// BucketOf returns the bucket number containing page id.
+func (h *HeapFile) BucketOf(id PageID) int { return int(int64(id) / int64(h.BucketPages)) }
+
+// BucketRange returns the page range [first, last] of bucket b, clamped to
+// the file size. last is inclusive.
+func (h *HeapFile) BucketRange(b int) (first, last PageID) {
+	first = PageID(int64(b) * int64(h.BucketPages))
+	last = first + PageID(h.BucketPages) - 1
+	if max := PageID(h.NumPages() - 1); last > max {
+		last = max
+	}
+	return first, last
+}
+
+func pageCount(data []byte) int {
+	return int(binary.LittleEndian.Uint16(data))
+}
+
+func setPageCount(data []byte, n int) {
+	binary.LittleEndian.PutUint16(data, uint16(n))
+}
+
+// Append adds a record to the end of the file and returns its RID.
+func (h *HeapFile) Append(t tuple.Tuple) (RID, error) {
+	if t.Schema != h.schema {
+		// Allow structurally identical schemas (e.g. reloaded catalogs).
+		if t.Schema.RecordSize() != h.schema.RecordSize() {
+			return RID{}, fmt.Errorf("storage: tuple schema mismatch")
+		}
+	}
+	np := h.NumPages()
+	var fr *Frame
+	var err error
+	if np > 0 {
+		fr, err = h.pool.FetchPage(PageID(np - 1))
+		if err != nil {
+			return RID{}, err
+		}
+		if pageCount(fr.Data()) >= h.perPage {
+			if err := h.pool.UnpinPage(fr.ID()); err != nil {
+				return RID{}, err
+			}
+			fr = nil
+		}
+	}
+	if fr == nil {
+		fr, err = h.pool.NewPage()
+		if err != nil {
+			return RID{}, err
+		}
+	}
+	data := fr.Data()
+	slot := pageCount(data)
+	off := pageHeaderSize + slot*h.schema.RecordSize()
+	copy(data[off:off+h.schema.RecordSize()], t.Data)
+	setPageCount(data, slot+1)
+	fr.MarkDirty()
+	rid := RID{Page: fr.ID(), Slot: slot}
+	if err := h.pool.UnpinPage(fr.ID()); err != nil {
+		return RID{}, err
+	}
+	return rid, nil
+}
+
+// Get reads the record at rid into a freshly allocated tuple.
+func (h *HeapFile) Get(rid RID) (tuple.Tuple, error) {
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	defer h.pool.UnpinPage(rid.Page)
+	n := pageCount(fr.Data())
+	if rid.Slot < 0 || rid.Slot >= n {
+		return tuple.Tuple{}, fmt.Errorf("storage: slot %d out of range [0,%d) on page %d", rid.Slot, n, rid.Page)
+	}
+	if !h.isLive(rid) {
+		return tuple.Tuple{}, fmt.Errorf("storage: record %v is deleted", rid)
+	}
+	off := pageHeaderSize + rid.Slot*h.schema.RecordSize()
+	t := tuple.NewTuple(h.schema)
+	copy(t.Data, fr.Data()[off:off+h.schema.RecordSize()])
+	return t, nil
+}
+
+// Update overwrites the record at rid with t. This is the ≤1-extra-page-
+// access update path the paper highlights; SMA maintenance hooks observe the
+// old and new images via the returned values of the caller.
+func (h *HeapFile) Update(rid RID, t tuple.Tuple) error {
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer h.pool.UnpinPage(rid.Page)
+	n := pageCount(fr.Data())
+	if rid.Slot < 0 || rid.Slot >= n {
+		return fmt.Errorf("storage: slot %d out of range [0,%d) on page %d", rid.Slot, n, rid.Page)
+	}
+	off := pageHeaderSize + rid.Slot*h.schema.RecordSize()
+	copy(fr.Data()[off:off+h.schema.RecordSize()], t.Data)
+	fr.MarkDirty()
+	return nil
+}
+
+// NumRecords counts the live records by visiting every page.
+func (h *HeapFile) NumRecords() (int64, error) {
+	var total int64
+	np := h.NumPages()
+	for p := PageID(0); int64(p) < np; p++ {
+		fr, err := h.pool.FetchPage(p)
+		if err != nil {
+			return 0, err
+		}
+		total += int64(pageCount(fr.Data()))
+		if err := h.pool.UnpinPage(p); err != nil {
+			return 0, err
+		}
+	}
+	if h.deletes != nil {
+		total -= int64(h.deletes.Len())
+	}
+	return total, nil
+}
+
+// PageRecords pins page p and returns its record count. The caller provides
+// visit, which receives each record as a Tuple aliasing frame memory; the
+// tuple must not be retained after visit returns.
+func (h *HeapFile) PageRecords(p PageID, visit func(t tuple.Tuple, rid RID) error) error {
+	fr, err := h.pool.FetchPage(p)
+	if err != nil {
+		return err
+	}
+	defer h.pool.UnpinPage(p)
+	n := pageCount(fr.Data())
+	rs := h.schema.RecordSize()
+	for s := 0; s < n; s++ {
+		rid := RID{Page: p, Slot: s}
+		if !h.isLive(rid) {
+			continue
+		}
+		off := pageHeaderSize + s*rs
+		t := tuple.Tuple{Schema: h.schema, Data: fr.Data()[off : off+rs]}
+		if err := visit(t, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ScanBucket visits every record in bucket b in physical order.
+func (h *HeapFile) ScanBucket(b int, visit func(t tuple.Tuple, rid RID) error) error {
+	first, last := h.BucketRange(b)
+	for p := first; p <= last; p++ {
+		if err := h.PageRecords(p, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PageCursor iterates the records of one pinned page without copying.
+// Tuples returned by Next alias frame memory and remain valid until Close.
+type PageCursor struct {
+	h    *HeapFile
+	page PageID
+	data []byte
+	n    int
+	pos  int
+	open bool
+}
+
+// OpenPage pins page p and returns a cursor over its records. The caller
+// must Close the cursor to unpin the page.
+func (h *HeapFile) OpenPage(p PageID) (*PageCursor, error) {
+	fr, err := h.pool.FetchPage(p)
+	if err != nil {
+		return nil, err
+	}
+	return &PageCursor{h: h, page: p, data: fr.Data(), n: pageCount(fr.Data()), open: true}, nil
+}
+
+// Next returns the next live record on the page, aliasing page memory.
+func (c *PageCursor) Next() (tuple.Tuple, bool) {
+	for c.pos < c.n {
+		rid := RID{Page: c.page, Slot: c.pos}
+		if !c.h.isLive(rid) {
+			c.pos++
+			continue
+		}
+		rs := c.h.schema.RecordSize()
+		off := pageHeaderSize + c.pos*rs
+		c.pos++
+		return tuple.Tuple{Schema: c.h.schema, Data: c.data[off : off+rs]}, true
+	}
+	return tuple.Tuple{}, false
+}
+
+// Slot returns the slot index of the record most recently returned by Next.
+func (c *PageCursor) Slot() int { return c.pos - 1 }
+
+// Close unpins the page. It is idempotent.
+func (c *PageCursor) Close() error {
+	if !c.open {
+		return nil
+	}
+	c.open = false
+	return c.h.pool.UnpinPage(c.page)
+}
+
+// Scan visits every record in the file in physical order.
+func (h *HeapFile) Scan(visit func(t tuple.Tuple, rid RID) error) error {
+	np := h.NumPages()
+	for p := PageID(0); int64(p) < np; p++ {
+		if err := h.PageRecords(p, visit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SizeBytes returns the file size in bytes.
+func (h *HeapFile) SizeBytes() int64 { return h.NumPages() * PageSize }
