@@ -17,7 +17,7 @@
 // Query-1 speedup, ≈25% breakeven — appear in ns/op; page counts are
 // attached as hardware-independent metrics. Pure-CPU micro benchmarks
 // (build, grade, scan) run without simulated latency.
-package main
+package sma
 
 import (
 	"fmt"

@@ -1,5 +1,7 @@
 // Command dbgen generates TPC-D-style data into a database directory that
-// the other tools (smactl, smaql) operate on.
+// the other tools (smactl, smaql) operate on. It drives the public sma
+// API: tables are created through the unified SQL entrypoint and rows are
+// appended through the typed Table handle.
 //
 // Usage:
 //
@@ -12,9 +14,8 @@ import (
 	"os"
 	"time"
 
-	"sma/internal/engine"
+	"sma"
 	"sma/internal/tpcd"
-	"sma/internal/tuple"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 		fatal(fmt.Errorf("unknown order %q", *orderName))
 	}
 
-	db, err := engine.Open(*dir, engine.Options{BucketPages: *bucketPages})
+	db, err := sma.Open(*dir, sma.WithBucketPages(*bucketPages))
 	if err != nil {
 		fatal(err)
 	}
@@ -52,37 +53,39 @@ func main() {
 	cfg := tpcd.Config{ScaleFactor: *sf, Seed: *seed, Order: order}
 
 	start := time.Now()
-	li, err := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
+	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
+		fatal(err)
+	}
+	li, err := db.Table("LINEITEM")
 	if err != nil {
 		fatal(err)
 	}
-	t := tuple.NewTuple(li.Schema)
 	items := tpcd.GenLineItems(cfg)
 	for i := range items {
-		items[i].FillTuple(t)
-		if _, err := li.Append(t); err != nil {
+		if _, err := li.Append(items[i].Values()...); err != nil {
 			fatal(err)
 		}
 	}
 	fmt.Printf("LINEITEM: %d rows, %d pages, %d buckets (%s order) in %v\n",
-		len(items), li.Heap.NumPages(), li.Heap.NumBuckets(), order, time.Since(start).Round(time.Millisecond))
+		len(items), li.Pages(), li.Buckets(), order, time.Since(start).Round(time.Millisecond))
 
 	if *withOrders {
 		start = time.Now()
-		ot, err := db.CreateTable("ORDERS", tpcd.OrdersSchema().Columns())
+		if _, err := db.Exec(tpcd.OrdersDDL); err != nil {
+			fatal(err)
+		}
+		ot, err := db.Table("ORDERS")
 		if err != nil {
 			fatal(err)
 		}
 		rows := tpcd.GenOrders(cfg)
-		tt := tuple.NewTuple(ot.Schema)
 		for i := range rows {
-			rows[i].FillTuple(tt)
-			if _, err := ot.Append(tt); err != nil {
+			if _, err := ot.Append(rows[i].Values()...); err != nil {
 				fatal(err)
 			}
 		}
 		fmt.Printf("ORDERS: %d rows, %d pages in %v\n",
-			len(rows), ot.Heap.NumPages(), time.Since(start).Round(time.Millisecond))
+			len(rows), ot.Pages(), time.Since(start).Round(time.Millisecond))
 	}
 }
 

@@ -1,4 +1,6 @@
-// Command smactl manages SMAs on a database directory.
+// Command smactl manages SMAs on a database directory through the public
+// sma API: DDL goes through the unified SQL entrypoint (Exec), inspection
+// through the Table handle and the planner diagnostics.
 //
 // Usage:
 //
@@ -14,12 +16,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
-	"sma/internal/core"
-	"sma/internal/engine"
+	"sma"
 	"sma/internal/experiments"
-	"sma/internal/parser"
 )
 
 func main() {
@@ -32,7 +33,7 @@ func main() {
 	if len(args) == 0 {
 		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop"))
 	}
-	db, err := engine.Open(*dir, engine.Options{})
+	db, err := sma.Open(*dir)
 	if err != nil {
 		fatal(err)
 	}
@@ -43,31 +44,39 @@ func main() {
 		if len(args) != 2 {
 			fatal(fmt.Errorf("usage: define '<ddl>'"))
 		}
+		if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(args[1])), "define") {
+			fatal(fmt.Errorf("define expects a 'define sma ...' statement"))
+		}
 		start := time.Now()
-		s, err := db.DefineSMA(args[1])
+		res, err := db.Exec(args[1])
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("built sma %s: %d buckets, %d SMA-file(s), %d page(s) in %v\n",
-			s.Def.Name, s.NumBuckets, s.NumFiles(), s.PagesUsed(),
+			res.SMAName, res.SMABuckets, res.SMAFiles, res.SMAPages,
 			time.Since(start).Round(time.Millisecond))
 	case "q1":
+		// The paper's eight Query-1 definitions render to DDL and round-trip
+		// through the SQL entrypoint.
 		for _, def := range experiments.Q1SMADefs() {
 			start := time.Now()
-			s, err := db.DefineSMADef(def)
+			res, err := db.Exec(def.String())
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Printf("built sma %-10s %4d page(s) %2d file(s) in %v\n",
-				s.Def.Name, s.PagesUsed(), s.NumFiles(), time.Since(start).Round(time.Millisecond))
+				res.SMAName, res.SMAPages, res.SMAFiles, time.Since(start).Round(time.Millisecond))
 		}
 	case "list":
 		for _, name := range db.Tables() {
-			t, _ := db.Table(name)
-			fmt.Printf("%s: %d pages, bucket = %d page(s)\n", name, t.Heap.NumPages(), t.BucketPages)
+			t, err := db.Table(name)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d pages, bucket = %d page(s)\n", name, t.Pages(), t.BucketPages())
 			for _, s := range t.SMAs() {
 				fmt.Printf("  %-12s %-60s %4d file(s) %5d page(s)\n",
-					s.Def.Name, s.Def.String(), s.NumFiles(), s.PagesUsed())
+					s.Name, s.SQL, s.Files, s.Pages)
 			}
 		}
 	case "verify":
@@ -79,10 +88,10 @@ func main() {
 			fatal(err)
 		}
 		for _, s := range t.SMAs() {
-			if err := s.Verify(t.Heap); err != nil {
+			if err := t.VerifySMA(s.Name); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("sma %s: ok\n", s.Def.Name)
+			fmt.Printf("sma %s: ok\n", s.Name)
 		}
 	case "grade":
 		// grade <table> '<predicate>': classify every bucket against the
@@ -90,25 +99,15 @@ func main() {
 		if len(args) != 3 {
 			fatal(fmt.Errorf("usage: grade <table> '<predicate>'"))
 		}
-		t, err := db.Table(args[1])
+		p, err := db.Plan("select count(*) from " + args[1] + " where " + args[2])
 		if err != nil {
 			fatal(err)
 		}
-		q, err := parser.ParseQuery("select count(*) from " + args[1] + " where " + args[2])
-		if err != nil {
-			fatal(err)
-		}
-		if err := q.Where.Bind(t.Schema); err != nil {
-			fatal(err)
-		}
-		grader := core.NewGrader(t.SMAs()...)
-		counts := core.CountGrades(grader.GradeAll(q.Where))
-		fmt.Printf("predicate: %s\n", q.Where)
+		fmt.Printf("predicate: %s\n", p.Predicate)
 		fmt.Printf("buckets:   %d qualify / %d disqualify / %d ambivalent (%.1f%%)\n",
-			counts.Qualifying, counts.Disqualifying, counts.Ambivalent,
-			100*counts.AmbivalentFrac())
+			p.Qualifying, p.Disqualifying, p.Ambivalent, 100*p.AmbivalentFrac())
 		verdict := "SMA plan pays off"
-		if counts.AmbivalentFrac() > 0.25 {
+		if p.AmbivalentFrac() > 0.25 {
 			verdict = "beyond the ~25% breakeven; prefer a sequential scan"
 		}
 		fmt.Println("verdict:  ", verdict)
@@ -116,7 +115,7 @@ func main() {
 		if len(args) != 3 {
 			fatal(fmt.Errorf("usage: drop <table> <sma>"))
 		}
-		if err := db.DropSMA(args[1], args[2]); err != nil {
+		if _, err := db.Exec(fmt.Sprintf("drop sma %s on %s", args[2], args[1])); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("dropped sma %s on %s\n", args[2], args[1])

@@ -1,5 +1,7 @@
 // Command smaql runs SQL queries against a database directory through the
-// SMA-aware planner.
+// SMA-aware planner, streaming results through the public sma cursor API.
+// Interrupting a long-running query (Ctrl-C) cancels its context, which
+// aborts the scan at the next bucket or page boundary.
 //
 // Usage:
 //
@@ -9,13 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
-	"sma/internal/engine"
+	"sma"
 )
 
 func main() {
@@ -37,7 +41,7 @@ func main() {
 		sql = string(data)
 	}
 
-	db, err := engine.Open(*dir, engine.Options{})
+	db, err := sma.Open(*dir)
 	if err != nil {
 		fatal(err)
 	}
@@ -51,14 +55,21 @@ func main() {
 		fmt.Println(plan.Explain())
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	start := time.Now()
-	res, err := db.Query(sql)
+	rows, err := db.QueryContext(ctx, sql)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sma.Collect(rows)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 	fmt.Print(res.String())
-	fmt.Printf("(%d rows, %v, plan: %s)\n", len(res.Rows), elapsed.Round(time.Microsecond), res.Plan.Strategy)
+	fmt.Printf("(%d rows, %v, plan: %s)\n", len(res.Rows), elapsed.Round(time.Microsecond), res.Strategy)
 }
 
 func fatal(err error) {

@@ -1,8 +1,9 @@
 // Ambivalence: how physical clustering decides whether SMAs pay off
-// (§2.2's diagonal distribution and Fig. 5's breakeven). The example grades
-// the same predicate over four physical orderings of the same rows and
-// prints the qualify / disqualify / ambivalent split plus the planner's
-// verdict.
+// (§2.2's diagonal distribution and Fig. 5's breakeven). The example loads
+// the same rows in four physical orderings through the public sma API,
+// defines min/max selection SMAs, and asks the planner to grade Query 1's
+// predicate: the qualify / disqualify / ambivalent split and the plan
+// choice fall out of Plan().
 //
 //	go run ./examples/ambivalence
 package main
@@ -13,11 +14,11 @@ import (
 	"os"
 	"path/filepath"
 
-	"sma/internal/core"
-	"sma/internal/experiments"
-	"sma/internal/storage"
+	"sma"
 	"sma/internal/tpcd"
 )
+
+const query = `select count(*) from LINEITEM where L_SHIPDATE <= date '1998-09-02'`
 
 func main() {
 	dir, err := os.MkdirTemp("", "sma-ambiv-*")
@@ -38,40 +39,43 @@ func main() {
 	fmt.Println("past ~25% ambivalence (Fig. 5) the planner falls back to the scan.")
 }
 
-// run loads one ordering and grades the buckets.
+// run loads one ordering and asks the planner to grade the buckets.
 func run(dir string, order tpcd.Order) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	dm, err := storage.OpenDiskManager(filepath.Join(dir, "lineitem.tbl"))
+	db, err := sma.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer dm.Close()
-	pool := storage.NewBufferPool(dm, 2048)
-	h, err := storage.NewHeapFile(pool, tpcd.LineItemSchema(), 1)
+	defer db.Close()
+	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
+		return err
+	}
+	tbl, err := db.Table("LINEITEM")
 	if err != nil {
 		return err
 	}
-	if _, err := tpcd.LoadLineItem(h, tpcd.Config{ScaleFactor: 0.005, Seed: 7, Order: order}); err != nil {
-		return err
+	items := tpcd.GenLineItems(tpcd.Config{ScaleFactor: 0.005, Seed: 7, Order: order})
+	for i := range items {
+		if _, err := tbl.Append(items[i].Values()...); err != nil {
+			return err
+		}
 	}
-	mn, err := core.Build(h, experiments.Q1SMADefs()[2]) // min(L_SHIPDATE)
+	for _, ddl := range []string{
+		"define sma min select min(L_SHIPDATE) from LINEITEM",
+		"define sma max select max(L_SHIPDATE) from LINEITEM",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	p, err := db.Plan(query)
 	if err != nil {
 		return err
 	}
-	mx, err := core.Build(h, experiments.Q1SMADefs()[1]) // max(L_SHIPDATE)
-	if err != nil {
-		return err
-	}
-	g := core.NewGrader(mn, mx)
-	counts := core.CountGrades(g.GradeAll(experiments.Q1Pred(90)))
-
 	verdict := "use SMAs"
-	if counts.AmbivalentFrac() > 0.25 {
+	if p.AmbivalentFrac() > 0.25 {
 		verdict = "scan"
 	}
 	fmt.Printf("%-10s %10d %12d %12d %12s\n",
-		order, counts.Qualifying, counts.Disqualifying, counts.Ambivalent, verdict)
+		order, p.Qualifying, p.Disqualifying, p.Ambivalent, verdict)
 	return nil
 }

@@ -2,6 +2,10 @@
 // min/max SMA-files and show how many level-1 entries a selective
 // predicate never has to read.
 //
+// Unlike the other examples, this one deliberately drives the internal
+// core/storage layers directly: two-level SMAs are grading machinery below
+// the public sma package's planner surface and have no SQL-facing API yet.
+//
 //	go run ./examples/hierarchical
 package main
 

@@ -1,6 +1,8 @@
 // Maintenance: SMAs stay consistent under appends, updates, and deletes —
 // the paper's "cheap to maintain" property ("At most one additional page
 // access is needed for an updated tuple"), extended with delete vectors.
+// The whole lifecycle runs through the public sma API, including SQL
+// deletes through the unified entrypoint.
 //
 //	go run ./examples/maintenance
 package main
@@ -10,9 +12,7 @@ import (
 	"log"
 	"os"
 
-	"sma/internal/engine"
-	"sma/internal/storage"
-	"sma/internal/tuple"
+	"sma"
 )
 
 func main() {
@@ -22,27 +22,23 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := engine.Open(dir, engine.Options{})
+	db, err := sma.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	events, err := db.CreateTable("EVENTS", []tuple.Column{
-		{Name: "TS", Type: tuple.TDate},
-		{Name: "KIND", Type: tuple.TChar, Len: 1},
-		{Name: "VALUE", Type: tuple.TFloat64},
-	})
+	if _, err := db.Exec(`create table EVENTS (TS date, KIND char(1), VALUE float64)`); err != nil {
+		log.Fatal(err)
+	}
+	events, err := db.Table("EVENTS")
 	if err != nil {
 		log.Fatal(err)
 	}
-	tp := tuple.NewTuple(events.Schema)
-	var rids []storage.RID
+	start := sma.DateOf(2024, 1, 1)
+	var rids []sma.RID
 	for i := 0; i < 5000; i++ {
-		tp.SetInt32(0, tuple.DateFromYMD(2024, 1, 1)+int32(i/50))
-		tp.SetChar(1, []string{"A", "B"}[i%2])
-		tp.SetFloat64(2, float64(i%97))
-		rid, err := events.Append(tp)
+		rid, err := events.Append(start.AddDays(i/50), []string{"A", "B"}[i%2], float64(i%97))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,23 +51,27 @@ func main() {
 		"define sma vsum select sum(VALUE) from EVENTS group by KIND",
 		"define sma n select count(*) from EVENTS group by KIND",
 	} {
-		if _, err := db.DefineSMA(ddl); err != nil {
+		if _, err := db.Exec(ddl); err != nil {
 			log.Fatal(err)
 		}
 	}
 	report := func(stage string) {
-		res, err := db.Query(`select KIND, sum(VALUE) as TOTAL, count(*) as N
+		rows, err := db.Query(`select KIND, sum(VALUE) as TOTAL, count(*) as N
 			from EVENTS group by KIND order by KIND`)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-22s plan=%-10s", stage, res.Plan.Strategy)
+		res, err := sma.Collect(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s plan=%-10s", stage, res.Strategy)
 		for _, row := range res.Rows {
 			fmt.Printf("  %s: total=%s n=%s", row[0], row[1], row[2])
 		}
 		fmt.Println()
 		for _, s := range events.SMAs() {
-			if err := s.Verify(events.Heap); err != nil {
+			if err := events.VerifySMA(s.Name); err != nil {
 				log.Fatalf("%s: %v", stage, err)
 			}
 		}
@@ -79,11 +79,10 @@ func main() {
 	report("initial load")
 
 	// Appends extend the last bucket (or open a new one) in O(1) per SMA.
+	june := sma.DateOf(2024, 6, 1)
 	for i := 0; i < 1000; i++ {
-		tp.SetInt32(0, tuple.DateFromYMD(2024, 6, 1)+int32(i/50))
-		tp.SetChar(1, "C") // a brand-new group appears mid-life
-		tp.SetFloat64(2, 1)
-		if _, err := events.Append(tp); err != nil {
+		// A brand-new group ("C") appears mid-life.
+		if _, err := events.Append(june.AddDays(i/50), "C", 1.0); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -93,19 +92,17 @@ func main() {
 	// affected bucket.
 	for i := 0; i < 500; i++ {
 		rid := rids[i*7%len(rids)]
-		old, err := events.Heap.Get(rid)
+		old, err := events.Get(rid)
 		if err != nil {
 			continue // may have been deleted below on reruns
 		}
-		nw := old.Copy()
-		nw.SetFloat64(2, old.Float64(2)+10)
-		if err := events.Update(rid, nw); err != nil {
+		if err := events.Update(rid, old[0], old[1], old[2].(float64)+10); err != nil {
 			log.Fatal(err)
 		}
 	}
 	report("after 500 updates")
 
-	// Deletes go through the delete vector; SMAs follow.
+	// Targeted deletes go through the delete vector; SMAs follow.
 	for i := 0; i < 500; i++ {
 		if err := events.Delete(rids[i*3%len(rids)]); err != nil {
 			// duplicate index hits are fine for the demo
@@ -114,5 +111,13 @@ func main() {
 	}
 	report("after 500 deletes")
 
-	fmt.Println("\nevery stage verified all SMAs against a fresh bulkload (Verify)")
+	// Bulk deletes run through the unified SQL entrypoint.
+	res, err := db.Exec("delete from EVENTS where TS <= date '2024-01-31'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SQL delete removed %d tuples\n", res.RowsAffected)
+	report("after SQL delete")
+
+	fmt.Println("\nevery stage verified all SMAs against a fresh bulkload (VerifySMA)")
 }

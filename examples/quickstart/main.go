@@ -1,17 +1,18 @@
 // Quickstart: create a table, load rows, define SMAs with the paper's DDL,
 // and watch the planner answer a selective aggregate almost entirely from
-// the SMA-files.
+// the SMA-files — all through the public sma package, the way an external
+// program would use the library.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"sma/internal/engine"
-	"sma/internal/tuple"
+	"sma"
 )
 
 func main() {
@@ -21,7 +22,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := engine.Open(dir, engine.Options{})
+	db, err := sma.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,40 +30,39 @@ func main() {
 
 	// A small sales table, appended in rough date order — the "implicit
 	// clustering by time of creation" the paper builds on.
-	sales, err := db.CreateTable("SALES", []tuple.Column{
-		{Name: "SALE_DATE", Type: tuple.TDate},
-		{Name: "REGION", Type: tuple.TChar, Len: 1},
-		{Name: "AMOUNT", Type: tuple.TFloat64},
-	})
+	if _, err := db.Exec(`create table SALES (SALE_DATE date, REGION char(1), AMOUNT float64)`); err != nil {
+		log.Fatal(err)
+	}
+	sales, err := db.Table("SALES")
 	if err != nil {
 		log.Fatal(err)
 	}
-	t := tuple.NewTuple(sales.Schema)
 	regions := []string{"N", "S", "E", "W"}
+	start := sma.DateOf(2020, 1, 1)
 	for day := 0; day < 730; day++ {
 		for i := 0; i < 40; i++ {
-			t.SetInt32(0, tuple.DateFromYMD(2020, 1, 1)+int32(day))
-			t.SetChar(1, regions[(day+i)%len(regions)])
-			t.SetFloat64(2, float64(10+(day*7+i*13)%90))
-			if _, err := sales.Append(t); err != nil {
+			_, err := sales.Append(start.AddDays(day), regions[(day+i)%len(regions)],
+				float64(10+(day*7+i*13)%90))
+			if err != nil {
 				log.Fatal(err)
 			}
 		}
 	}
-	fmt.Printf("loaded %d pages of SALES\n", sales.Heap.NumPages())
+	fmt.Printf("loaded %d pages of SALES\n", sales.Pages())
 
-	// SMAs, defined exactly as in the paper (§2.1 / §2.3).
+	// SMAs, defined exactly as in the paper (§2.1 / §2.3), through the
+	// unified SQL entrypoint.
 	for _, ddl := range []string{
 		"define sma d_min select min(SALE_DATE) from SALES",
 		"define sma d_max select max(SALE_DATE) from SALES",
 		"define sma amt select sum(AMOUNT) from SALES group by REGION",
 		"define sma cnt select count(*) from SALES group by REGION",
 	} {
-		s, err := db.DefineSMA(ddl)
+		res, err := db.Exec(ddl)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("built %-6s -> %d SMA-file(s), %d page(s)\n", s.Def.Name, s.NumFiles(), s.PagesUsed())
+		fmt.Printf("built %-6s -> %d SMA-file(s), %d page(s)\n", res.SMAName, res.SMAFiles, res.SMAPages)
 	}
 
 	// A selective revenue query: the planner grades buckets with d_min/d_max
@@ -77,9 +77,24 @@ func main() {
 	}
 	fmt.Println("\nplan:\n" + plan.Explain())
 
-	res, err := db.Query(q)
+	// Stream the result with typed values: Next / Scan / Close, as with
+	// database/sql.
+	rows, err := db.QueryContext(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\n" + res.String())
+	defer rows.Close()
+	fmt.Printf("\ncolumns: %v\n", rows.Columns())
+	for rows.Next() {
+		var region string
+		var revenue float64
+		var n int64
+		if err := rows.Scan(&region, &revenue, &n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("region %s: revenue %.0f over %d sales\n", region, revenue, n)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
 }

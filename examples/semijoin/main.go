@@ -1,6 +1,10 @@
-// Semi-join SMAs (§4): "select R.* from R, S where R.A θ S.B" — associate
-// the minimax of S.B with the buckets of R and skip buckets that cannot
-// contain semi-join partners.
+// Semi-join SMAs (§4): "select R.* from R, S where R.A θ S.B" — compute
+// the minimax of S.B and fold it into a predicate on R.A, so R's min/max
+// SMAs skip buckets that cannot contain semi-join partners. The example
+// runs the whole reduction through the public sma API: the minimax bounds
+// come from a streaming aggregate query on S, the reduced predicate runs
+// as an ordinary SMA-graded query on R. (The lower-level per-bucket
+// machinery lives in internal/core; cmd/smabench -exp e10 measures it.)
 //
 //	go run ./examples/semijoin
 package main
@@ -9,16 +13,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
 	"time"
 
-	"sma/internal/core"
-	"sma/internal/exec"
-	"sma/internal/experiments"
-	"sma/internal/pred"
-	"sma/internal/storage"
+	"sma"
 	"sma/internal/tpcd"
-	"sma/internal/tuple"
 )
 
 func main() {
@@ -28,104 +26,116 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
+	db, err := sma.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
 	// R = LINEITEM, shipdate-sorted.
-	dm, err := storage.OpenDiskManager(filepath.Join(dir, "lineitem.tbl"))
+	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
+		log.Fatal(err)
+	}
+	lineitem, err := db.Table("LINEITEM")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer dm.Close()
-	pool := storage.NewBufferPool(dm, 2048)
-	lineitem, err := storage.NewHeapFile(pool, tpcd.LineItemSchema(), 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if _, err := tpcd.LoadLineItem(lineitem, tpcd.Config{ScaleFactor: 0.005, Seed: 3, Order: tpcd.OrderSorted}); err != nil {
-		log.Fatal(err)
+	items := tpcd.GenLineItems(tpcd.Config{ScaleFactor: 0.005, Seed: 3, Order: tpcd.OrderSorted})
+	for i := range items {
+		if _, err := lineitem.Append(items[i].Values()...); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// S = the orders of Q1 1992 (a narrow dimension-side subset).
-	sdm, err := storage.OpenDiskManager(filepath.Join(dir, "orders.tbl"))
+	if _, err := db.Exec(tpcd.OrdersDDL); err != nil {
+		log.Fatal(err)
+	}
+	orders, err := db.Table("ORDERS")
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer sdm.Close()
-	orders, err := storage.NewHeapFile(storage.NewBufferPool(sdm, 256), tpcd.OrdersSchema(), 1)
-	if err != nil {
-		log.Fatal(err)
-	}
-	cut := tuple.MustParseDate("1992-03-31")
-	ot := tuple.NewTuple(tpcd.OrdersSchema())
+	cut := sma.MustParseDate("1992-03-31")
 	kept := 0
 	for _, o := range tpcd.GenOrders(tpcd.Config{ScaleFactor: 0.005, Seed: 3}) {
-		if o.OrderDate <= cut {
-			o.FillTuple(ot)
-			if _, err := orders.Append(ot); err != nil {
+		if sma.Date(o.OrderDate) <= cut {
+			if _, err := orders.Append(o.Values()...); err != nil {
 				log.Fatal(err)
 			}
 			kept++
 		}
 	}
 	fmt.Printf("R = LINEITEM: %d buckets; S = ORDERS(Q1 1992): %d rows\n",
-		lineitem.NumBuckets(), kept)
+		lineitem.Buckets(), kept)
 
-	// Min/max SMAs on R.A and the minimax bounds of S.B.
-	mn, err := core.Build(lineitem, experiments.Q1SMADefs()[2])
-	if err != nil {
-		log.Fatal(err)
+	// Min/max SMAs on R.A.
+	for _, ddl := range []string{
+		"define sma min select min(L_SHIPDATE) from LINEITEM",
+		"define sma max select max(L_SHIPDATE) from LINEITEM",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			log.Fatal(err)
+		}
 	}
-	mx, err := core.Build(lineitem, experiments.Q1SMADefs()[1])
-	if err != nil {
-		log.Fatal(err)
-	}
-	jb, err := core.ComputeJoinBounds(orders, "O_ORDERDATE")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("minimax(S.B) = [%s, %s]\n",
-		tuple.FormatDate(int32(jb.Min)), tuple.FormatDate(int32(jb.Max)))
 
-	// Semi-join: lineitems shipped no later than some early order date.
-	grader := core.NewGrader(mn, mx)
-	pruned, matched := 0, 0
-	residual := core.SemiJoinPredicate("L_SHIPDATE", pred.Le, jb)
-	if err := residual.Bind(lineitem.Schema()); err != nil {
+	// The minimax of S.B, streamed from an aggregate query on S.
+	rows, err := db.Query("select min(O_ORDERDATE) as MN, max(O_ORDERDATE) as MX from ORDERS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var mn, mx int64
+	if !rows.Next() {
+		log.Fatal("no minimax row")
+	}
+	if err := rows.Scan(&mn, &mx); err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+	lo, hi := sma.Date(int32(mn)), sma.Date(int32(mx))
+	fmt.Printf("minimax(S.B) = [%s, %s]\n", lo, hi)
+
+	// Semi-join with θ = "<=": R qualifies iff R.A <= max(S.B), so the
+	// reduction is an ordinary predicate the selection SMAs can grade.
+	reduced := fmt.Sprintf("select count(*) from LINEITEM where L_SHIPDATE <= date '%s'", hi)
+	plan, err := db.Plan(reduced)
+	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
-	for b := 0; b < lineitem.NumBuckets(); b++ {
-		switch core.SemiJoinGrade(grader, b, "L_SHIPDATE", pred.Le, jb) {
-		case core.Disqualifies:
-			pruned++
-		case core.Qualifies:
-			if err := lineitem.ScanBucket(b, func(tuple.Tuple, storage.RID) error {
-				matched++
-				return nil
-			}); err != nil {
-				log.Fatal(err)
-			}
-		default:
-			if err := lineitem.ScanBucket(b, func(t tuple.Tuple, _ storage.RID) error {
-				if residual.Eval(t) {
-					matched++
-				}
-				return nil
-			}); err != nil {
-				log.Fatal(err)
-			}
-		}
-	}
+	matched := countOf(db, reduced)
 	smaTime := time.Since(start)
 
-	// Baseline: full scan with the residual predicate.
+	// Baseline: drop the SMAs and run the identical residual predicate as
+	// a full scan.
+	for _, name := range []string{"min", "max"} {
+		if _, err := db.Exec("drop sma " + name + " on LINEITEM"); err != nil {
+			log.Fatal(err)
+		}
+	}
 	start = time.Now()
-	baseline, err := exec.CollectTuples(exec.NewTableScan(lineitem, residual))
+	baseline := countOf(db, reduced)
+	scanTime := time.Since(start)
+
+	fmt.Printf("semi-join matches: %d (baseline %d)\n", matched, baseline)
+	fmt.Printf("buckets pruned without page access: %d / %d (%.1f%%)\n",
+		plan.Disqualifying, lineitem.Buckets(),
+		100*float64(plan.Disqualifying)/float64(lineitem.Buckets()))
+	fmt.Printf("time: SMA %v vs scan %v\n", smaTime.Round(time.Microsecond), scanTime.Round(time.Microsecond))
+}
+
+// countOf runs a single-aggregate count query and returns the value.
+func countOf(db *sma.DB, q string) int64 {
+	rows, err := db.Query(q)
 	if err != nil {
 		log.Fatal(err)
 	}
-	scanTime := time.Since(start)
-
-	fmt.Printf("semi-join matches: %d (baseline %d)\n", matched, len(baseline))
-	fmt.Printf("buckets pruned without page access: %d / %d (%.1f%%)\n",
-		pruned, lineitem.NumBuckets(), 100*float64(pruned)/float64(lineitem.NumBuckets()))
-	fmt.Printf("time: SMA %v vs scan %v\n", smaTime.Round(time.Microsecond), scanTime.Round(time.Microsecond))
+	defer rows.Close()
+	if !rows.Next() {
+		log.Fatal("no count row")
+	}
+	var n int64
+	if err := rows.Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	return n
 }

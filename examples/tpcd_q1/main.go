@@ -1,6 +1,8 @@
 // TPC-D Query 1, the paper's headline experiment (§2.3–2.4): generate
 // LINEITEM, define the eight SMAs of Fig. 4, and run the query verbatim
-// through the SMA-aware planner, comparing against the scan baseline.
+// through the SMA-aware planner, comparing against the scan baseline. The
+// example is pure public API (package sma); the internal tpcd package is
+// used only as a data generator.
 //
 //	go run ./examples/tpcd_q1 [-sf 0.01]
 package main
@@ -12,10 +14,8 @@ import (
 	"os"
 	"time"
 
-	"sma/internal/engine"
-	"sma/internal/experiments"
+	"sma"
 	"sma/internal/tpcd"
-	"sma/internal/tuple"
 )
 
 // query1 is Fig. 3 of the paper, verbatim (delta = 90).
@@ -34,6 +34,18 @@ WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY
 GROUP BY L_RETURNFLAG, L_LINESTATUS
 ORDER BY L_RETURNFLAG, L_LINESTATUS`
 
+// q1SMADDL is the paper's Fig. 4: eight SMA definitions (26 SMA-files).
+var q1SMADDL = []string{
+	"define sma count select count(*) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma max select max(L_SHIPDATE) from LINEITEM",
+	"define sma min select min(L_SHIPDATE) from LINEITEM",
+	"define sma qty select sum(L_QUANTITY) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma dis select sum(L_DISCOUNT) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma ext select sum(L_EXTENDEDPRICE) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma extdis select sum(L_EXTENDEDPRICE*(1-L_DISCOUNT)) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma extdistax select sum(L_EXTENDEDPRICE*(1-L_DISCOUNT)*(1+L_TAX)) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+}
+
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-D scale factor")
 	flag.Parse()
@@ -44,40 +56,40 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := engine.Open(dir, engine.Options{})
+	db, err := sma.Open(dir)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
 
-	li, err := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
+	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
+		log.Fatal(err)
+	}
+	li, err := db.Table("LINEITEM")
 	if err != nil {
 		log.Fatal(err)
 	}
 	start := time.Now()
 	items := tpcd.GenLineItems(tpcd.Config{ScaleFactor: *sf, Seed: 1998, Order: tpcd.OrderSorted})
-	t := tuple.NewTuple(li.Schema)
 	for i := range items {
-		items[i].FillTuple(t)
-		if _, err := li.Append(t); err != nil {
+		if _, err := li.Append(items[i].Values()...); err != nil {
 			log.Fatal(err)
 		}
 	}
 	fmt.Printf("loaded %d LINEITEM rows (%d pages, shipdate-sorted) in %v\n",
-		len(items), li.Heap.NumPages(), time.Since(start).Round(time.Millisecond))
+		len(items), li.Pages(), time.Since(start).Round(time.Millisecond))
 
-	// The eight SMA definitions of the paper's Fig. 4 (26 SMA-files).
 	start = time.Now()
 	var pages int64
-	for _, def := range experiments.Q1SMADefs() {
-		s, err := db.DefineSMADef(def)
+	for _, ddl := range q1SMADDL {
+		res, err := db.Exec(ddl)
 		if err != nil {
 			log.Fatal(err)
 		}
-		pages += s.PagesUsed()
+		pages += res.SMAPages
 	}
 	fmt.Printf("built 8 SMAs (%d pages, %.2f%% of the relation) in %v\n",
-		pages, 100*float64(pages)/float64(li.Heap.NumPages()),
+		pages, 100*float64(pages)/float64(li.Pages()),
 		time.Since(start).Round(time.Millisecond))
 
 	// Planner view: with SMAs the query becomes an SMA_GAggr.
@@ -88,7 +100,11 @@ func main() {
 	fmt.Println("\nplan:\n" + plan.Explain() + "\n")
 
 	start = time.Now()
-	res, err := db.Query(query1)
+	rows, err := db.Query(query1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sma.Collect(rows)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,21 +114,22 @@ func main() {
 	// Baseline: drop the selection SMAs so the planner falls back to the
 	// sequential scan, and run the identical query.
 	for _, name := range []string{"min", "max"} {
-		if err := db.DropSMA("LINEITEM", name); err != nil {
+		if _, err := db.Exec("drop sma " + name + " on LINEITEM"); err != nil {
 			log.Fatal(err)
 		}
 	}
-	plan, err = db.Plan(query1)
+	start = time.Now()
+	rows, err = db.Query(query1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	start = time.Now()
-	if _, err := db.Query(query1); err != nil {
+	base, err := sma.Collect(rows)
+	if err != nil {
 		log.Fatal(err)
 	}
 	noSMA := time.Since(start)
 	fmt.Printf("with SMAs: %v (%s)\nwithout selection SMAs: %v (%s)\nspeedup: %.0fx in-memory; with the paper's disk model two orders of magnitude (see cmd/smabench -exp e4)\n",
-		withSMA.Round(time.Microsecond), "SMA_GAggr",
-		noSMA.Round(time.Microsecond), plan.Strategy,
+		withSMA.Round(time.Microsecond), res.Strategy,
+		noSMA.Round(time.Microsecond), base.Strategy,
 		float64(noSMA)/float64(withSMA))
 }

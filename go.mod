@@ -1,0 +1,3 @@
+module sma
+
+go 1.22

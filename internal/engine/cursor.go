@@ -1,0 +1,249 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"sma/internal/exec"
+	"sma/internal/planner"
+	"sma/internal/tuple"
+)
+
+// ColInfo describes one output column of a streaming cursor.
+type ColInfo struct {
+	Name string
+	// Type is the value type produced for the column: TChar columns yield
+	// string, TDate columns int32 (days since 1970-01-01), TInt32/TInt64
+	// columns int64, TFloat64 columns float64. Aggregate columns always
+	// report TFloat64 and yield float64.
+	Type tuple.Type
+	// IsAgg marks aggregate output columns.
+	IsAgg bool
+}
+
+// Cursor is a streaming query result: it pulls rows one at a time from the
+// exec-layer iterator pipeline and holds the database read lock until
+// released. Rows carry typed values (see ColInfo), not rendered strings.
+//
+// The lock is released by Close, or automatically when the stream ends
+// (exhaustion or error). A Cursor is not safe for concurrent use.
+type Cursor struct {
+	db   *DB
+	plan *planner.Plan
+	cols []ColInfo
+
+	// Aggregation mode.
+	rows     exec.RowIter
+	groupPos []int // per select item: index into Row.Vals, -1 for aggregates
+
+	// Projection mode.
+	tuples exec.TupleIter
+	tupIdx []int // per select item: column index into the scan tuple
+
+	released bool
+	closed   bool
+}
+
+// newCursor builds and opens the iterator pipeline for a planned query.
+// The caller holds db.mu.RLock; on error the caller releases it.
+func newCursor(ctx context.Context, db *DB, plan *planner.Plan) (*Cursor, error) {
+	c := &Cursor{db: db, plan: plan}
+	t, err := db.table(plan.Query.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema
+	if plan.IsProjection() {
+		// The planner already validated the projection columns.
+		cols := plan.Query.ProjColumns(schema)
+		c.tupIdx = make([]int, len(cols))
+		for i, name := range cols {
+			j := schema.ColumnIndex(name)
+			c.tupIdx[i] = j
+			c.cols = append(c.cols, ColInfo{Name: name, Type: schema.Column(j).Type})
+		}
+		it, err := plan.TupleIterator(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if err := it.Open(); err != nil {
+			it.Close()
+			return nil, err
+		}
+		c.tuples = it
+		return c, nil
+	}
+
+	// Aggregation mode: column metadata follows the select list; group-by
+	// values are located by their position in the group key.
+	groupIdx := map[string]int{}
+	for i, g := range plan.Query.GroupBy {
+		groupIdx[strings.ToUpper(g)] = i
+	}
+	c.groupPos = make([]int, len(plan.Query.Items))
+	for i, it := range plan.Query.Items {
+		if it.IsAgg {
+			c.groupPos[i] = -1
+			c.cols = append(c.cols, ColInfo{Name: it.Agg.Name, Type: tuple.TFloat64, IsAgg: true})
+			continue
+		}
+		c.groupPos[i] = groupIdx[it.Col]
+		j := schema.ColumnIndex(it.Col)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in select list", it.Col)
+		}
+		c.cols = append(c.cols, ColInfo{Name: it.Col, Type: schema.Column(j).Type})
+	}
+	it, err := plan.RowIterator(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Open runs the aggregation (the operators are pipeline breakers); the
+	// context is checked every bucket/page, so cancellation aborts here.
+	if err := it.Open(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	c.rows = it
+	return c, nil
+}
+
+// Columns returns the output column metadata.
+func (c *Cursor) Columns() []ColInfo { return c.cols }
+
+// Plan returns the executed physical plan (diagnostics).
+func (c *Cursor) Plan() *planner.Plan { return c.plan }
+
+// Next returns the next result row as typed values (see ColInfo), or
+// ok=false at end of stream or on error. The returned slice is reused
+// across calls in projection mode only for its backing tuple memory — the
+// values themselves are plain Go scalars safe to retain. When the stream
+// ends (ok=false), the database read lock is released; Close afterwards is
+// a no-op.
+func (c *Cursor) Next() ([]any, bool, error) {
+	if c.released {
+		return nil, false, nil
+	}
+	if c.tuples != nil {
+		t, ok, err := c.tuples.Next()
+		if err != nil || !ok {
+			c.finish()
+			return nil, false, err
+		}
+		out := make([]any, len(c.tupIdx))
+		for i, j := range c.tupIdx {
+			out[i] = tupleValue(t, j)
+		}
+		return out, true, nil
+	}
+	r, ok, err := c.rows.Next()
+	if err != nil || !ok {
+		c.finish()
+		return nil, false, err
+	}
+	out := make([]any, len(c.cols))
+	for i, ci := range c.cols {
+		if ci.IsAgg {
+			continue // filled below, in aggregate order
+		}
+		gv := r.Vals[c.groupPos[i]]
+		if gv.IsStr {
+			out[i] = gv.Str
+			continue
+		}
+		switch ci.Type {
+		case tuple.TDate:
+			out[i] = int32(gv.Num)
+		case tuple.TInt32, tuple.TInt64:
+			out[i] = int64(gv.Num)
+		default:
+			out[i] = gv.Num
+		}
+	}
+	aggIdx := 0
+	for i, ci := range c.cols {
+		if ci.IsAgg {
+			out[i] = r.Aggs[aggIdx]
+			aggIdx++
+		}
+	}
+	return out, true, nil
+}
+
+// tupleValue extracts column j of a scan tuple as a typed Go value.
+func tupleValue(t tuple.Tuple, j int) any {
+	switch t.Schema.Column(j).Type {
+	case tuple.TChar:
+		return t.Char(j)
+	case tuple.TDate:
+		return t.Int32(j)
+	case tuple.TInt32:
+		return int64(t.Int32(j))
+	case tuple.TInt64:
+		return t.Int64(j)
+	default:
+		return t.Float64(j)
+	}
+}
+
+// finish closes the iterator and releases the read lock exactly once.
+func (c *Cursor) finish() {
+	if c.released {
+		return
+	}
+	c.released = true
+	if c.tuples != nil {
+		c.tuples.Close()
+	}
+	if c.rows != nil {
+		c.rows.Close()
+	}
+	c.db.mu.RUnlock()
+}
+
+// Close releases the cursor's resources and the database read lock. Close
+// is idempotent and safe after the stream has ended.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.finish()
+	return nil
+}
+
+// QueryContext parses, plans, and begins executing a SELECT, returning a
+// streaming cursor. The database read lock is held from here until the
+// cursor is closed (or exhausted), so concurrent DDL and data modification
+// cannot mutate SMA vectors mid-query. The context is threaded into the
+// scan operators and checked on every bucket/page: cancelling it makes
+// QueryContext (or a subsequent Next) fail with the context's error.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	db.mu.RLock()
+	ok := false
+	defer func() {
+		if !ok {
+			db.mu.RUnlock()
+		}
+	}()
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	plan, err := db.planLocked(sql)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := newCursor(ctx, db, plan)
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return cur, nil
+}

@@ -1,14 +1,16 @@
-// Package engine is the public face of the library: a small embedded
-// warehouse engine that owns the on-disk catalog, tables, and SMAs, and
-// runs SQL through the SMA-aware planner.
+// Package engine implements the embedded warehouse engine behind the
+// public root package sma: it owns the on-disk catalog, tables, and SMAs,
+// and runs SQL through the SMA-aware planner. External programs import the
+// root package sma; this package is the internal implementation layer the
+// public API delegates to.
 //
-// Typical use:
+// Typical (internal) use:
 //
 //	db, _ := engine.Open(dir, engine.Options{})
 //	tbl, _ := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
 //	... load tuples via tbl.Append ...
-//	db.DefineSMA("define sma min select min(L_SHIPDATE) from LINEITEM")
-//	res, _ := db.Query("select count(*) from LINEITEM where L_SHIPDATE <= date '1998-09-02'")
+//	db.ExecContext(ctx, "define sma min select min(L_SHIPDATE) from LINEITEM")
+//	cur, _ := db.QueryContext(ctx, "select count(*) from LINEITEM where L_SHIPDATE <= date '1998-09-02'")
 package engine
 
 import (
@@ -71,6 +73,7 @@ type DB struct {
 	opts   Options
 	tables map[string]*Table
 	pl     *planner.Planner
+	closed bool
 }
 
 // Open opens (or initializes) a database directory.
@@ -89,10 +92,16 @@ func Open(dir string, opts Options) (*DB, error) {
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Close flushes and closes every table, persisting delete vectors.
+// Close flushes and closes every table, persisting delete vectors. Close
+// is idempotent: a second call is a no-op and returns nil. Close blocks
+// until open streaming cursors release their read locks.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	var firstErr error
 	for _, t := range db.tables {
 		if err := t.pool.FlushAll(); err != nil && firstErr == nil {
@@ -108,6 +117,14 @@ func (db *DB) Close() error {
 		}
 	}
 	return firstErr
+}
+
+// checkOpen rejects operations on a closed database; callers hold db.mu.
+func (db *DB) checkOpen() error {
+	if db.closed {
+		return fmt.Errorf("engine: database is closed")
+	}
+	return nil
 }
 
 // deletePath returns the delete-vector sidecar path of a table.
@@ -161,6 +178,9 @@ func (db *DB) openTable(name string, schema *tuple.Schema, bucketPages int) (*Ta
 func (db *DB) CreateTable(name string, cols []tuple.Column) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	key := strings.ToUpper(name)
 	if _, exists := db.tables[key]; exists {
 		return nil, fmt.Errorf("engine: table %s already exists", key)
@@ -216,6 +236,9 @@ func (db *DB) tableNames() []string {
 func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	if err := t.db.checkOpen(); err != nil {
+		return storage.RID{}, err
+	}
 	rid, err := t.Heap.Append(tp)
 	if err != nil {
 		return rid, err
@@ -232,6 +255,9 @@ func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
 func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	if err := t.db.checkOpen(); err != nil {
+		return err
+	}
 	old, err := t.Heap.Get(rid)
 	if err != nil {
 		return err
@@ -252,6 +278,9 @@ func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
 func (t *Table) Delete(rid storage.RID) error {
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	if err := t.db.checkOpen(); err != nil {
+		return err
+	}
 	old, err := t.Heap.Delete(rid)
 	if err != nil {
 		return err
@@ -262,6 +291,26 @@ func (t *Table) Delete(rid storage.RID) error {
 		}
 	}
 	return nil
+}
+
+// Get reads the record at rid under the read lock. The returned tuple is
+// owned by the caller.
+func (t *Table) Get(rid storage.RID) (tuple.Tuple, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.Heap.Get(rid)
+}
+
+// VerifySMA recomputes one SMA from the heap and compares it against the
+// maintained state.
+func (t *Table) VerifySMA(name string) error {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	s, ok := t.smas[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("engine: no sma %s on %s", name, t.Name)
+	}
+	return s.Verify(t.Heap)
 }
 
 // SMAs returns the table's SMAs in name order.
@@ -305,6 +354,9 @@ func (db *DB) DefineSMA(ddl string) (*core.SMA, error) {
 func (db *DB) DefineSMADef(def core.Def) (*core.SMA, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
 	t, err := db.table(def.Table)
 	if err != nil {
 		return nil, err
@@ -330,6 +382,9 @@ func (db *DB) DefineSMADef(def core.Def) (*core.SMA, error) {
 func (db *DB) DropSMA(table, name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
 	t, err := db.table(table)
 	if err != nil {
 		return err

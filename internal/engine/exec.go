@@ -1,0 +1,121 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"sma/internal/core"
+	"sma/internal/parser"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// ExecResult reports the effect of a non-SELECT statement.
+type ExecResult struct {
+	// Kind names the executed statement: "define sma", "drop sma",
+	// "create table", or "delete".
+	Kind  string
+	Table string
+	// SMA is the built SMA for "define sma" statements.
+	SMA *core.SMA
+	// RowsAffected is the number of tuples removed by "delete".
+	RowsAffected int64
+}
+
+// ExecContext runs a DDL or DML statement through the unified SQL
+// entrypoint: "define sma", "drop sma", "create table", and "delete"
+// statements are dispatched to the corresponding engine operation. SELECT
+// statements are rejected — they stream through QueryContext.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	st, err := parser.ParseStatement(sql)
+	if err != nil {
+		return nil, err
+	}
+	switch s := st.(type) {
+	case *parser.SelectStmt:
+		return nil, fmt.Errorf("engine: SELECT statements stream; use QueryContext")
+	case *parser.DefineSMAStmt:
+		sma, err := db.DefineSMADef(s.Def)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "define sma", Table: s.Def.Table, SMA: sma}, nil
+	case *parser.DropSMAStmt:
+		if err := db.DropSMA(s.Table, s.Name); err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "drop sma", Table: s.Table}, nil
+	case *parser.CreateTableStmt:
+		if _, err := db.CreateTable(s.Table, s.Columns); err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "create table", Table: s.Table}, nil
+	case *parser.DeleteStmt:
+		n, err := db.deleteWhere(ctx, s.Table, s.Where)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "delete", Table: s.Table, RowsAffected: n}, nil
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+// deleteWhere removes every tuple matching the predicate (all tuples when
+// nil), maintaining the table's SMAs. It holds the write lock for the whole
+// operation; the context is checked at every page boundary of the
+// qualifying scan.
+func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return 0, err
+	}
+	t, err := db.table(table)
+	if err != nil {
+		return 0, err
+	}
+	if p != nil {
+		if err := p.Bind(t.Schema); err != nil {
+			return 0, err
+		}
+	}
+	var rids []storage.RID
+	lastPage, first := storage.PageID(0), true
+	err = t.Heap.Scan(func(tp tuple.Tuple, rid storage.RID) error {
+		if first || rid.Page != lastPage {
+			first, lastPage = false, rid.Page
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if p == nil || p.Eval(tp) {
+			rids = append(rids, rid)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var deleted int64
+	for _, rid := range rids {
+		old, err := t.Heap.Delete(rid)
+		if err != nil {
+			return deleted, err
+		}
+		for _, s := range t.smas {
+			if err := s.OnDelete(t.Heap, old, rid); err != nil {
+				return deleted, err
+			}
+		}
+		deleted++
+	}
+	return deleted, nil
+}

@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,6 +13,16 @@ import (
 	"sma/internal/expr"
 	"sma/internal/tuple"
 )
+
+// ctxErr reports the context's error, treating a nil context as
+// "never cancelled". The scan operators call it once per page or bucket so
+// long-running plans abort promptly without a per-tuple branch.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
 
 // TupleIter produces storage tuples.
 type TupleIter interface {

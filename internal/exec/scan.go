@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"sma/internal/pred"
 	"sma/internal/storage"
 	"sma/internal/tuple"
@@ -15,6 +17,9 @@ import (
 type TableScan struct {
 	H    *storage.HeapFile
 	Pred pred.Predicate // nil means no filter
+	// Ctx, when set, is checked before every page read so a cancelled
+	// query aborts mid-scan with the context's error.
+	Ctx context.Context
 
 	page storage.PageID
 	cur  *storage.PageCursor
@@ -57,6 +62,9 @@ func (s *TableScan) Next() (tuple.Tuple, bool, error) {
 		}
 		if int64(s.page) >= s.H.NumPages() {
 			return tuple.Tuple{}, false, nil
+		}
+		if err := ctxErr(s.Ctx); err != nil {
+			return tuple.Tuple{}, false, err
 		}
 		cur, err := s.H.OpenPage(s.page)
 		if err != nil {

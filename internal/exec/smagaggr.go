@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,6 +36,9 @@ type SMAGAggr struct {
 	// contain a count(*) and if averages are demanded by the query, we add
 	// it").
 	CountSMA *core.SMA
+	// Ctx, when set, is checked once per bucket during init() so a
+	// cancelled query aborts the aggregation pass with the context's error.
+	Ctx context.Context
 
 	schema *tuple.Schema
 	gx     *core.Extractor
@@ -156,6 +160,9 @@ func (g *SMAGAggr) Open() error {
 	g.stats = ScanStats{}
 	nb := g.H.NumBuckets()
 	for b := 0; b < nb; b++ {
+		if err := ctxErr(g.Ctx); err != nil {
+			return err
+		}
 		grade := core.Qualifies
 		if g.Pred != nil {
 			grade = g.Grader.Grade(b, g.Pred)

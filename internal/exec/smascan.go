@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+
 	"sma/internal/core"
 	"sma/internal/pred"
 	"sma/internal/storage"
@@ -22,6 +24,9 @@ type SMAScan struct {
 	H      *storage.HeapFile
 	Pred   pred.Predicate
 	Grader *core.Grader
+	// Ctx, when set, is checked before every page read so a cancelled
+	// query aborts mid-scan with the context's error.
+	Ctx context.Context
 
 	bucket    int // currBucketNo
 	numBucket int
@@ -113,6 +118,9 @@ func (s *SMAScan) Next() (tuple.Tuple, bool, error) {
 			s.cur = nil
 		}
 		if s.inBucket && s.page <= s.lastPage {
+			if err := ctxErr(s.Ctx); err != nil {
+				return tuple.Tuple{}, false, err
+			}
 			cur, err := s.H.OpenPage(s.page)
 			if err != nil {
 				return tuple.Tuple{}, false, err

@@ -23,12 +23,41 @@ type SelectItem struct {
 // Query is a parsed SELECT statement.
 type Query struct {
 	Items   []SelectItem
+	Star    bool // "select *": project every column
 	Table   string
 	Where   pred.Predicate // nil when absent
 	GroupBy []string
 	Having  []exec.RowCond // conjunctive conditions on output columns
 	OrderBy []string
 	Limit   int // -1 when absent
+}
+
+// IsProjection reports whether the query is a plain projection — no
+// aggregates and no grouping — so it streams tuples instead of
+// aggregation rows.
+func (q *Query) IsProjection() bool {
+	if q.Star {
+		return true
+	}
+	return len(q.GroupBy) == 0 && len(q.AggSpecs()) == 0
+}
+
+// ProjColumns resolves the projected column names: the select list, or
+// every schema column for "select *".
+func (q *Query) ProjColumns(s *tuple.Schema) []string {
+	if q.Star {
+		cols := s.Columns()
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			out[i] = strings.ToUpper(c.Name)
+		}
+		return out
+	}
+	out := make([]string, len(q.Items))
+	for i, it := range q.Items {
+		out[i] = it.Col
+	}
+	return out
 }
 
 // AggSpecs returns the aggregate specs of the select list, in order.
@@ -209,14 +238,18 @@ func ParseQuery(src string) (*Query, error) {
 		return nil, err
 	}
 	q := &Query{Limit: -1}
-	for {
-		item, err := p.parseSelectItem()
-		if err != nil {
-			return nil, err
-		}
-		q.Items = append(q.Items, item)
-		if !p.acceptSymbol(",") {
-			break
+	if p.acceptSymbol("*") {
+		q.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			q.Items = append(q.Items, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
 		}
 	}
 	if err := p.expectKeyword("from"); err != nil {
@@ -281,7 +314,21 @@ func ParseQuery(src string) (*Query, error) {
 	if !p.atEOF() {
 		return nil, fmt.Errorf("parser: trailing input %q at offset %d", p.peek().text, p.peek().pos)
 	}
-	// Bare select-list columns must appear in GROUP BY.
+	if q.Star {
+		if len(q.GroupBy) > 0 || len(q.Having) > 0 {
+			return nil, fmt.Errorf("parser: SELECT * cannot be combined with GROUP BY or HAVING")
+		}
+		return q, nil
+	}
+	if q.IsProjection() {
+		// A plain projection streams tuples; HAVING needs grouped rows.
+		if len(q.Having) > 0 {
+			return nil, fmt.Errorf("parser: HAVING requires aggregates or GROUP BY")
+		}
+		return q, nil
+	}
+	// In an aggregation query, bare select-list columns must appear in
+	// GROUP BY.
 	for _, it := range q.Items {
 		if !it.IsAgg {
 			found := false

@@ -164,8 +164,9 @@ func TestParseQueryErrors(t *testing.T) {
 		"select from T",
 		"select count(*) T",
 		"select sum(*) from T",                           // * only for count
-		"select X from T",                                // bare column without group by
 		"select X, count(*) from T group by Y",           // X not grouped
+		"select * from T group by A",                     // * cannot be grouped
+		"select X from T having X > 1",                   // HAVING needs aggregation
 		"select count(*) from T where A + 1 <= B",        // non-atomizable comparison
 		"select count(*) from T where A <= 'LONGSTR'",    // bad literal
 		"select count(*) from T order by A",              // order by without group by

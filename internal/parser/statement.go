@@ -1,0 +1,215 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sma/internal/core"
+	"sma/internal/pred"
+	"sma/internal/tuple"
+)
+
+// Statement is one parsed SQL statement. The engine's single SQL entrypoint
+// (ExecContext) dispatches on the concrete type.
+type Statement interface {
+	isStatement()
+}
+
+// SelectStmt wraps a SELECT query.
+type SelectStmt struct {
+	Query *Query
+}
+
+// DefineSMAStmt is the paper's "define sma" DDL.
+type DefineSMAStmt struct {
+	Def core.Def
+}
+
+// DropSMAStmt removes an SMA: "drop sma <name> on <table>".
+type DropSMAStmt struct {
+	Table string
+	Name  string
+}
+
+// CreateTableStmt creates a table:
+// "create table T (A date, B char(1), C float64, D int64)".
+type CreateTableStmt struct {
+	Table   string
+	Columns []tuple.Column
+}
+
+// DeleteStmt deletes tuples: "delete from T [where <pred>]".
+type DeleteStmt struct {
+	Table string
+	Where pred.Predicate // nil deletes every tuple
+}
+
+func (*SelectStmt) isStatement()      {}
+func (*DefineSMAStmt) isStatement()   {}
+func (*DropSMAStmt) isStatement()     {}
+func (*CreateTableStmt) isStatement() {}
+func (*DeleteStmt) isStatement()      {}
+
+// ParseStatement parses any supported SQL statement, dispatching on the
+// leading keyword: SELECT, DEFINE SMA, DROP SMA, CREATE TABLE, DELETE.
+func ParseStatement(src string) (Statement, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.isKeyword("select"):
+		q, err := ParseQuery(src)
+		if err != nil {
+			return nil, err
+		}
+		return &SelectStmt{Query: q}, nil
+	case p.isKeyword("define"):
+		def, err := ParseSMADef(src)
+		if err != nil {
+			return nil, err
+		}
+		return &DefineSMAStmt{Def: def}, nil
+	case p.isKeyword("drop"):
+		return p.parseDropSMA()
+	case p.isKeyword("create"):
+		return p.parseCreateTable()
+	case p.isKeyword("delete"):
+		return p.parseDelete()
+	default:
+		return nil, fmt.Errorf("parser: expected SELECT, DEFINE SMA, DROP SMA, CREATE TABLE or DELETE, found %q", p.peek().text)
+	}
+}
+
+// parseDropSMA parses "drop sma <name> on <table>".
+func (p *parser) parseDropSMA() (Statement, error) {
+	if err := p.expectKeyword("drop"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("sma"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return &DropSMAStmt{Table: table, Name: strings.ToLower(name)}, nil
+}
+
+// parseCreateTable parses "create table <name> ( col type [, ...] )".
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectKeyword("create"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []tuple.Column
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return &CreateTableStmt{Table: strings.ToUpper(name), Columns: cols}, nil
+}
+
+// parseColumnDef parses "name type", where type is one of int32 (int,
+// integer), int64 (bigint), float64 (float, double), date, or char(n).
+func (p *parser) parseColumnDef() (tuple.Column, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return tuple.Column{}, err
+	}
+	typName, err := p.expectIdent()
+	if err != nil {
+		return tuple.Column{}, err
+	}
+	col := tuple.Column{Name: strings.ToUpper(name)}
+	switch strings.ToLower(typName) {
+	case "int32", "int", "integer":
+		col.Type = tuple.TInt32
+	case "int64", "bigint":
+		col.Type = tuple.TInt64
+	case "float64", "float", "double":
+		col.Type = tuple.TFloat64
+	case "date":
+		col.Type = tuple.TDate
+	case "char":
+		col.Type = tuple.TChar
+		if err := p.expectSymbol("("); err != nil {
+			return tuple.Column{}, err
+		}
+		t := p.peek()
+		if t.kind != tokNumber {
+			return tuple.Column{}, fmt.Errorf("parser: char length must be a number at offset %d", t.pos)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return tuple.Column{}, fmt.Errorf("parser: bad char length %q", t.text)
+		}
+		col.Len = n
+		if err := p.expectSymbol(")"); err != nil {
+			return tuple.Column{}, err
+		}
+	default:
+		return tuple.Column{}, fmt.Errorf("parser: unknown column type %q (want int32, int64, float64, date, char(n))", typName)
+	}
+	return col, nil
+}
+
+// parseDelete parses "delete from <table> [where <pred>]".
+func (p *parser) parseDelete() (Statement, error) {
+	if err := p.expectKeyword("delete"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &DeleteStmt{Table: strings.ToUpper(table)}
+	if p.acceptKeyword("where") {
+		if st.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return st, nil
+}

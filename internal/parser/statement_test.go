@@ -1,0 +1,163 @@
+package parser
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/tuple"
+)
+
+// TestParseStatementDispatch: every statement kind routes to its node type.
+func TestParseStatementDispatch(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"select count(*) from T", "select"},
+		{"define sma m select min(A) from T", "define"},
+		{"drop sma m on T", "drop"},
+		{"create table T (A date, B char(3), C float64)", "create"},
+		{"delete from T where A <= 5", "delete"},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		var got string
+		switch st.(type) {
+		case *SelectStmt:
+			got = "select"
+		case *DefineSMAStmt:
+			got = "define"
+		case *DropSMAStmt:
+			got = "drop"
+		case *CreateTableStmt:
+			got = "create"
+		case *DeleteStmt:
+			got = "delete"
+		}
+		if got != c.want {
+			t.Errorf("%q parsed as %T", c.src, st)
+		}
+	}
+}
+
+// TestParseCreateTable: column types and char lengths round-trip.
+func TestParseCreateTable(t *testing.T) {
+	st, err := ParseStatement("create table SALES (SALE_DATE date, REGION char(2), AMOUNT float64, UNITS int64, STORE int32)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTableStmt)
+	if ct.Table != "SALES" {
+		t.Errorf("table = %q", ct.Table)
+	}
+	want := []tuple.Column{
+		{Name: "SALE_DATE", Type: tuple.TDate},
+		{Name: "REGION", Type: tuple.TChar, Len: 2},
+		{Name: "AMOUNT", Type: tuple.TFloat64},
+		{Name: "UNITS", Type: tuple.TInt64},
+		{Name: "STORE", Type: tuple.TInt32},
+	}
+	if len(ct.Columns) != len(want) {
+		t.Fatalf("%d columns", len(ct.Columns))
+	}
+	for i, c := range ct.Columns {
+		if c.Name != want[i].Name || c.Type != want[i].Type || c.Len != want[i].Len {
+			t.Errorf("col %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+}
+
+// TestParseDropSMA: name is normalized to lower case like SMA definitions.
+func TestParseDropSMA(t *testing.T) {
+	st, err := ParseStatement("drop sma MIN on LINEITEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := st.(*DropSMAStmt)
+	if ds.Name != "min" || ds.Table != "LINEITEM" {
+		t.Errorf("drop = %+v", ds)
+	}
+}
+
+// TestParseDelete: optional WHERE clause.
+func TestParseDelete(t *testing.T) {
+	st, err := ParseStatement("delete from SALES where SALE_DATE <= date '2020-06-30'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	de := st.(*DeleteStmt)
+	if de.Table != "SALES" || de.Where == nil {
+		t.Errorf("delete = %+v", de)
+	}
+	st, err = ParseStatement("delete from SALES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*DeleteStmt).Where != nil {
+		t.Errorf("bare delete should have nil predicate")
+	}
+}
+
+// TestParseDefineSMAStatement: the define path yields the same Def as
+// ParseSMADef.
+func TestParseDefineSMAStatement(t *testing.T) {
+	st, err := ParseStatement("define sma cnt select count(*) from SALES group by REGION")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := st.(*DefineSMAStmt).Def
+	if def.Name != "cnt" || def.Agg != core.Count || len(def.GroupBy) != 1 {
+		t.Errorf("def = %+v", def)
+	}
+}
+
+// TestParseProjection: bare-column and star selects parse as projections.
+func TestParseProjection(t *testing.T) {
+	q, err := ParseQuery("select A, B from T where A <= 5 limit 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsProjection() || len(q.Items) != 2 || q.Limit != 10 {
+		t.Errorf("projection = %+v", q)
+	}
+	q, err = ParseQuery("select * from T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Star || !q.IsProjection() {
+		t.Errorf("star = %+v", q)
+	}
+	// An aggregation query is not a projection.
+	q, err = ParseQuery("select count(*) from T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsProjection() {
+		t.Errorf("aggregate query classified as projection")
+	}
+}
+
+// TestParseStatementErrors: malformed statements are rejected.
+func TestParseStatementErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"insert into T values (1)",
+		"drop sma m",                   // missing ON table
+		"create table T ()",            // no columns
+		"create table T (A varchar)",   // unknown type
+		"create table T (A char)",      // char without length
+		"create table T (A char(0))",   // bad length
+		"delete T",                     // missing FROM
+		"delete from T where A ~ 1",    // bad operator
+		"drop sma m on T junk",         // trailing tokens
+		"create table T (A date) junk", // trailing tokens
+	}
+	for _, src := range cases {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}

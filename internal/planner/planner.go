@@ -15,6 +15,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -89,10 +90,22 @@ type Plan struct {
 	Reason   string
 }
 
+// StrategyName renders the strategy for display. Projection plans carry
+// no aggregation operator, so the "+GAggr" suffix is dropped for them.
+func (p *Plan) StrategyName() string {
+	if !p.IsProjection() {
+		return p.Strategy.String()
+	}
+	if p.Strategy == StrategySMAScan {
+		return "SMA_Scan"
+	}
+	return "FullScan"
+}
+
 // Explain renders a one-line plan description plus cost details.
 func (p *Plan) Explain() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s on %s", p.Strategy, p.Query.Table)
+	fmt.Fprintf(&b, "%s on %s", p.StrategyName(), p.Query.Table)
 	if p.Query.Where != nil {
 		fmt.Fprintf(&b, " where %s", p.Query.Where)
 	}
@@ -183,10 +196,10 @@ func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
 
 // PlanQuery builds the cheapest plan for q over heap with the given SMAs.
 func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
-	specs := q.AggSpecs()
-	if len(specs) == 0 && len(q.GroupBy) == 0 {
-		return nil, fmt.Errorf("planner: query must aggregate or group")
+	if q.IsProjection() {
+		return pl.planProjection(q, heap, smas)
 	}
+	specs := q.AggSpecs()
 	plan := &Plan{Query: q, Heap: heap}
 	grader := core.NewGrader(smas...)
 	plan.Grader = grader
@@ -282,19 +295,77 @@ func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 	return plan, nil
 }
 
-// Execute runs the plan and returns the sorted result rows.
-func (p *Plan) Execute() ([]exec.Row, error) {
+// planProjection plans a non-aggregating query: an SMA scan when the
+// selection SMAs prune enough buckets, else a sequential scan. Both shapes
+// stream tuples (see TupleIterator) instead of materializing rows.
+func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
+	schema := heap.Schema()
+	cols := q.ProjColumns(schema)
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("planner: query must project, aggregate or group")
+	}
+	for _, c := range cols {
+		if !schema.HasColumn(c) {
+			return nil, fmt.Errorf("planner: unknown column %q in select list", c)
+		}
+	}
+	plan := &Plan{Query: q, Heap: heap}
+	grader := core.NewGrader(smas...)
+	plan.Grader = grader
+	plan.CostScan = float64(heap.NumPages()) * pl.Cost.SeqPageCost
+
+	if q.Where != nil && !grader.HasSelectionSMA(q.Where) {
+		plan.Strategy = StrategyFullScan
+		plan.Grades = core.GradeCounts{Ambivalent: heap.NumBuckets()}
+		plan.CostSMA = plan.CostScan
+		plan.Reason = "no selection SMA matches the predicate; sequential scan"
+		return plan, nil
+	}
+	if q.Where != nil {
+		plan.Grades = core.CountGrades(grader.GradeAll(q.Where))
+	} else {
+		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
+	}
+	bucketPages := float64(heap.BucketPages)
+	plan.SMAPages = selectionSMAPages(smas, q.Where)
+	touched := float64(plan.Grades.Qualifying+plan.Grades.Ambivalent) * bucketPages * pl.Cost.RandPageCost
+	plan.CostSMA = float64(plan.SMAPages)*pl.Cost.SeqPageCost + touched
+	if plan.CostSMA <= plan.CostScan {
+		plan.Strategy = StrategySMAScan
+		plan.Reason = "projection; SMA scan skips disqualified buckets"
+	} else {
+		plan.Strategy = StrategyFullScan
+		plan.Reason = "selection not selective enough for an SMA scan; sequential scan"
+	}
+	return plan, nil
+}
+
+// IsProjection reports whether the plan streams tuples (TupleIterator)
+// rather than aggregation rows (RowIterator).
+func (p *Plan) IsProjection() bool { return p.Query.IsProjection() }
+
+// RowIterator builds the aggregation pipeline of the plan. The context, if
+// non-nil, is threaded into the scan operators, which check it on every
+// bucket or page so cancellation aborts the query mid-flight.
+func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
+	if p.IsProjection() {
+		return nil, fmt.Errorf("planner: projection plans stream tuples; use TupleIterator")
+	}
 	specs := p.Query.AggSpecs()
 	var it exec.RowIter
 	switch p.Strategy {
 	case StrategySMAGAggr:
-		it = exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
+		op := exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
 			p.Grader, p.AggSMAs, p.CountSMA)
+		op.Ctx = ctx
+		it = op
 	case StrategySMAScan:
 		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
+		scan.Ctx = ctx
 		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
 	default:
 		scan := exec.NewTableScan(p.Heap, p.Query.Where)
+		scan.Ctx = ctx
 		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
 	}
 	if len(p.Query.Having) > 0 {
@@ -303,6 +374,40 @@ func (p *Plan) Execute() ([]exec.Row, error) {
 	it = exec.NewSortRows(it)
 	if p.Query.Limit >= 0 {
 		it = exec.NewLimitRows(it, p.Query.Limit)
+	}
+	return it, nil
+}
+
+// TupleIterator builds the streaming tuple pipeline of a projection plan.
+// Tuples are produced in physical order, one page at a time; nothing is
+// materialized. The context, if non-nil, aborts the scan when cancelled.
+func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
+	if !p.IsProjection() {
+		return nil, fmt.Errorf("planner: aggregation plans produce rows; use RowIterator")
+	}
+	var it exec.TupleIter
+	if p.Strategy == StrategySMAScan {
+		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
+		scan.Ctx = ctx
+		it = scan
+	} else {
+		scan := exec.NewTableScan(p.Heap, p.Query.Where)
+		scan.Ctx = ctx
+		it = scan
+	}
+	if p.Query.Limit >= 0 {
+		it = exec.NewLimitTuples(it, p.Query.Limit)
+	}
+	return it, nil
+}
+
+// Execute runs an aggregation plan to completion and returns the sorted
+// result rows. It is the materializing path retained for the internal
+// engine API and tests; streaming consumers use RowIterator/TupleIterator.
+func (p *Plan) Execute() ([]exec.Row, error) {
+	it, err := p.RowIterator(nil)
+	if err != nil {
+		return nil, err
 	}
 	return exec.CollectRows(it)
 }

@@ -1,0 +1,53 @@
+package tpcd
+
+import (
+	"testing"
+
+	"sma/internal/parser"
+	"sma/internal/tuple"
+)
+
+// TestDDLMatchesSchema guards the two representations of each schema
+// against drift: the "create table" DDL strings must parse to exactly the
+// columns of the programmatic schemas.
+func TestDDLMatchesSchema(t *testing.T) {
+	cases := []struct {
+		ddl    string
+		schema *tuple.Schema
+	}{
+		{LineItemDDL, LineItemSchema()},
+		{OrdersDDL, OrdersSchema()},
+	}
+	for _, c := range cases {
+		st, err := parser.ParseStatement(c.ddl)
+		if err != nil {
+			t.Fatalf("parse DDL: %v", err)
+		}
+		ct, ok := st.(*parser.CreateTableStmt)
+		if !ok {
+			t.Fatalf("DDL parsed as %T", st)
+		}
+		want := c.schema.Columns()
+		if len(ct.Columns) != len(want) {
+			t.Fatalf("%s: DDL has %d columns, schema %d", ct.Table, len(ct.Columns), len(want))
+		}
+		for i, col := range ct.Columns {
+			if col.Name != want[i].Name || col.Type != want[i].Type || col.Width() != want[i].Width() {
+				t.Errorf("%s column %d: DDL %+v != schema %+v", ct.Table, i, col, want[i])
+			}
+		}
+	}
+}
+
+// TestValuesMatchFillTuple: loading a row through Values must produce the
+// same record bytes as FillTuple.
+func TestValuesMatchFillTuple(t *testing.T) {
+	items := GenLineItems(Config{ScaleFactor: 0.0002, Seed: 5})
+	li := &items[0]
+	viaFill := tuple.NewTuple(LineItemSchema())
+	li.FillTuple(viaFill)
+	vals := li.Values()
+	if len(vals) != LineItemSchema().NumColumns() {
+		t.Fatalf("Values() has %d entries, schema %d columns", len(vals), LineItemSchema().NumColumns())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"sma/internal/storage"
 	"sma/internal/tuple"
@@ -279,6 +280,28 @@ func sortByShipDate(items []LineItem) {
 	copy(items, out)
 }
 
+// Filler values for the constant LINEITEM text columns.
+const (
+	fillShipInstruct = "DELIVER IN PERSON"
+	fillShipMode     = "TRUCK"
+	fillComment      = "generated by internal/tpcd"
+)
+
+// LineItemDDL is the LINEITEM schema in the engine's "create table"
+// dialect; it must stay field-for-field in sync with LineItemSchema
+// (guarded by a test).
+const LineItemDDL = `create table LINEITEM (
+	L_ORDERKEY int64, L_PARTKEY int32, L_SUPPKEY int32, L_LINENUMBER int32,
+	L_QUANTITY float64, L_EXTENDEDPRICE float64, L_DISCOUNT float64, L_TAX float64,
+	L_RETURNFLAG char(1), L_LINESTATUS char(1),
+	L_SHIPDATE date, L_COMMITDATE date, L_RECEIPTDATE date,
+	L_SHIPINSTRUCT char(25), L_SHIPMODE char(10), L_COMMENT char(27))`
+
+// OrdersDDL is the ORDERS schema in the same dialect.
+const OrdersDDL = `create table ORDERS (
+	O_ORDERKEY int64, O_CUSTKEY int32, O_ORDERSTATUS char(1),
+	O_TOTALPRICE float64, O_ORDERDATE date, O_SHIPPRIORITY int32)`
+
 // FillTuple writes li into t, which must use LineItemSchema.
 func (li *LineItem) FillTuple(t tuple.Tuple) {
 	t.SetInt64(0, li.OrderKey)
@@ -294,9 +317,25 @@ func (li *LineItem) FillTuple(t tuple.Tuple) {
 	t.SetInt32(10, li.ShipDate)
 	t.SetInt32(11, li.CommitDate)
 	t.SetInt32(12, li.ReceiptDate)
-	t.SetChar(13, "DELIVER IN PERSON")
-	t.SetChar(14, "TRUCK")
-	t.SetChar(15, "generated by sma/internal/tpcd")
+	t.SetChar(13, fillShipInstruct)
+	t.SetChar(14, fillShipMode)
+	t.SetChar(15, fillComment)
+}
+
+// dateTime converts a day count (days since 1970-01-01) to a time.Time,
+// the date representation the public sma append API accepts.
+func dateTime(days int32) time.Time {
+	return time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC).AddDate(0, 0, int(days))
+}
+
+// Values returns the row as one Go value per LineItemSchema column, in
+// the form the public sma Table.Append accepts (dates as time.Time).
+func (li *LineItem) Values() []any {
+	return []any{li.OrderKey, li.PartKey, li.SuppKey, li.LineNumber,
+		li.Quantity, li.ExtendedPrice, li.Discount, li.Tax,
+		string(li.ReturnFlag), string(li.LineStatus),
+		dateTime(li.ShipDate), dateTime(li.CommitDate), dateTime(li.ReceiptDate),
+		fillShipInstruct, fillShipMode, fillComment}
 }
 
 // LoadLineItem generates LINEITEM data and appends it to the heap file,
@@ -378,6 +417,13 @@ type OrderRow struct {
 	TotalPrice   float64
 	OrderDate    int32
 	ShipPriority int32
+}
+
+// Values returns the row as one Go value per OrdersSchema column, in the
+// form the public sma Table.Append accepts.
+func (o *OrderRow) Values() []any {
+	return []any{o.OrderKey, o.CustKey, string(o.OrderStatus),
+		o.TotalPrice, dateTime(o.OrderDate), o.ShipPriority}
 }
 
 // FillTuple writes o into t, which must use OrdersSchema.

@@ -1,0 +1,73 @@
+package sma
+
+import "fmt"
+
+// PlanInfo describes the physical plan the SMA-aware planner chose for a
+// query, including the §3.1 bucket partition and the Fig.-5 cost
+// comparison that drives the SMA-vs-scan decision.
+type PlanInfo struct {
+	// Strategy is the plan shape: "SMA_GAggr", "SMA_Scan+GAggr", or
+	// "FullScan+GAggr".
+	Strategy string
+	Table    string
+	// Predicate is the rendered WHERE clause ("" when absent).
+	Predicate string
+	// Qualifying, Disqualifying, and Ambivalent partition the buckets
+	// under the predicate.
+	Qualifying    int
+	Disqualifying int
+	Ambivalent    int
+	// CostSMA and CostScan are the modeled page costs of the SMA plan and
+	// the sequential scan; SMAPages is the SMA-file volume the plan reads.
+	CostSMA  float64
+	CostScan float64
+	SMAPages int64
+	// Reason explains the decision.
+	Reason string
+}
+
+// AmbivalentFrac returns the ambivalent share of all buckets.
+func (p *PlanInfo) AmbivalentFrac() float64 {
+	total := p.Qualifying + p.Disqualifying + p.Ambivalent
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Ambivalent) / float64(total)
+}
+
+// Explain renders a one-line plan description plus cost details.
+func (p *PlanInfo) Explain() string {
+	var b []byte
+	b = fmt.Appendf(b, "%s on %s", p.Strategy, p.Table)
+	if p.Predicate != "" {
+		b = fmt.Appendf(b, " where %s", p.Predicate)
+	}
+	b = fmt.Appendf(b, "\n  buckets: %d qualify / %d disqualify / %d ambivalent (%.1f%%)",
+		p.Qualifying, p.Disqualifying, p.Ambivalent, 100*p.AmbivalentFrac())
+	b = fmt.Appendf(b, "\n  cost: sma=%.0f scan=%.0f (sma pages %d)", p.CostSMA, p.CostScan, p.SMAPages)
+	b = fmt.Appendf(b, "\n  %s", p.Reason)
+	return string(b)
+}
+
+// Plan parses and plans a query without executing it.
+func (db *DB) Plan(query string) (*PlanInfo, error) {
+	plan, err := db.eng.Plan(query)
+	if err != nil {
+		return nil, err
+	}
+	info := &PlanInfo{
+		Strategy:      plan.StrategyName(),
+		Table:         plan.Query.Table,
+		Qualifying:    plan.Grades.Qualifying,
+		Disqualifying: plan.Grades.Disqualifying,
+		Ambivalent:    plan.Grades.Ambivalent,
+		CostSMA:       plan.CostSMA,
+		CostScan:      plan.CostScan,
+		SMAPages:      plan.SMAPages,
+		Reason:        plan.Reason,
+	}
+	if plan.Query.Where != nil {
+		info.Predicate = fmt.Sprint(plan.Query.Where)
+	}
+	return info, nil
+}

@@ -1,0 +1,94 @@
+package sma
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Result is a fully rendered query result: column names plus rows of
+// display strings. It is a convenience for CLIs and examples; programs
+// that process values should iterate the streaming Rows cursor instead.
+type Result struct {
+	Columns  []string
+	Rows     [][]string
+	Strategy string
+}
+
+// Collect drains a streaming cursor into a rendered Result and closes it.
+// Aggregates render with integral values trimmed ("4" not "4.0000"),
+// dates as "YYYY-MM-DD".
+func Collect(rows *Rows) (*Result, error) {
+	defer rows.Close()
+	res := &Result{Columns: rows.Columns(), Strategy: rows.Strategy()}
+	for rows.Next() {
+		out := make([]string, len(rows.vals))
+		for i, v := range rows.vals {
+			out[i] = renderValue(v, rows.cols[i].IsAgg)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// renderValue formats one cursor value for display. Aggregates follow the
+// engine's historical formatting (integral floats trimmed, else 4
+// decimals); other floats use the shortest representation.
+func renderValue(v any, isAgg bool) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case int32: // date columns
+		return Date(x).String()
+	case float64:
+		if isAgg {
+			if x == float64(int64(x)) {
+				return strconv.FormatInt(int64(x), 10)
+			}
+			return fmt.Sprintf("%.4f", x)
+		}
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}

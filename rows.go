@@ -1,0 +1,182 @@
+package sma
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sma/internal/engine"
+)
+
+// Rows is a streaming query cursor in the style of database/sql: call Next
+// until it returns false, Scan inside the loop, then check Err and Close.
+// Rows pulls from the exec-layer iterator pipeline one row at a time; the
+// full result is never materialized by the cursor. The database read lock
+// is held while the cursor is open and released by Close or when the
+// stream ends.
+type Rows struct {
+	cur  *engine.Cursor
+	cols []engine.ColInfo
+	vals []any
+	err  error
+	done bool
+}
+
+// Columns returns the output column names in select-list order.
+func (r *Rows) Columns() []string {
+	out := make([]string, len(r.cols))
+	for i, c := range r.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ColumnTypes returns the value type of each output column. Aggregate
+// columns are TypeFloat64.
+func (r *Rows) ColumnTypes() []ColumnType {
+	out := make([]ColumnType, len(r.cols))
+	for i, c := range r.cols {
+		if c.IsAgg {
+			out[i] = TypeFloat64
+		} else {
+			out[i] = fromTupleType(c.Type)
+		}
+	}
+	return out
+}
+
+// Strategy names the physical plan executing the query (diagnostics).
+func (r *Rows) Strategy() string { return r.cur.Plan().StrategyName() }
+
+// Next advances to the next row, returning false at end of stream or on
+// error (check Err to tell them apart). When Next returns false the read
+// lock has been released.
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	vals, ok, err := r.cur.Next()
+	if err != nil {
+		r.err = err
+		r.done = true
+		return false
+	}
+	if !ok {
+		r.done = true
+		return false
+	}
+	r.vals = vals
+	return true
+}
+
+// Err returns the error that terminated iteration, if any. A query
+// cancelled via its context reports context.Canceled (or
+// context.DeadlineExceeded).
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the cursor and the database read lock. Close is
+// idempotent and safe after the stream has ended.
+func (r *Rows) Close() error { return r.cur.Close() }
+
+// Scan copies the current row into dest, one pointer per column. Supported
+// destinations per value type:
+//
+//	int64 columns:   *int64, *int, *int32 (in range), *float64, *any
+//	float64 columns: *float64, *int64 (integral values only), *any
+//	string columns:  *string, *any
+//	date columns:    *Date, *time.Time, *string ("YYYY-MM-DD"), *any (Date)
+func (r *Rows) Scan(dest ...any) error {
+	if r.vals == nil {
+		return fmt.Errorf("sma: Scan called without a successful Next")
+	}
+	if len(dest) != len(r.vals) {
+		return fmt.Errorf("sma: Scan expected %d destinations, got %d", len(r.vals), len(dest))
+	}
+	for i, v := range r.vals {
+		if err := scanValue(dest[i], v); err != nil {
+			return fmt.Errorf("sma: column %s: %w", r.cols[i].Name, err)
+		}
+	}
+	return nil
+}
+
+// Values returns the current row as typed values: int64, float64, string,
+// or Date per column. The slice is freshly allocated each call.
+func (r *Rows) Values() ([]any, error) {
+	if r.vals == nil {
+		return nil, fmt.Errorf("sma: Values called without a successful Next")
+	}
+	out := make([]any, len(r.vals))
+	for i, v := range r.vals {
+		if d, ok := v.(int32); ok {
+			out[i] = Date(d)
+		} else {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// scanValue converts one cursor value (int64/float64/string/int32-date)
+// into the destination pointer.
+func scanValue(dest, v any) error {
+	switch src := v.(type) {
+	case int64:
+		switch d := dest.(type) {
+		case *int64:
+			*d = src
+		case *int:
+			*d = int(src)
+		case *int32:
+			if src < math.MinInt32 || src > math.MaxInt32 {
+				return fmt.Errorf("value %d overflows *int32", src)
+			}
+			*d = int32(src)
+		case *float64:
+			*d = float64(src)
+		case *any:
+			*d = src
+		default:
+			return fmt.Errorf("cannot scan int64 into %T", dest)
+		}
+	case float64:
+		switch d := dest.(type) {
+		case *float64:
+			*d = src
+		case *int64:
+			if src != float64(int64(src)) {
+				return fmt.Errorf("cannot scan non-integral %v into *int64", src)
+			}
+			*d = int64(src)
+		case *any:
+			*d = src
+		default:
+			return fmt.Errorf("cannot scan float64 into %T", dest)
+		}
+	case string:
+		switch d := dest.(type) {
+		case *string:
+			*d = src
+		case *any:
+			*d = src
+		default:
+			return fmt.Errorf("cannot scan string into %T", dest)
+		}
+	case int32: // date columns
+		switch d := dest.(type) {
+		case *Date:
+			*d = Date(src)
+		case *time.Time:
+			*d = Date(src).Time()
+		case *string:
+			*d = Date(src).String()
+		case *any:
+			*d = Date(src)
+		default:
+			return fmt.Errorf("cannot scan date into %T", dest)
+		}
+	default:
+		return fmt.Errorf("unsupported cursor value %T", v)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package sma is the public face of the library: an embedded warehouse
+// engine built on Small Materialized Aggregates (Moerkotte, VLDB '98).
+// It owns an on-disk catalog, tables, and SMAs, and runs SQL through an
+// SMA-aware planner that answers selective aggregate queries mostly from
+// the SMA-files instead of the relation's pages.
+//
+// Typical use:
+//
+//	db, _ := sma.Open(dir)
+//	defer db.Close()
+//	db.Exec(`create table SALES (SALE_DATE date, REGION char(1), AMOUNT float64)`)
+//	tbl, _ := db.Table("SALES")
+//	tbl.Append(sma.DateOf(2020, 1, 2), "N", 129.95)
+//	db.Exec(`define sma amt select sum(AMOUNT) from SALES group by REGION`)
+//	rows, _ := db.QueryContext(ctx, `select REGION, sum(AMOUNT) as REV from SALES
+//	    where SALE_DATE <= date '2020-03-31' group by REGION`)
+//	defer rows.Close()
+//	for rows.Next() {
+//	    var region string
+//	    var rev float64
+//	    rows.Scan(&region, &rev)
+//	}
+//
+// Queries stream: QueryContext returns a cursor that pulls from the
+// exec-layer iterator pipeline one row at a time, carrying typed values
+// (int64, float64, string, Date) rather than rendered strings. The
+// database read lock is held while a cursor is open and released on Close
+// (or when the stream ends), so hold cursors briefly and never run DDL on
+// the same goroutine before closing an open cursor. Cancelling the
+// query's context aborts scans at the next bucket or page boundary.
+package sma
+
+import (
+	"context"
+	"time"
+
+	"sma/internal/engine"
+)
+
+// Option configures an engine instance; pass options to Open.
+type Option func(*engine.Options)
+
+// WithPoolPages sets the buffer pool capacity per table in pages
+// (default 2048 pages = 8 MB, the paper's intertransaction buffer size).
+func WithPoolPages(n int) Option {
+	return func(o *engine.Options) { o.PoolPages = n }
+}
+
+// WithBucketPages sets the SMA bucket granularity for new tables in pages
+// (default 1 page, the paper's default).
+func WithBucketPages(n int) Option {
+	return func(o *engine.Options) { o.BucketPages = n }
+}
+
+// WithReadLatency simulates per-page disk read latency; useful for
+// benchmarks that reproduce the paper's disk model.
+func WithReadLatency(d time.Duration) Option {
+	return func(o *engine.Options) { o.ReadLatency = d }
+}
+
+// DB is an embedded warehouse instance rooted at a directory. A DB is safe
+// for concurrent use: queries hold a read lock while their cursor is open,
+// DDL and data modification take the write lock.
+type DB struct {
+	eng *engine.DB
+}
+
+// Open opens (or initializes) a database directory.
+func Open(dir string, opts ...Option) (*DB, error) {
+	var o engine.Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	eng, err := engine.Open(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{eng: eng}, nil
+}
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.eng.Dir() }
+
+// Close flushes and closes every table, persisting delete vectors. Close
+// is idempotent: a second call is a no-op. Close blocks until open cursors
+// release their read locks.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Tables lists table names in sorted order.
+func (db *DB) Tables() []string { return db.eng.Tables() }
+
+// Table returns a handle for an existing table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, err := db.eng.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// CreateTable creates a new table and persists the catalog. The SQL
+// equivalent is ExecContext with a "create table" statement.
+func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
+	tcols, err := toTupleColumns(cols)
+	if err != nil {
+		return nil, err
+	}
+	t, err := db.eng.CreateTable(name, tcols)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// QueryContext parses, plans, and begins executing a SELECT, returning a
+// streaming cursor over typed values. The context is threaded into the
+// scan operators and checked on every bucket/page: cancelling it aborts
+// the query mid-flight with context.Canceled (or DeadlineExceeded). The
+// caller must Close the returned Rows to release the read lock.
+func (db *DB) QueryContext(ctx context.Context, query string) (*Rows, error) {
+	cur, err := db.eng.QueryContext(ctx, query)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{cur: cur, cols: cur.Columns()}, nil
+}
+
+// Query is QueryContext with a background context.
+func (db *DB) Query(query string) (*Rows, error) {
+	return db.QueryContext(context.Background(), query)
+}
+
+// ExecContext runs a DDL or DML statement through the unified SQL
+// entrypoint: "define sma", "drop sma <name> on <table>", "create table",
+// and "delete from <table> [where ...]".
+func (db *DB) ExecContext(ctx context.Context, stmt string) (*ExecResult, error) {
+	res, err := db.eng.ExecContext(ctx, stmt)
+	if err != nil {
+		return nil, err
+	}
+	out := &ExecResult{Kind: res.Kind, Table: res.Table, RowsAffected: res.RowsAffected}
+	if res.SMA != nil {
+		out.SMAName = res.SMA.Def.Name
+		out.SMABuckets = res.SMA.NumBuckets
+		out.SMAFiles = res.SMA.NumFiles()
+		out.SMAPages = res.SMA.PagesUsed()
+	}
+	return out, nil
+}
+
+// Exec is ExecContext with a background context.
+func (db *DB) Exec(stmt string) (*ExecResult, error) {
+	return db.ExecContext(context.Background(), stmt)
+}
+
+// ExecResult reports the effect of a non-SELECT statement.
+type ExecResult struct {
+	// Kind names the executed statement: "define sma", "drop sma",
+	// "create table", or "delete".
+	Kind  string
+	Table string
+	// RowsAffected is the number of tuples removed by a delete.
+	RowsAffected int64
+	// SMAName, SMABuckets, SMAFiles, and SMAPages describe the SMA built
+	// by a "define sma" statement.
+	SMAName    string
+	SMABuckets int
+	SMAFiles   int
+	SMAPages   int64
+}
