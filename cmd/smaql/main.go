@@ -7,6 +7,7 @@
 //
 //	smaql -dir ./db 'select count(*) from LINEITEM where L_SHIPDATE <= date ''1998-09-02'''
 //	smaql -dir ./db -explain '<query>'     # show the chosen plan only
+//	smaql -dir ./db -dop 4 '<query>'       # run aggregations on 4 partition workers
 //	echo '<query>' | smaql -dir ./db -
 package main
 
@@ -25,6 +26,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	dop := flag.Int("dop", 0, "degree of intra-query parallelism (0 = serial; buckets are partitioned across this many workers)")
 	flag.Parse()
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -41,7 +43,7 @@ func main() {
 		sql = string(data)
 	}
 
-	db, err := sma.Open(*dir)
+	db, err := sma.Open(*dir, sma.WithParallelism(*dop))
 	if err != nil {
 		fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"sma"
@@ -48,6 +49,7 @@ var q1SMADDL = []string{
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "TPC-D scale factor")
+	dop := flag.Int("dop", runtime.NumCPU(), "degree of parallelism for the parallel comparison run")
 	flag.Parse()
 
 	dir, err := os.MkdirTemp("", "sma-q1-*")
@@ -128,8 +130,22 @@ func main() {
 		log.Fatal(err)
 	}
 	noSMA := time.Since(start)
-	fmt.Printf("with SMAs: %v (%s)\nwithout selection SMAs: %v (%s)\nspeedup: %.0fx in-memory; with the paper's disk model two orders of magnitude (see cmd/smabench -exp e4)\n",
+
+	// Parallel: the same full scan partitioned across dop workers (SMAs or
+	// not, buckets are the unit of parallelism; see sma.WithParallelism).
+	start = time.Now()
+	rows, err = db.Query(query1, sma.WithQueryParallelism(*dop))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sma.Collect(rows); err != nil {
+		log.Fatal(err)
+	}
+	parScan := time.Since(start)
+
+	fmt.Printf("with SMAs: %v (%s)\nwithout selection SMAs: %v (%s)\nwithout selection SMAs, dop=%d: %v\nspeedup: %.0fx in-memory; with the paper's disk model two orders of magnitude (see cmd/smabench -exp e4)\n",
 		withSMA.Round(time.Microsecond), res.Strategy,
 		noSMA.Round(time.Microsecond), base.Strategy,
+		*dop, parScan.Round(time.Microsecond),
 		float64(noSMA)/float64(withSMA))
 }

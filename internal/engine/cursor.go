@@ -10,6 +10,22 @@ import (
 	"sma/internal/tuple"
 )
 
+// QueryOption adjusts the execution of a single query.
+type QueryOption func(*queryConfig)
+
+// queryConfig collects per-query execution overrides.
+type queryConfig struct {
+	dop int
+}
+
+// WithDOP overrides the engine's default degree of intra-query parallelism
+// for one query: 1 forces serial execution, n > 1 requests n partition
+// workers (capped by the work the plan dispatches). 0 keeps the engine
+// default.
+func WithDOP(n int) QueryOption {
+	return func(c *queryConfig) { c.dop = n }
+}
+
 // ColInfo describes one output column of a streaming cursor.
 type ColInfo struct {
 	Name string
@@ -115,6 +131,13 @@ func (c *Cursor) Columns() []ColInfo { return c.cols }
 // Plan returns the executed physical plan (diagnostics).
 func (c *Cursor) Plan() *planner.Plan { return c.plan }
 
+// Stats returns the merged scan statistics of the executed plan — bucket
+// grading counts and heap pages read, folded across all partition workers
+// for parallel plans — and whether the plan tracks any. For aggregation
+// queries the stats are complete as soon as the cursor exists; for
+// projections they are complete when the stream ends.
+func (c *Cursor) Stats() (exec.ScanStats, bool) { return c.plan.ScanStats() }
+
 // Next returns the next result row as typed values (see ColInfo), or
 // ok=false at end of stream or on error. The returned slice is reused
 // across calls in projection mode only for its backing tuple memory — the
@@ -216,15 +239,21 @@ func (c *Cursor) Close() error {
 // QueryContext parses, plans, and begins executing a SELECT, returning a
 // streaming cursor. The database read lock is held from here until the
 // cursor is closed (or exhausted), so concurrent DDL and data modification
-// cannot mutate SMA vectors mid-query. The context is threaded into the
-// scan operators and checked on every bucket/page: cancelling it makes
-// QueryContext (or a subsequent Next) fail with the context's error.
-func (db *DB) QueryContext(ctx context.Context, sql string) (*Cursor, error) {
+// cannot mutate SMA vectors mid-query (parallel partition workers read
+// under the same lock). The context is threaded into the scan operators
+// and checked on every bucket/page: cancelling it makes QueryContext (or a
+// subsequent Next) fail with the context's error, and under parallelism
+// the first failing worker cancels its siblings the same way.
+func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
 	db.mu.RLock()
 	ok := false
@@ -239,6 +268,9 @@ func (db *DB) QueryContext(ctx context.Context, sql string) (*Cursor, error) {
 	plan, err := db.planLocked(sql)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.dop > 0 {
+		plan.DOP = db.pl.ChooseDOP(plan, cfg.dop)
 	}
 	cur, err := newCursor(ctx, db, plan)
 	if err != nil {

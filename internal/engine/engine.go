@@ -39,6 +39,11 @@ type Options struct {
 	BucketPages int
 	// ReadLatency simulates per-page disk read latency (0 = off).
 	ReadLatency time.Duration
+	// Parallelism is the default degree of intra-query parallelism for
+	// aggregation queries: the number of partition workers that buckets
+	// are divided across. 0 or 1 executes serially. Individual queries
+	// can override it with the WithDOP query option.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -83,6 +88,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		return nil, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
 	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table), pl: planner.New()}
+	db.pl.DOP = opts.Parallelism
 	if err := db.loadCatalog(); err != nil {
 		return nil, err
 	}

@@ -16,10 +16,14 @@ type GAggr struct {
 	Input   TupleIter
 	Specs   []AggSpec
 	GroupBy []string
+	// KeepPartials makes Open keep the merge-ready per-group state instead
+	// of finishing it into rows; retrieve it with Partials before Close.
+	// Next yields nothing in this mode. Parallel partition workers use it.
+	KeepPartials bool
 
 	schema *tuple.Schema
 	gx     *core.Extractor
-	groups map[core.GroupKey]*groupAcc
+	groups map[core.GroupKey]*Partial
 	out    []Row
 	pos    int
 }
@@ -48,7 +52,7 @@ func (g *GAggr) Open() error {
 		return err
 	}
 	defer g.Input.Close()
-	g.groups = make(map[core.GroupKey]*groupAcc)
+	g.groups = make(map[core.GroupKey]*Partial)
 	for {
 		t, ok, err := g.Input.Next()
 		if err != nil {
@@ -70,10 +74,16 @@ func (g *GAggr) Open() error {
 		}
 		acc.addTuple(g.Specs, t)
 	}
-	g.out = finishGroups(g.groups, g.Specs, len(g.GroupBy) == 0)
+	if !g.KeepPartials {
+		g.out = FinishPartials(g.groups, g.Specs, len(g.GroupBy) == 0)
+	}
 	g.pos = 0
 	return nil
 }
+
+// Partials returns the merge-ready group states computed by Open. The map
+// is owned by the operator and valid until Close.
+func (g *GAggr) Partials() map[core.GroupKey]*Partial { return g.groups }
 
 // Next returns one result group after another.
 func (g *GAggr) Next() (Row, bool, error) {
@@ -92,10 +102,12 @@ func (g *GAggr) Close() error {
 	return nil
 }
 
-// finishGroups runs the post-processing phase and emits rows in key order.
-// For a global aggregate (no GROUP BY) with empty input, one all-zero row is
+// FinishPartials runs the post-processing phase over (possibly merged)
+// partial group states and emits rows in key order. For a global aggregate
+// (no GROUP BY, global=true) with empty input, one all-zero row is
 // emitted, matching SQL COUNT semantics well enough for this engine.
-func finishGroups(groups map[core.GroupKey]*groupAcc, specs []AggSpec, global bool) []Row {
+// The partials are finished in place.
+func FinishPartials(groups map[core.GroupKey]*Partial, specs []AggSpec, global bool) []Row {
 	if global && len(groups) == 0 {
 		groups[""] = newGroupAcc(nil, len(specs))
 	}
@@ -108,7 +120,7 @@ func finishGroups(groups map[core.GroupKey]*groupAcc, specs []AggSpec, global bo
 	for _, k := range keys {
 		acc := groups[k]
 		acc.finish(specs)
-		out = append(out, Row{Key: k, Vals: acc.vals, Aggs: acc.aggs})
+		out = append(out, Row{Key: k, Vals: acc.Vals, Aggs: acc.Aggs})
 	}
 	return out
 }

@@ -129,66 +129,115 @@ func (a *AggSpec) Validate(s *tuple.Schema) error {
 	return a.Arg.Bind(s)
 }
 
-// groupAcc accumulates all aggregates of one output group.
-type groupAcc struct {
-	vals  []core.GroupVal
-	aggs  []float64
-	seen  []bool // per-slot: any contribution yet (for min/max init)
-	count float64
+// Partial is the mergeable accumulator state of one output group before
+// post-processing: the group-by values, one running aggregate per spec
+// (AVG slots hold the running sum), per-slot seen flags for min/max
+// initialization, and the tuple count that backs AVG. Partition workers
+// of the parallel subsystem each produce a map of Partials; Merge folds
+// them together, and FinishPartials turns the merged state into rows.
+type Partial struct {
+	Vals  []core.GroupVal
+	Aggs  []float64
+	Seen  []bool // per-slot: any contribution yet (for min/max init)
+	Count float64
 }
 
-func newGroupAcc(vals []core.GroupVal, n int) *groupAcc {
-	return &groupAcc{vals: vals, aggs: make([]float64, n), seen: make([]bool, n)}
+func newGroupAcc(vals []core.GroupVal, n int) *Partial {
+	return &Partial{Vals: vals, Aggs: make([]float64, n), Seen: make([]bool, n)}
 }
 
 // addTuple folds one tuple into the accumulator.
-func (g *groupAcc) addTuple(specs []AggSpec, t tuple.Tuple) {
-	g.count++
+func (g *Partial) addTuple(specs []AggSpec, t tuple.Tuple) {
+	g.Count++
 	for i := range specs {
 		sp := &specs[i]
 		switch sp.Func {
 		case AggCount:
-			g.aggs[i]++
+			g.Aggs[i]++
 		case AggSum, AggAvg:
-			g.aggs[i] += sp.Arg.Eval(t)
+			g.Aggs[i] += sp.Arg.Eval(t)
 		case AggMin:
 			v := sp.Arg.Eval(t)
-			if !g.seen[i] || v < g.aggs[i] {
-				g.aggs[i] = v
+			if !g.Seen[i] || v < g.Aggs[i] {
+				g.Aggs[i] = v
 			}
 		case AggMax:
 			v := sp.Arg.Eval(t)
-			if !g.seen[i] || v > g.aggs[i] {
-				g.aggs[i] = v
+			if !g.Seen[i] || v > g.Aggs[i] {
+				g.Aggs[i] = v
 			}
 		}
-		g.seen[i] = true
+		g.Seen[i] = true
 	}
 }
 
 // addSMA folds one per-bucket SMA value into slot i.
-func (g *groupAcc) addSMA(specs []AggSpec, i int, v float64) {
+func (g *Partial) addSMA(specs []AggSpec, i int, v float64) {
 	switch specs[i].Func {
 	case AggCount, AggSum, AggAvg:
-		g.aggs[i] += v
+		g.Aggs[i] += v
 	case AggMin:
-		if !g.seen[i] || v < g.aggs[i] {
-			g.aggs[i] = v
+		if !g.Seen[i] || v < g.Aggs[i] {
+			g.Aggs[i] = v
 		}
 	case AggMax:
-		if !g.seen[i] || v > g.aggs[i] {
-			g.aggs[i] = v
+		if !g.Seen[i] || v > g.Aggs[i] {
+			g.Aggs[i] = v
 		}
 	}
-	g.seen[i] = true
+	g.Seen[i] = true
+}
+
+// Merge folds another partial of the same group into g: counts and
+// additive aggregates (count/sum/avg-sums) add, min/max combine, and the
+// seen flags union. Both partials must have been built for the same specs.
+func (g *Partial) Merge(o *Partial, specs []AggSpec) {
+	g.Count += o.Count
+	for i := range specs {
+		if !o.Seen[i] {
+			continue
+		}
+		switch specs[i].Func {
+		case AggCount, AggSum, AggAvg:
+			g.Aggs[i] += o.Aggs[i]
+		case AggMin:
+			if !g.Seen[i] || o.Aggs[i] < g.Aggs[i] {
+				g.Aggs[i] = o.Aggs[i]
+			}
+		case AggMax:
+			if !g.Seen[i] || o.Aggs[i] > g.Aggs[i] {
+				g.Aggs[i] = o.Aggs[i]
+			}
+		}
+		g.Seen[i] = true
+	}
 }
 
 // finish performs the paper's last phase: "we divide the sums which should
 // be averages by the computed count".
-func (g *groupAcc) finish(specs []AggSpec) {
+func (g *Partial) finish(specs []AggSpec) {
 	for i := range specs {
-		if specs[i].Func == AggAvg && g.count > 0 {
-			g.aggs[i] /= g.count
+		if specs[i].Func == AggAvg && g.Count > 0 {
+			g.Aggs[i] /= g.Count
 		}
 	}
+}
+
+// CloneSpecs deep-copies aggregate specs, including their expression
+// trees, so each parallel worker binds private copies (expression Bind
+// writes column indexes and would race on shared specs).
+func CloneSpecs(specs []AggSpec) []AggSpec {
+	out := make([]AggSpec, len(specs))
+	for i, s := range specs {
+		s.Arg = expr.Clone(s.Arg)
+		out[i] = s
+	}
+	return out
+}
+
+// StatsReporter is implemented by operators that track bucket grading and
+// heap page I/O (SMAScan, SMAGAggr, TableScan, and the parallel
+// aggregation executor). Plans expose it for per-query stats.
+type StatsReporter interface {
+	Stats() ScanStats
 }

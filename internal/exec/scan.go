@@ -20,9 +20,16 @@ type TableScan struct {
 	// Ctx, when set, is checked before every page read so a cancelled
 	// query aborts mid-scan with the context's error.
 	Ctx context.Context
+	// StartPage and EndPage bound the scan to pages [StartPage, EndPage);
+	// EndPage 0 means the end of the file. The zero values scan the whole
+	// file. The parallel subsystem assigns one page range per worker.
+	StartPage storage.PageID
+	EndPage   storage.PageID
 
-	page storage.PageID
-	cur  *storage.PageCursor
+	page  storage.PageID
+	end   storage.PageID
+	cur   *storage.PageCursor
+	stats ScanStats
 }
 
 // NewTableScan creates a full scan with an optional filter.
@@ -37,8 +44,13 @@ func (s *TableScan) Open() error {
 			return err
 		}
 	}
-	s.page = 0
+	s.page = s.StartPage
+	s.end = s.EndPage
+	if s.end == 0 || int64(s.end) > s.H.NumPages() {
+		s.end = storage.PageID(s.H.NumPages())
+	}
 	s.cur = nil
+	s.stats = ScanStats{}
 	return nil
 }
 
@@ -60,7 +72,7 @@ func (s *TableScan) Next() (tuple.Tuple, bool, error) {
 			}
 			s.cur = nil
 		}
-		if int64(s.page) >= s.H.NumPages() {
+		if s.page >= s.end {
 			return tuple.Tuple{}, false, nil
 		}
 		if err := ctxErr(s.Ctx); err != nil {
@@ -72,6 +84,7 @@ func (s *TableScan) Next() (tuple.Tuple, bool, error) {
 		}
 		s.cur = cur
 		s.page++
+		s.stats.PagesRead++
 	}
 }
 
@@ -84,3 +97,7 @@ func (s *TableScan) Close() error {
 	}
 	return nil
 }
+
+// Stats reports the pages fetched by the scan (a full scan grades no
+// buckets, so only PagesRead is populated).
+func (s *TableScan) Stats() ScanStats { return s.stats }

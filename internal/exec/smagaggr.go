@@ -39,6 +39,16 @@ type SMAGAggr struct {
 	// Ctx, when set, is checked once per bucket during init() so a
 	// cancelled query aborts the aggregation pass with the context's error.
 	Ctx context.Context
+	// Buckets, when non-nil, restricts the operator to the given ascending
+	// bucket numbers (one partition of the parallel subsystem). Grades,
+	// when non-nil, runs parallel to Buckets (or to all buckets when
+	// Buckets is nil) and carries pre-computed grades, saving re-grading.
+	Buckets []int
+	Grades  []core.Grade
+	// KeepPartials makes Open keep the merge-ready per-group state instead
+	// of finishing it into rows; retrieve it with Partials before Close.
+	// Next yields nothing in this mode. Parallel partition workers use it.
+	KeepPartials bool
 
 	schema *tuple.Schema
 	gx     *core.Extractor
@@ -47,7 +57,7 @@ type SMAGAggr struct {
 	projected [][]projectedGroup
 	countProj []projectedGroup
 
-	groups map[core.GroupKey]*groupAcc
+	groups map[core.GroupKey]*Partial
 	out    []Row
 	pos    int
 	stats  ScanStats
@@ -156,15 +166,25 @@ func (g *SMAGAggr) Open() error {
 		}
 	}
 
-	g.groups = make(map[core.GroupKey]*groupAcc)
+	g.groups = make(map[core.GroupKey]*Partial)
 	g.stats = ScanStats{}
 	nb := g.H.NumBuckets()
-	for b := 0; b < nb; b++ {
+	if g.Buckets != nil {
+		nb = len(g.Buckets)
+	}
+	for i := 0; i < nb; i++ {
 		if err := ctxErr(g.Ctx); err != nil {
 			return err
 		}
+		b := i
+		if g.Buckets != nil {
+			b = g.Buckets[i]
+		}
 		grade := core.Qualifies
-		if g.Pred != nil {
+		switch {
+		case g.Grades != nil:
+			grade = g.Grades[i]
+		case g.Pred != nil:
 			grade = g.Grader.Grade(b, g.Pred)
 		}
 		switch grade {
@@ -180,13 +200,19 @@ func (g *SMAGAggr) Open() error {
 			}
 		}
 	}
-	g.out = finishGroups(g.groups, g.Specs, len(g.GroupBy) == 0)
+	if !g.KeepPartials {
+		g.out = FinishPartials(g.groups, g.Specs, len(g.GroupBy) == 0)
+	}
 	g.pos = 0
 	return nil
 }
 
+// Partials returns the merge-ready group states computed by Open. The map
+// is owned by the operator and valid until Close.
+func (g *SMAGAggr) Partials() map[core.GroupKey]*Partial { return g.groups }
+
 // acc returns (creating if needed) the accumulator for a query group.
-func (g *SMAGAggr) acc(key core.GroupKey, vals []core.GroupVal) *groupAcc {
+func (g *SMAGAggr) acc(key core.GroupKey, vals []core.GroupVal) *Partial {
 	a := g.groups[key]
 	if a == nil {
 		a = newGroupAcc(vals, len(g.Specs))
@@ -207,7 +233,7 @@ func (g *SMAGAggr) advanceFromSMAs(b int) {
 	}
 	for _, pg := range g.countProj {
 		if v, ok := pg.gf.ValueAt(b); ok {
-			g.acc(pg.key, pg.vals).count += v
+			g.acc(pg.key, pg.vals).Count += v
 		}
 	}
 }

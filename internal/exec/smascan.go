@@ -27,8 +27,15 @@ type SMAScan struct {
 	// Ctx, when set, is checked before every page read so a cancelled
 	// query aborts mid-scan with the context's error.
 	Ctx context.Context
+	// Buckets, when non-nil, restricts the scan to the given ascending
+	// bucket numbers; the parallel subsystem dispatches one partition of
+	// buckets per worker this way. Grades, when non-nil, runs parallel to
+	// Buckets (or to all buckets when Buckets is nil) and carries each
+	// bucket's pre-computed grade, saving the per-bucket grading pass.
+	Buckets []int
+	Grades  []core.Grade
 
-	bucket    int // currBucketNo
+	bucket    int // currBucketNo (an index into Buckets when set)
 	numBucket int
 
 	grade    core.Grade
@@ -48,6 +55,15 @@ type ScanStats struct {
 	PagesRead     int // heap pages fetched (disqualified buckets cost none)
 }
 
+// Add accumulates another worker's statistics into s; the parallel merge
+// stage folds per-partition stats into one per-query total with it.
+func (s *ScanStats) Add(o ScanStats) {
+	s.Qualifying += o.Qualifying
+	s.Disqualifying += o.Disqualifying
+	s.Ambivalent += o.Ambivalent
+	s.PagesRead += o.PagesRead
+}
+
 // NewSMAScan creates the operator. grader must cover the heap's buckets.
 func NewSMAScan(h *storage.HeapFile, p pred.Predicate, grader *core.Grader) *SMAScan {
 	return &SMAScan{H: h, Pred: p, Grader: grader}
@@ -61,11 +77,23 @@ func (s *SMAScan) Open() error {
 		}
 	}
 	s.bucket = 0
-	s.numBucket = s.H.NumBuckets()
+	if s.Buckets != nil {
+		s.numBucket = len(s.Buckets)
+	} else {
+		s.numBucket = s.H.NumBuckets()
+	}
 	s.inBucket = false
 	s.cur = nil
 	s.stats = ScanStats{}
 	return nil
+}
+
+// bucketAt maps a scan position to a bucket number.
+func (s *SMAScan) bucketAt(i int) int {
+	if s.Buckets != nil {
+		return s.Buckets[i]
+	}
+	return i
 }
 
 // getBucket advances currBucketNo past disqualifying buckets, mirroring
@@ -73,9 +101,13 @@ func (s *SMAScan) Open() error {
 // currGrade = grade(...)" until qualifying or ambivalent).
 func (s *SMAScan) getBucket() bool {
 	for ; s.bucket < s.numBucket; s.bucket++ {
+		b := s.bucketAt(s.bucket)
 		grade := core.Qualifies
-		if s.Pred != nil {
-			grade = s.Grader.Grade(s.bucket, s.Pred)
+		switch {
+		case s.Grades != nil:
+			grade = s.Grades[s.bucket]
+		case s.Pred != nil:
+			grade = s.Grader.Grade(b, s.Pred)
 		}
 		switch grade {
 		case core.Disqualifies:
@@ -87,7 +119,7 @@ func (s *SMAScan) getBucket() bool {
 			s.stats.Ambivalent++
 		}
 		s.grade = grade
-		s.page, s.lastPage = s.H.BucketRange(s.bucket)
+		s.page, s.lastPage = s.H.BucketRange(b)
 		s.inBucket = true
 		s.bucket++
 		return true

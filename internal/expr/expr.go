@@ -183,6 +183,26 @@ func ColumnsOf(e Expr) []string {
 	return out
 }
 
+// Clone returns a deep copy of e, binding state included, so parallel
+// workers can Bind and Eval private copies without racing on a shared
+// expression tree.
+func Clone(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Col:
+		c := *x
+		return &c
+	case *Const:
+		c := *x
+		return &c
+	case *Binary:
+		return &Binary{Op: x.Op, Left: Clone(x.Left), Right: Clone(x.Right)}
+	default:
+		return e
+	}
+}
+
 // Equal reports structural equality of two expressions, ignoring binding
 // state. It is used to match query aggregate expressions against SMA
 // definitions in the catalog.

@@ -1,0 +1,202 @@
+package parallel
+
+import (
+	"context"
+
+	"sma/internal/core"
+	"sma/internal/exec"
+	"sma/internal/pred"
+	"sma/internal/storage"
+)
+
+// Mode selects the per-partition pipeline the workers run.
+type Mode uint8
+
+// Execution modes, mirroring the planner's strategies.
+const (
+	// ModeScan runs TableScan + hash aggregation per page-range partition
+	// (the FullScan strategy: no usable selection SMAs, or not selective
+	// enough).
+	ModeScan Mode = iota
+	// ModeSMAScan runs SMA_Scan + hash aggregation per bucket partition
+	// (aggregates not covered by SMAs; grading only skips buckets).
+	ModeSMAScan
+	// ModeSMAGAggr runs SMA_GAggr per bucket partition (qualifying buckets
+	// answered from aggregate SMAs without page access).
+	ModeSMAGAggr
+)
+
+// Agg executes a grouping-with-aggregation query across a worker pool, one
+// partition per worker, and merges the partial aggregates into one sorted
+// result. It is a pipeline breaker like the serial operators: Open
+// partitions, executes, and merges; Next streams the merged groups. Agg
+// implements exec.RowIter and exec.StatsReporter.
+//
+// Determinism: partitioning is a pure function of the grades and DOP, the
+// merge combines partials per group key, and FinishPartials emits groups
+// in sorted key order — so for a given database state the result rows are
+// identical for every DOP (up to floating-point summation order, which
+// regroups across partition boundaries).
+type Agg struct {
+	Mode    Mode
+	Heap    *storage.HeapFile
+	Pred    pred.Predicate // nil: every bucket qualifies
+	Specs   []exec.AggSpec
+	GroupBy []string
+
+	// Grader supplies selection grades for the SMA modes.
+	Grader *core.Grader
+	// Pregraded, when it covers the heap's buckets, is the grade vector the
+	// planner already computed for this query; it saves the grading pass.
+	Pregraded []core.Grade
+	// AggSMAs and CountSMA parameterize ModeSMAGAggr (see exec.SMAGAggr).
+	AggSMAs  []*core.SMA
+	CountSMA *core.SMA
+
+	// DOP is the requested degree of parallelism (values < 1 mean 1); the
+	// effective degree is capped by the surviving buckets or pages.
+	DOP int
+	// Ctx, when set, cancels all workers at their next bucket or page
+	// boundary.
+	Ctx context.Context
+
+	out   []exec.Row
+	pos   int
+	stats exec.ScanStats
+}
+
+// Open grades the buckets, dispatches the partitions to the worker pool,
+// and merges the partial results. Like the serial SMA_GAggr, the whole
+// result is computed here; Next merely returns one group after another.
+func (a *Agg) Open() error {
+	a.out, a.pos = nil, 0
+	a.stats = exec.ScanStats{}
+
+	var partials []map[core.GroupKey]*exec.Partial
+	var workerStats []exec.ScanStats
+	var err error
+	if a.Mode == ModeScan {
+		partials, workerStats, err = a.runScan()
+	} else {
+		partials, workerStats, err = a.runBuckets()
+	}
+	if err != nil {
+		return err
+	}
+
+	// Merge stage: fold every worker's partial groups and stats together.
+	merged := make(map[core.GroupKey]*exec.Partial)
+	for w := range partials {
+		for key, p := range partials[w] {
+			if dst, ok := merged[key]; ok {
+				dst.Merge(p, a.Specs)
+			} else {
+				merged[key] = p
+			}
+		}
+		a.stats.Add(workerStats[w])
+	}
+	a.out = exec.FinishPartials(merged, a.Specs, len(a.GroupBy) == 0)
+	return nil
+}
+
+// runBuckets executes the SMA modes: pre-grade once, drop disqualifying
+// buckets, and run one partition per worker.
+func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats, error) {
+	grades := a.Pregraded
+	if len(grades) != a.Heap.NumBuckets() {
+		grades = PreGrade(a.Heap, a.Grader, a.Pred)
+	}
+	parts := PartitionBuckets(a.Heap, grades, a.DOP, a.Mode == ModeSMAGAggr)
+	// Disqualified buckets are never dispatched; account for them here so
+	// the merged stats match a serial run.
+	for _, g := range grades {
+		if g == core.Disqualifies {
+			a.stats.Disqualifying++
+		}
+	}
+	partials := make([]map[core.GroupKey]*exec.Partial, len(parts))
+	stats := make([]exec.ScanStats, len(parts))
+	err := Run(a.Ctx, len(parts), func(ctx context.Context, i int) error {
+		// Each worker evaluates private clones of the predicate and the
+		// aggregate expressions: Bind writes column indexes, which must
+		// not race across workers.
+		p := pred.Clone(a.Pred)
+		specs := exec.CloneSpecs(a.Specs)
+		if a.Mode == ModeSMAGAggr {
+			op := exec.NewSMAGAggr(a.Heap, p, specs, a.GroupBy, a.Grader, a.AggSMAs, a.CountSMA)
+			op.Ctx = ctx
+			op.Buckets = parts[i].Buckets
+			op.Grades = parts[i].Grades
+			op.KeepPartials = true
+			if err := op.Open(); err != nil {
+				op.Close()
+				return err
+			}
+			partials[i], stats[i] = op.Partials(), op.Stats()
+			return op.Close()
+		}
+		scan := exec.NewSMAScan(a.Heap, p, a.Grader)
+		scan.Ctx = ctx
+		scan.Buckets = parts[i].Buckets
+		scan.Grades = parts[i].Grades
+		ga := exec.NewGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
+		ga.KeepPartials = true
+		if err := ga.Open(); err != nil {
+			return err
+		}
+		partials[i], stats[i] = ga.Partials(), scan.Stats()
+		return ga.Close()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return partials, stats, nil
+}
+
+// runScan executes ModeScan: one TableScan + hash aggregation per page
+// range.
+func (a *Agg) runScan() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats, error) {
+	ranges := PartitionPages(a.Heap.NumPages(), a.DOP)
+	partials := make([]map[core.GroupKey]*exec.Partial, len(ranges))
+	stats := make([]exec.ScanStats, len(ranges))
+	err := Run(a.Ctx, len(ranges), func(ctx context.Context, i int) error {
+		p := pred.Clone(a.Pred)
+		specs := exec.CloneSpecs(a.Specs)
+		scan := exec.NewTableScan(a.Heap, p)
+		scan.Ctx = ctx
+		scan.StartPage = ranges[i].First
+		scan.EndPage = ranges[i].Last
+		ga := exec.NewGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
+		ga.KeepPartials = true
+		if err := ga.Open(); err != nil {
+			return err
+		}
+		partials[i], stats[i] = ga.Partials(), scan.Stats()
+		return ga.Close()
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return partials, stats, nil
+}
+
+// Next returns the next merged group.
+func (a *Agg) Next() (exec.Row, bool, error) {
+	if a.pos >= len(a.out) {
+		return exec.Row{}, false, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, true, nil
+}
+
+// Close drops the result.
+func (a *Agg) Close() error {
+	a.out = nil
+	return nil
+}
+
+// Stats returns the merged per-worker scan statistics plus the buckets the
+// partitioner dropped as disqualifying before dispatch.
+func (a *Agg) Stats() exec.ScanStats { return a.stats }

@@ -1,0 +1,37 @@
+package parallel
+
+import "context"
+
+// Run executes n tasks, one goroutine each, under a context derived from
+// parent (nil means background). The first task error cancels the derived
+// context, so every sibling aborts at its next bucket or page boundary;
+// cancelling the parent context has the same effect. Run waits for all
+// tasks to exit and returns the first error observed in task order of
+// completion.
+func Run(parent context.Context, n int, task func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	if n == 1 {
+		return task(parent, 0)
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			errc <- task(ctx, i)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+			cancel() // stop the siblings promptly
+		}
+	}
+	return first
+}

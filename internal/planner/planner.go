@@ -22,6 +22,7 @@ import (
 	"sma/internal/core"
 	"sma/internal/exec"
 	"sma/internal/expr"
+	"sma/internal/parallel"
 	"sma/internal/parser"
 	"sma/internal/pred"
 	"sma/internal/storage"
@@ -82,12 +83,25 @@ type Plan struct {
 	AggSMAs  []*core.SMA
 	CountSMA *core.SMA
 
+	// DOP is the degree of intra-query parallelism the plan executes with
+	// (1 = serial). Aggregation plans with DOP > 1 run through the
+	// internal/parallel subsystem: one worker pipeline per bucket (or
+	// page-range) partition, merged into one sorted result.
+	DOP int
+
 	// Planning diagnostics.
 	Grades   core.GradeCounts
 	CostSMA  float64
 	CostScan float64
 	SMAPages int64 // pages of SMA-files the plan reads
 	Reason   string
+
+	// statsSrc is the stats-reporting operator of the most recently built
+	// iterator pipeline for this plan (see ScanStats).
+	statsSrc exec.StatsReporter
+	// gradeVec is the full bucket grading computed for the cost estimate;
+	// the parallel executor reuses it instead of grading again.
+	gradeVec []core.Grade
 }
 
 // StrategyName renders the strategy for display. Projection plans carry
@@ -113,6 +127,9 @@ func (p *Plan) Explain() string {
 		p.Grades.Qualifying, p.Grades.Disqualifying, p.Grades.Ambivalent,
 		100*p.Grades.AmbivalentFrac())
 	fmt.Fprintf(&b, "\n  cost: sma=%.0f scan=%.0f (sma pages %d)", p.CostSMA, p.CostScan, p.SMAPages)
+	if p.DOP > 1 {
+		fmt.Fprintf(&b, "\n  parallel: dop=%d", p.DOP)
+	}
 	fmt.Fprintf(&b, "\n  %s", p.Reason)
 	return b.String()
 }
@@ -120,10 +137,44 @@ func (p *Plan) Explain() string {
 // Planner plans queries against a table and its SMAs.
 type Planner struct {
 	Cost CostModel
+	// DOP is the default degree of intra-query parallelism requested for
+	// aggregation plans; values <= 1 plan serial execution. The effective
+	// per-plan degree is capped by the work available (see ChooseDOP).
+	DOP int
 }
 
 // New creates a planner with the default cost model.
 func New() *Planner { return &Planner{Cost: DefaultCostModel()} }
+
+// ChooseDOP caps a requested degree of parallelism by the work the plan
+// actually dispatches — surviving (non-disqualified) buckets for the SMA
+// strategies, pages for a full scan — and by the buffer pool's capacity
+// (each scan worker pins one page at a time; more workers than frames
+// would exhaust the pool instead of helping). Projections always run
+// serially: they stream tuples in physical order, which a merge stage
+// would only re-serialize. The result is at least 1.
+func (pl *Planner) ChooseDOP(p *Plan, requested int) int {
+	if requested <= 1 || p.IsProjection() {
+		return 1
+	}
+	units := 0
+	switch p.Strategy {
+	case StrategyFullScan:
+		units = int(p.Heap.NumPages())
+	default:
+		units = p.Grades.Qualifying + p.Grades.Ambivalent
+	}
+	if units < 2 {
+		return 1
+	}
+	if requested > units {
+		requested = units
+	}
+	if cap := p.Heap.Pool().Capacity(); requested > cap {
+		requested = cap
+	}
+	return requested
+}
 
 // matchAggSMA finds an SMA that supplies spec's per-bucket values with a
 // grouping equal to or finer than groupBy.
@@ -194,8 +245,19 @@ func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
 	return total
 }
 
-// PlanQuery builds the cheapest plan for q over heap with the given SMAs.
+// PlanQuery builds the cheapest plan for q over heap with the given SMAs
+// and picks its degree of parallelism from the planner's configured DOP.
 func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
+	plan, err := pl.planQuery(q, heap, smas)
+	if err != nil {
+		return nil, err
+	}
+	plan.DOP = pl.ChooseDOP(plan, pl.DOP)
+	return plan, nil
+}
+
+// planQuery picks the strategy; PlanQuery adds the degree of parallelism.
+func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
 	if q.IsProjection() {
 		return pl.planProjection(q, heap, smas)
 	}
@@ -219,9 +281,11 @@ func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 		return plan, nil
 	}
 
-	// Grade all buckets (an in-memory pass over the SMA vectors).
+	// Grade all buckets (an in-memory pass over the SMA vectors); the
+	// vector is kept for the parallel executor.
 	if q.Where != nil {
-		plan.Grades = core.CountGrades(grader.GradeAll(q.Where))
+		plan.gradeVec = grader.GradeAll(q.Where)
+		plan.Grades = core.CountGrades(plan.gradeVec)
 	} else {
 		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
 	}
@@ -346,27 +410,58 @@ func (p *Plan) IsProjection() bool { return p.Query.IsProjection() }
 
 // RowIterator builds the aggregation pipeline of the plan. The context, if
 // non-nil, is threaded into the scan operators, which check it on every
-// bucket or page so cancellation aborts the query mid-flight.
+// bucket or page so cancellation aborts the query mid-flight. With
+// DOP > 1 the pipeline is the parallel executor: one worker per bucket
+// (or page-range) partition, partial aggregates merged into one sorted
+// stream, so the rows are the same as a serial run for any DOP.
 func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 	if p.IsProjection() {
 		return nil, fmt.Errorf("planner: projection plans stream tuples; use TupleIterator")
 	}
 	specs := p.Query.AggSpecs()
 	var it exec.RowIter
-	switch p.Strategy {
-	case StrategySMAGAggr:
-		op := exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
-			p.Grader, p.AggSMAs, p.CountSMA)
-		op.Ctx = ctx
+	if p.DOP > 1 {
+		op := &parallel.Agg{
+			Heap:      p.Heap,
+			Pred:      p.Query.Where,
+			Specs:     specs,
+			GroupBy:   p.Query.GroupBy,
+			Grader:    p.Grader,
+			Pregraded: p.gradeVec,
+			DOP:       p.DOP,
+			Ctx:       ctx,
+		}
+		switch p.Strategy {
+		case StrategySMAGAggr:
+			op.Mode = parallel.ModeSMAGAggr
+			op.AggSMAs = p.AggSMAs
+			op.CountSMA = p.CountSMA
+		case StrategySMAScan:
+			op.Mode = parallel.ModeSMAScan
+		default:
+			op.Mode = parallel.ModeScan
+		}
+		p.statsSrc = op
 		it = op
-	case StrategySMAScan:
-		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
-		scan.Ctx = ctx
-		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
-	default:
-		scan := exec.NewTableScan(p.Heap, p.Query.Where)
-		scan.Ctx = ctx
-		it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+	} else {
+		switch p.Strategy {
+		case StrategySMAGAggr:
+			op := exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
+				p.Grader, p.AggSMAs, p.CountSMA)
+			op.Ctx = ctx
+			p.statsSrc = op
+			it = op
+		case StrategySMAScan:
+			scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
+			scan.Ctx = ctx
+			p.statsSrc = scan
+			it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+		default:
+			scan := exec.NewTableScan(p.Heap, p.Query.Where)
+			scan.Ctx = ctx
+			p.statsSrc = scan
+			it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+		}
 	}
 	if len(p.Query.Having) > 0 {
 		it = exec.NewHavingFilter(it, p.Query.GroupBy, specs, p.Query.Having)
@@ -389,16 +484,30 @@ func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
 	if p.Strategy == StrategySMAScan {
 		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
 		scan.Ctx = ctx
+		p.statsSrc = scan
 		it = scan
 	} else {
 		scan := exec.NewTableScan(p.Heap, p.Query.Where)
 		scan.Ctx = ctx
+		p.statsSrc = scan
 		it = scan
 	}
 	if p.Query.Limit >= 0 {
 		it = exec.NewLimitTuples(it, p.Query.Limit)
 	}
 	return it, nil
+}
+
+// ScanStats returns the bucket grading and heap page statistics of the
+// most recently built iterator pipeline for this plan, and whether one
+// exists. For aggregation plans the stats are complete once the iterator
+// is open (the operators are pipeline breakers); for projections they are
+// complete when the stream is drained.
+func (p *Plan) ScanStats() (exec.ScanStats, bool) {
+	if p.statsSrc == nil {
+		return exec.ScanStats{}, false
+	}
+	return p.statsSrc.Stats(), true
 }
 
 // Execute runs an aggregation plan to completion and returns the sorted

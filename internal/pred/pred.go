@@ -276,6 +276,37 @@ func joinKids(kids []Predicate, sep string) string {
 	return strings.Join(parts, sep)
 }
 
+// Clone returns a deep copy of p. Binding state is copied too, so a clone
+// of a bound predicate is immediately evaluable; re-binding the clone never
+// touches the original. Parallel partition workers evaluate clones so that
+// Bind's index writes cannot race on a shared plan predicate.
+func Clone(p Predicate) Predicate {
+	switch x := p.(type) {
+	case nil:
+		return nil
+	case *Atom:
+		c := *x
+		return &c
+	case *And:
+		kids := make([]Predicate, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = Clone(k)
+		}
+		return &And{Kids: kids}
+	case *Or:
+		kids := make([]Predicate, len(x.Kids))
+		for i, k := range x.Kids {
+			kids[i] = Clone(k)
+		}
+		return &Or{Kids: kids}
+	case *Not:
+		return &Not{Kid: Clone(x.Kid)}
+	default:
+		// Stateless predicates (True) are safe to share.
+		return p
+	}
+}
+
 // Atoms collects every atomic comparison in p, in syntax order.
 func Atoms(p Predicate) []*Atom {
 	var out []*Atom

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Frame is a buffer-pool slot holding one page image.
@@ -13,6 +14,13 @@ type Frame struct {
 	dirty bool
 	pins  int
 	elem  *list.Element // position in the LRU list when unpinned
+
+	// loading is non-nil while the page image is being read from disk
+	// (outside the pool lock); it is closed when the read completes.
+	// Co-fetchers of the same page wait on it instead of issuing a second
+	// read. loadErr carries the read error, published before the close.
+	loading chan struct{}
+	loadErr error
 }
 
 // ID returns the page id held by the frame.
@@ -35,13 +43,22 @@ type PoolStats struct {
 // BufferPool caches pages of a single DiskManager with LRU replacement.
 // Pages are pinned while in use; unpinned frames are eviction candidates in
 // least-recently-used order.
+//
+// The pool is safe for concurrent use: parallel partition workers pin
+// disjoint (and occasionally shared) pages simultaneously. Physical reads
+// happen outside the pool lock so concurrent misses overlap their I/O;
+// activity counters are atomic so stat bumps and snapshots never contend
+// on the pool mutex.
 type BufferPool struct {
 	mu     sync.Mutex
 	disk   *DiskManager
 	cap    int
 	frames map[PageID]*Frame
 	lru    *list.List // of PageID, front = most recently unpinned
-	stats  PoolStats
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over disk.
@@ -68,29 +85,51 @@ func (bp *BufferPool) Disk() *DiskManager { return bp.disk }
 func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 	bp.mu.Lock()
 	if fr, ok := bp.frames[id]; ok {
-		bp.stats.Hits++
+		bp.hits.Add(1)
 		bp.pinLocked(fr)
+		loading := fr.loading
 		bp.mu.Unlock()
+		if loading != nil {
+			// Another goroutine is reading this page; wait for it. On
+			// failure the loader already deregistered the frame and zeroed
+			// its pins, so there is nothing to unpin here.
+			<-loading
+			if fr.loadErr != nil {
+				return nil, fr.loadErr
+			}
+		}
 		return fr, nil
 	}
-	bp.stats.Misses++
+	bp.misses.Add(1)
 	fr, err := bp.victimLocked(id)
 	if err != nil {
 		bp.mu.Unlock()
 		return nil, err
 	}
-	// Read outside the lock would allow racing fetches of the same page;
-	// keep it simple and correct: the pool lock covers the read. Query
-	// processing in this engine is single-threaded per operator tree, and
-	// benchmarks measure page counts, so this is not a bottleneck.
-	if err := bp.disk.ReadPage(id, fr.data[:]); err != nil {
-		// Return the frame to the free pool.
+	// Read outside the lock so concurrent misses on different pages overlap
+	// their I/O. The frame is registered and pinned with an open loading
+	// channel: co-fetchers of the same page wait on it rather than racing a
+	// second read, and the pin keeps the frame off the eviction list.
+	loading := make(chan struct{})
+	fr.loading = loading
+	fr.loadErr = nil
+	bp.mu.Unlock()
+
+	err = bp.disk.ReadPage(id, fr.data[:])
+	bp.mu.Lock()
+	if err != nil {
+		// Discard the frame; waiters observe loadErr and give up their pins
+		// collectively (the frame is no longer resident).
 		delete(bp.frames, id)
 		fr.pins = 0
-		bp.mu.Unlock()
+		fr.loadErr = err
+	}
+	fr.loading = nil
+	bp.mu.Unlock()
+	close(loading)
+	if err != nil {
 		return nil, err
 	}
-	bp.mu.Unlock()
 	return fr, nil
 }
 
@@ -140,10 +179,12 @@ func (bp *BufferPool) victimLocked(id PageID) (*Frame, error) {
 		}
 		bp.lru.Remove(back)
 		delete(bp.frames, victimID)
-		bp.stats.Evictions++
+		bp.evictions.Add(1)
 		victim.id = id
 		victim.pins = 1
 		victim.elem = nil
+		victim.loading = nil
+		victim.loadErr = nil
 		bp.frames[id] = victim
 		return victim, nil
 	}
@@ -206,18 +247,22 @@ func (bp *BufferPool) DropAll() error {
 	return nil
 }
 
-// Stats returns a snapshot of pool activity counters.
+// Stats returns a snapshot of pool activity counters. The counters are
+// atomic: Stats never takes the pool lock, so monitoring cannot stall
+// concurrent workers.
 func (bp *BufferPool) Stats() PoolStats {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	return bp.stats
+	return PoolStats{
+		Hits:      bp.hits.Load(),
+		Misses:    bp.misses.Load(),
+		Evictions: bp.evictions.Load(),
+	}
 }
 
 // ResetStats zeroes the activity counters.
 func (bp *BufferPool) ResetStats() {
-	bp.mu.Lock()
-	bp.stats = PoolStats{}
-	bp.mu.Unlock()
+	bp.hits.Store(0)
+	bp.misses.Store(0)
+	bp.evictions.Store(0)
 }
 
 // Resident returns the number of pages currently cached.

@@ -1,0 +1,89 @@
+package storage
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestBufferPoolConcurrentPins hammers a small pool from many goroutines —
+// far more pages than frames, heavy co-fetching of the same hot pages —
+// and checks that every fetch observes the right page image, that the
+// atomic activity counters account for every fetch, and (under -race)
+// that the out-of-lock read path is race-free.
+func TestBufferPoolConcurrentPins(t *testing.T) {
+	dm, err := OpenDiskManager(filepath.Join(t.TempDir(), "t.pages"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dm.Close()
+
+	const numPages = 64
+	var buf [PageSize]byte
+	for p := 0; p < numPages; p++ {
+		for i := range buf {
+			buf[i] = byte(p)
+		}
+		if err := dm.WritePage(PageID(p), buf[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const poolCap = 16
+	bp := NewBufferPool(dm, poolCap)
+
+	const (
+		workers       = 8
+		fetchesPerWkr = 2000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < fetchesPerWkr; i++ {
+				// Workers interleave a shared hot page (co-fetch pressure)
+				// with worker-local strides (eviction pressure).
+				id := PageID((w*7 + i*13) % numPages)
+				if i%5 == 0 {
+					id = PageID(i % 4)
+				}
+				fr, err := bp.FetchPage(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				d := fr.Data()
+				if d[0] != byte(id) || d[PageSize-1] != byte(id) {
+					t.Errorf("page %d: wrong image (got %d..%d)", id, d[0], d[PageSize-1])
+				}
+				if err := bp.UnpinPage(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := bp.Stats()
+	if total := st.Hits + st.Misses; total != workers*fetchesPerWkr {
+		t.Errorf("hits %d + misses %d = %d, want %d fetches accounted",
+			st.Hits, st.Misses, total, workers*fetchesPerWkr)
+	}
+	if st.Misses < numPages {
+		t.Errorf("misses = %d, want at least one per page (%d)", st.Misses, numPages)
+	}
+	if got := bp.Resident(); got > poolCap {
+		t.Errorf("resident = %d exceeds capacity %d", got, poolCap)
+	}
+	// Every frame must be unpinned again: DropAll fails on pinned pages.
+	if err := bp.DropAll(); err != nil {
+		t.Errorf("DropAll after stress: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package sma
+
+import (
+	"testing"
+
+	"sma/internal/tpcd"
+	"sma/internal/tuple"
+)
+
+// collectAll drains a query into rendered rows.
+func collectAll(t *testing.T, db *DB, sql string, opts ...QueryOption) *Result {
+	t.Helper()
+	rows, err := db.Query(sql, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Collect(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPublicParallelism exercises the public parallel surface: the
+// WithQueryParallelism per-query override produces the same rendered rows
+// as a serial run on all plan shapes, the plan reports its dop, and
+// Rows.Stats exposes the merged per-query scan statistics.
+func TestPublicParallelism(t *testing.T) {
+	db := openLineItem(t, 0.002, tpcd.OrderSorted)
+	defineQ1SMAs(t, db)
+
+	serial := collectAll(t, db, query1, WithQueryParallelism(1))
+	par := collectAll(t, db, query1, WithQueryParallelism(4))
+	if serial.Strategy != "SMA_GAggr" || par.Strategy != serial.Strategy {
+		t.Fatalf("strategies: serial %s parallel %s", serial.Strategy, par.Strategy)
+	}
+	if len(serial.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("rows: %d serial vs %d parallel", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		for j := range serial.Rows[i] {
+			if serial.Rows[i][j] != par.Rows[i][j] {
+				t.Errorf("row %d col %d: %q vs %q", i, j, serial.Rows[i][j], par.Rows[i][j])
+			}
+		}
+	}
+
+	plan, err := db.Plan(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Parallelism != 1 {
+		t.Errorf("default plan parallelism = %d, want 1 (serial database)", plan.Parallelism)
+	}
+
+	// Stats: with shipdate-sorted data and the delta-90 cutoff, most
+	// buckets qualify and a few disqualify; the merged parallel stats must
+	// match the serial grading exactly.
+	rows, err := db.Query(query1, WithQueryParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	st, ok := rows.Stats()
+	if !ok {
+		t.Fatal("no stats for aggregation query")
+	}
+	if st.QualifyingBuckets == 0 || st.DisqualifyingBuckets == 0 {
+		t.Errorf("stats = %+v, want qualifying and disqualifying buckets", st)
+	}
+}
+
+// TestPublicWithParallelismOption: a database opened with WithParallelism
+// plans parallel execution by default and still matches serial results.
+func TestPublicWithParallelismOption(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithParallelism(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
+		t.Fatal(err)
+	}
+	li, err := db.eng.Table("LINEITEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := tpcd.GenLineItems(tpcd.Config{ScaleFactor: 0.001, Seed: 7, Order: tpcd.OrderSorted})
+	tp := tuple.NewTuple(li.Schema)
+	for i := range items {
+		items[i].FillTuple(tp)
+		if _, err := li.Append(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	plan, err := db.Plan(query1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Parallelism != 4 {
+		t.Errorf("plan parallelism = %d, want 4", plan.Parallelism)
+	}
+	par := collectAll(t, db, query1)                             // database default: dop 4
+	serial := collectAll(t, db, query1, WithQueryParallelism(1)) // per-query override back to serial
+	if len(par.Rows) != len(serial.Rows) {
+		t.Fatalf("rows: %d parallel vs %d serial", len(par.Rows), len(serial.Rows))
+	}
+	for i := range par.Rows {
+		for j := range par.Rows[i] {
+			if par.Rows[i][j] != serial.Rows[i][j] {
+				t.Errorf("row %d col %d: %q vs %q", i, j, par.Rows[i][j], serial.Rows[i][j])
+			}
+		}
+	}
+}

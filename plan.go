@@ -22,6 +22,9 @@ type PlanInfo struct {
 	CostSMA  float64
 	CostScan float64
 	SMAPages int64
+	// Parallelism is the degree of intra-query parallelism the plan
+	// executes with (1 = serial).
+	Parallelism int
 	// Reason explains the decision.
 	Reason string
 }
@@ -45,6 +48,9 @@ func (p *PlanInfo) Explain() string {
 	b = fmt.Appendf(b, "\n  buckets: %d qualify / %d disqualify / %d ambivalent (%.1f%%)",
 		p.Qualifying, p.Disqualifying, p.Ambivalent, 100*p.AmbivalentFrac())
 	b = fmt.Appendf(b, "\n  cost: sma=%.0f scan=%.0f (sma pages %d)", p.CostSMA, p.CostScan, p.SMAPages)
+	if p.Parallelism > 1 {
+		b = fmt.Appendf(b, "\n  parallel: dop=%d", p.Parallelism)
+	}
 	b = fmt.Appendf(b, "\n  %s", p.Reason)
 	return string(b)
 }
@@ -64,6 +70,7 @@ func (db *DB) Plan(query string) (*PlanInfo, error) {
 		CostSMA:       plan.CostSMA,
 		CostScan:      plan.CostScan,
 		SMAPages:      plan.SMAPages,
+		Parallelism:   plan.DOP,
 		Reason:        plan.Reason,
 	}
 	if plan.Query.Where != nil {

@@ -48,6 +48,34 @@ func (r *Rows) ColumnTypes() []ColumnType {
 // Strategy names the physical plan executing the query (diagnostics).
 func (r *Rows) Strategy() string { return r.cur.Plan().StrategyName() }
 
+// QueryStats reports how the executed query classified and touched the
+// relation: the §3.1 bucket partition the scan observed and the heap pages
+// it fetched. For parallel plans the counts are merged across all
+// partition workers.
+type QueryStats struct {
+	QualifyingBuckets    int
+	DisqualifyingBuckets int
+	AmbivalentBuckets    int
+	PagesRead            int
+}
+
+// Stats returns the query's scan statistics and whether the plan tracks
+// any. For aggregation queries stats are complete as soon as the Rows
+// exist (the aggregation runs up front); for projections they are complete
+// when the stream ends.
+func (r *Rows) Stats() (QueryStats, bool) {
+	s, ok := r.cur.Stats()
+	if !ok {
+		return QueryStats{}, false
+	}
+	return QueryStats{
+		QualifyingBuckets:    s.Qualifying,
+		DisqualifyingBuckets: s.Disqualifying,
+		AmbivalentBuckets:    s.Ambivalent,
+		PagesRead:            s.PagesRead,
+	}, true
+}
+
 // Next advances to the next row, returning false at end of stream or on
 // error (check Err to tell them apart). When Next returns false the read
 // lock has been released.

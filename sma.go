@@ -58,6 +58,33 @@ func WithReadLatency(d time.Duration) Option {
 	return func(o *engine.Options) { o.ReadLatency = d }
 }
 
+// WithParallelism sets the default degree of intra-query parallelism for
+// aggregation queries: buckets are pre-graded with the selection SMAs,
+// disqualified buckets are dropped, and the survivors are split into n
+// page-balanced partitions, each executed by its own worker; the partial
+// aggregates merge into one deterministic, sorted result. 0 or 1 executes
+// serially (the default); runtime.NumCPU() is a good value for CPU-bound
+// workloads. Individual queries can override it with WithQueryParallelism.
+func WithParallelism(n int) Option {
+	return func(o *engine.Options) { o.Parallelism = n }
+}
+
+// QueryOption adjusts the execution of a single query; pass options to
+// QueryContext.
+type QueryOption func(*queryConfig)
+
+// queryConfig collects per-query overrides.
+type queryConfig struct {
+	dop int
+}
+
+// WithQueryParallelism overrides the database's degree of parallelism for
+// one query: 1 forces serial execution, n > 1 requests n partition workers
+// (capped by the work the plan dispatches), 0 keeps the database default.
+func WithQueryParallelism(n int) QueryOption {
+	return func(c *queryConfig) { c.dop = n }
+}
+
 // DB is an embedded warehouse instance rooted at a directory. A DB is safe
 // for concurrent use: queries hold a read lock while their cursor is open,
 // DDL and data modification take the write lock.
@@ -115,10 +142,20 @@ func (db *DB) CreateTable(name string, cols []Column) (*Table, error) {
 // QueryContext parses, plans, and begins executing a SELECT, returning a
 // streaming cursor over typed values. The context is threaded into the
 // scan operators and checked on every bucket/page: cancelling it aborts
-// the query mid-flight with context.Canceled (or DeadlineExceeded). The
-// caller must Close the returned Rows to release the read lock.
-func (db *DB) QueryContext(ctx context.Context, query string) (*Rows, error) {
-	cur, err := db.eng.QueryContext(ctx, query)
+// the query mid-flight with context.Canceled (or DeadlineExceeded); under
+// parallel execution the first failing worker cancels its siblings the
+// same way. The caller must Close the returned Rows to release the read
+// lock.
+func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOption) (*Rows, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	var eopts []engine.QueryOption
+	if cfg.dop != 0 {
+		eopts = append(eopts, engine.WithDOP(cfg.dop))
+	}
+	cur, err := db.eng.QueryContext(ctx, query, eopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +163,8 @@ func (db *DB) QueryContext(ctx context.Context, query string) (*Rows, error) {
 }
 
 // Query is QueryContext with a background context.
-func (db *DB) Query(query string) (*Rows, error) {
-	return db.QueryContext(context.Background(), query)
+func (db *DB) Query(query string, opts ...QueryOption) (*Rows, error) {
+	return db.QueryContext(context.Background(), query, opts...)
 }
 
 // ExecContext runs a DDL or DML statement through the unified SQL
