@@ -1,11 +1,17 @@
-// Command smaql runs SQL queries against a database directory through the
-// SMA-aware planner, streaming results through the public sma cursor API.
+// Command smaql runs SQL statements against a database directory through
+// the SMA-aware planner, streaming query results through the public sma
+// cursor API. Non-SELECT statements — create table, define/drop sma, and
+// the DML statements insert/update/delete — run through the unified exec
+// entrypoint and report rows affected; SMAs are maintained incrementally.
 // Interrupting a long-running query (Ctrl-C) cancels its context, which
 // aborts the scan at the next bucket or page boundary.
 //
 // Usage:
 //
 //	smaql -dir ./db 'select count(*) from LINEITEM where L_SHIPDATE <= date ''1998-09-02'''
+//	smaql -dir ./db 'insert into EVENTS values (date ''2024-01-02'', ''A'', 1.5)'
+//	smaql -dir ./db 'update EVENTS set VALUE = VALUE + 1 where KIND = ''A'''
+//	smaql -dir ./db 'delete from EVENTS where TS <= date ''2024-01-31'''
 //	smaql -dir ./db -explain '<query>'     # show the chosen plan only
 //	smaql -dir ./db -dop 4 '<query>'       # run aggregations on 4 partition workers
 //	echo '<query>' | smaql -dir ./db -
@@ -18,6 +24,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"sma"
@@ -61,6 +68,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
+	if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "select") {
+		res, err := db.ExecContext(ctx, sql)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		switch res.Kind {
+		case "insert", "update", "delete":
+			fmt.Printf("%s: %d rows affected (%v)\n", res.Kind, res.RowsAffected, elapsed.Round(time.Microsecond))
+		case "define sma":
+			fmt.Printf("defined sma %s on %s: %d buckets, %d files, %d pages (%v)\n",
+				res.SMAName, res.Table, res.SMABuckets, res.SMAFiles, res.SMAPages, elapsed.Round(time.Microsecond))
+		default:
+			fmt.Printf("%s %s ok (%v)\n", res.Kind, res.Table, elapsed.Round(time.Microsecond))
+		}
+		return
+	}
 	rows, err := db.QueryContext(ctx, sql)
 	if err != nil {
 		fatal(err)

@@ -1,8 +1,11 @@
-// Maintenance: SMAs stay consistent under appends, updates, and deletes —
+// Maintenance: SMAs stay consistent under inserts, updates, and deletes —
 // the paper's "cheap to maintain" property ("At most one additional page
 // access is needed for an updated tuple"), extended with delete vectors.
-// The whole lifecycle runs through the public sma API, including SQL
-// deletes through the unified entrypoint.
+// The whole lifecycle runs through the public SQL surface: multi-row
+// INSERT, predicate UPDATE and DELETE all flow through the unified exec
+// entrypoint, and every statement maintains the table's SMAs
+// incrementally — appends and sum/count adjustments in O(1) per SMA-file,
+// boundary-moving min/max changes with at most one bucket rescan.
 //
 //	go run ./examples/maintenance
 package main
@@ -11,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"sma"
 )
@@ -28,22 +32,32 @@ func main() {
 	}
 	defer db.Close()
 
-	if _, err := db.Exec(`create table EVENTS (TS date, KIND char(1), VALUE float64)`); err != nil {
-		log.Fatal(err)
-	}
-	events, err := db.Table("EVENTS")
-	if err != nil {
+	// N is a load-order sequence number so updates and deletes below can
+	// address row ranges by predicate instead of by record id.
+	if _, err := db.Exec(`create table EVENTS (TS date, KIND char(1), VALUE float64, N int64)`); err != nil {
 		log.Fatal(err)
 	}
 	start := sma.DateOf(2024, 1, 1)
-	var rids []sma.RID
-	for i := 0; i < 5000; i++ {
-		rid, err := events.Append(start.AddDays(i/50), []string{"A", "B"}[i%2], float64(i%97))
-		if err != nil {
-			log.Fatal(err)
+	insertRows := func(from, to int, kind func(i int) string, day func(i int) sma.Date, value func(i int) int) {
+		const batch = 500 // multi-row VALUES groups, one statement per batch
+		for lo := from; lo < to; lo += batch {
+			hi := lo + batch
+			if hi > to {
+				hi = to
+			}
+			rows := make([]string, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				rows = append(rows, fmt.Sprintf("(date '%s', '%s', %d, %d)", day(i), kind(i), value(i), i))
+			}
+			if _, err := db.Exec("insert into EVENTS values " + strings.Join(rows, ", ")); err != nil {
+				log.Fatal(err)
+			}
 		}
-		rids = append(rids, rid)
 	}
+	insertRows(0, 5000,
+		func(i int) string { return []string{"A", "B"}[i%2] },
+		func(i int) sma.Date { return start.AddDays(i / 50) },
+		func(i int) int { return i % 97 })
 
 	for _, ddl := range []string{
 		"define sma tmin select min(TS) from EVENTS",
@@ -54,6 +68,10 @@ func main() {
 		if _, err := db.Exec(ddl); err != nil {
 			log.Fatal(err)
 		}
+	}
+	events, err := db.Table("EVENTS")
+	if err != nil {
+		log.Fatal(err)
 	}
 	report := func(stage string) {
 		rows, err := db.Query(`select KIND, sum(VALUE) as TOTAL, count(*) as N
@@ -78,41 +96,36 @@ func main() {
 	}
 	report("initial load")
 
-	// Appends extend the last bucket (or open a new one) in O(1) per SMA.
+	// Inserts extend the last bucket (or open a new one) in O(1) per SMA:
+	// a brand-new group ("C") appears mid-life and the grouped SMAs follow.
 	june := sma.DateOf(2024, 6, 1)
-	for i := 0; i < 1000; i++ {
-		// A brand-new group ("C") appears mid-life.
-		if _, err := events.Append(june.AddDays(i/50), "C", 1.0); err != nil {
-			log.Fatal(err)
-		}
-	}
-	report("after 1000 appends")
+	insertRows(5000, 6000,
+		func(int) string { return "C" },
+		func(i int) sma.Date { return june.AddDays((i - 5000) / 50) },
+		func(int) int { return 1 })
+	report("after 1000 inserts")
 
-	// Updates adjust sums in place; only boundary-value updates rescan the
-	// affected bucket.
-	for i := 0; i < 500; i++ {
-		rid := rids[i*7%len(rids)]
-		old, err := events.Get(rid)
-		if err != nil {
-			continue // may have been deleted below on reruns
-		}
-		if err := events.Update(rid, old[0], old[1], old[2].(float64)+10); err != nil {
-			log.Fatal(err)
-		}
+	// Updates adjust sums and counts in place — O(1) per affected SMA-file;
+	// only an update that moves a bucket's min or max value rescans that
+	// one bucket (the paper's "at most one additional page access").
+	res, err := db.Exec("update EVENTS set VALUE = VALUE + 10 where N >= 1000 and N < 1500")
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("SQL update touched %d tuples\n", res.RowsAffected)
 	report("after 500 updates")
 
-	// Targeted deletes go through the delete vector; SMAs follow.
-	for i := 0; i < 500; i++ {
-		if err := events.Delete(rids[i*3%len(rids)]); err != nil {
-			// duplicate index hits are fine for the demo
-			continue
-		}
+	// Targeted deletes go through the delete vector; per-bucket counts and
+	// sums decrement directly, min/max deletions rescan at most one bucket.
+	res, err = db.Exec("delete from EVENTS where N < 250 or (N >= 2000 and N < 2250)")
+	if err != nil {
+		log.Fatal(err)
 	}
+	fmt.Printf("SQL delete removed %d tuples\n", res.RowsAffected)
 	report("after 500 deletes")
 
-	// Bulk deletes run through the unified SQL entrypoint.
-	res, err := db.Exec("delete from EVENTS where TS <= date '2024-01-31'")
+	// Bulk deletes run through the same unified SQL entrypoint.
+	res, err = db.Exec("delete from EVENTS where TS <= date '2024-01-31'")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,14 @@
 package engine_test
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
+	"sma/internal/engine"
 	"sma/internal/tuple"
 )
 
@@ -81,4 +85,81 @@ func TestConcurrentQueriesAndAppends(t *testing.T) {
 			t.Errorf("after concurrent load: %v", err)
 		}
 	}
+}
+
+// TestConcurrentDMLAndParallelReaders runs SQL insert/update/delete
+// statements against readers that execute with intra-query parallelism
+// (dop = NumCPU): partition workers must only ever observe fully applied
+// statements, and the SMAs must be exact afterwards. Run with -race.
+func TestConcurrentDMLAndParallelReaders(t *testing.T) {
+	db := openEvents(t)
+	ctx := context.Background()
+	var seed []string
+	for i := 0; i < 200; i++ {
+		seed = append(seed, fmt.Sprintf("(date '2024-01-01', '%c', %d, %d, 'p')", 'A'+i%3, i%50, i))
+	}
+	exec(t, db, "insert into EVENTS values "+strings.Join(seed, ", "))
+	exec(t, db, "define sma tmin select min(TS) from EVENTS")
+	exec(t, db, "define sma tmax select max(TS) from EVENTS")
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS group by KIND")
+
+	const writers, readers, perWorker = 2, 4, 40
+	dop := runtime.NumCPU()
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				var stmt string
+				switch i % 3 {
+				case 0:
+					stmt = fmt.Sprintf("insert into EVENTS values (date '2024-03-01', 'D', %d, %d, 'q'), (date '2024-03-02', 'E', %d, %d, 'q')",
+						i, w*1000+i, i+1, w*1000+i)
+				case 1:
+					stmt = fmt.Sprintf("update EVENTS set VALUE = VALUE + 1 where N = %d", i)
+				default:
+					stmt = fmt.Sprintf("delete from EVENTS where N = %d and KIND = 'E'", w*1000+i)
+				}
+				if _, err := db.ExecContext(ctx, stmt); err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				cur, err := db.QueryContext(ctx,
+					"select KIND, sum(VALUE), count(*) from EVENTS where TS >= date '2024-01-01' group by KIND",
+					engine.WithDOP(dop))
+				if err != nil {
+					errCh <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				for {
+					_, ok, err := cur.Next()
+					if err != nil {
+						errCh <- fmt.Errorf("reader %d: %w", r, err)
+						cur.Close()
+						return
+					}
+					if !ok {
+						break
+					}
+				}
+				cur.Close()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	verifyAll(t, db, "EVENTS")
 }

@@ -1,0 +1,350 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"sma/internal/core"
+	"sma/internal/parser"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// insertInto appends every VALUES row of the statement, maintaining the
+// table's SMAs through the O(1) OnAppend path. It holds the write lock for
+// the whole statement so concurrent (possibly parallel) readers never see a
+// half-applied multi-row insert; the context is checked before every row.
+// On error the rows already appended stay in the table and the returned
+// count reflects them.
+func (db *DB) insertInto(ctx context.Context, s *parser.InsertStmt) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return 0, err
+	}
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	colIdx, err := insertColumnOrder(t.Schema, s.Columns)
+	if err != nil {
+		return 0, err
+	}
+	var inserted int64
+	for rn, row := range s.Rows {
+		if err := ctx.Err(); err != nil {
+			return inserted, err
+		}
+		if len(row) != len(colIdx) {
+			return inserted, fmt.Errorf("engine: row %d has %d values, table %s needs %d",
+				rn+1, len(row), t.Name, len(colIdx))
+		}
+		tp := tuple.NewTuple(t.Schema)
+		for i, lit := range row {
+			if err := setLiteral(tp, colIdx[i], lit); err != nil {
+				return inserted, fmt.Errorf("engine: row %d column %s: %w",
+					rn+1, t.Schema.Column(colIdx[i]).Name, err)
+			}
+		}
+		rid, err := t.Heap.Append(tp)
+		if err != nil {
+			return inserted, err
+		}
+		t.markSMAsDirty()
+		for _, sm := range t.smas {
+			if err := sm.OnAppend(t.Heap, tp, rid); err != nil {
+				return inserted, repairSMAs(t, err)
+			}
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+// insertColumnOrder maps the statement's column list (or the schema order
+// when absent) to schema indexes. The storage format has no NULLs, so an
+// explicit list must name every column exactly once.
+func insertColumnOrder(s *tuple.Schema, cols []string) ([]int, error) {
+	n := s.NumColumns()
+	if len(cols) == 0 {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	if len(cols) != n {
+		return nil, fmt.Errorf("engine: insert must list all %d columns (no NULLs), got %d", n, len(cols))
+	}
+	out := make([]int, n)
+	seen := make([]bool, n)
+	for i, c := range cols {
+		j := s.ColumnIndex(c)
+		if j < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in insert list", c)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("engine: column %s listed twice in insert", s.Column(j).Name)
+		}
+		seen[j] = true
+		out[i] = j
+	}
+	return out, nil
+}
+
+// setLiteral writes one parsed literal into column i of a record, checking
+// the value against the column type: CHAR data takes string literals up to
+// the declared length, dates take DATE literals, "YYYY-MM-DD" strings or
+// day numbers, and integer columns require integral values in range.
+func setLiteral(tp tuple.Tuple, i int, lit parser.Literal) error {
+	col := tp.Schema.Column(i)
+	switch col.Type {
+	case tuple.TChar:
+		if !lit.IsStr {
+			return fmt.Errorf("char(%d) column needs a string literal, got %s", col.Len, lit)
+		}
+		if len(lit.Str) > col.Len {
+			return fmt.Errorf("value %q exceeds char(%d)", lit.Str, col.Len)
+		}
+		tp.SetChar(i, lit.Str)
+	case tuple.TDate:
+		if lit.IsStr {
+			d, err := tuple.ParseDate(lit.Str)
+			if err != nil {
+				return err
+			}
+			tp.SetInt32(i, d)
+			return nil
+		}
+		d, err := integralIn(lit.Num, math.MinInt32, maxInt32Excl)
+		if err != nil {
+			return fmt.Errorf("date column: %w", err)
+		}
+		tp.SetInt32(i, int32(d))
+	case tuple.TInt32:
+		if lit.IsStr {
+			return fmt.Errorf("int32 column needs a number, got %s", lit)
+		}
+		v, err := integralIn(lit.Num, math.MinInt32, maxInt32Excl)
+		if err != nil {
+			return err
+		}
+		tp.SetInt32(i, int32(v))
+	case tuple.TInt64:
+		if lit.IsStr {
+			return fmt.Errorf("int64 column needs a number, got %s", lit)
+		}
+		v, err := integralIn(lit.Num, math.MinInt64, maxInt64Excl)
+		if err != nil {
+			return err
+		}
+		tp.SetInt64(i, v)
+	case tuple.TFloat64:
+		if lit.IsStr {
+			return fmt.Errorf("float64 column needs a number, got %s", lit)
+		}
+		tp.SetFloat64(i, lit.Num)
+	default:
+		return fmt.Errorf("unsupported column type %v", col.Type)
+	}
+	return nil
+}
+
+// Integer column bounds in the float64 value domain. The upper bounds are
+// EXCLUSIVE: float64(math.MaxInt64) rounds up to 2^63, which overflows
+// int64 on conversion, so a closed comparison against it would admit
+// out-of-range values that then wrap silently. (MaxInt64 itself is not
+// representable as a float64, so rejecting v >= 2^63 loses nothing.)
+const (
+	maxInt32Excl = 1 << 31 // one past math.MaxInt32
+	maxInt64Excl = 1 << 63 // 2^63; float64(math.MaxInt64) rounds up to this
+)
+
+// integralIn checks that v is an integral value within [lo, hiExcl).
+func integralIn(v, lo, hiExcl float64) (int64, error) {
+	if v != math.Trunc(v) {
+		return 0, fmt.Errorf("value %g is not integral", v)
+	}
+	if v < lo || v >= hiExcl {
+		return 0, fmt.Errorf("value %g out of range", v)
+	}
+	return int64(v), nil
+}
+
+// repairSMAs restores consistency after a maintenance hook failed partway
+// through a statement: the heap already reflects the change but some SMAs
+// saw the event and others (the failed one, and any not yet visited in the
+// hook loop) did not, so every SMA of the table is rebuilt from the heap.
+// An SMA whose rebuild also fails is detached, so no later query plans
+// against a silently stale aggregate. The hook's error is returned either
+// way — the statement still fails, but the catalog never serves wrong
+// answers afterwards.
+func repairSMAs(t *Table, hookErr error) error {
+	for name, sm := range t.smas {
+		rebuilt, err := core.Build(t.Heap, sm.Def)
+		if err != nil {
+			delete(t.smas, name)
+			hookErr = fmt.Errorf("engine: sma %s detached after failed maintenance (rebuild: %v): %w",
+				name, err, hookErr)
+			continue
+		}
+		t.smas[name] = rebuilt
+	}
+	return hookErr
+}
+
+// pendingUpdate is one matched tuple of an UPDATE: the record's position
+// plus its old and new images (both copied out of page memory, since the
+// SMA hooks run after the qualifying scan released the pages). Computing
+// every new image before any write-back keeps SET-evaluation errors (type
+// range, NaN) from leaving a half-updated table.
+type pendingUpdate struct {
+	rid      storage.RID
+	old, new tuple.Tuple
+}
+
+// updateWhere overwrites every tuple matching the predicate (all tuples
+// when nil) with the SET clauses evaluated against the old tuple image, as
+// SQL prescribes, then maintains the table's SMAs via OnUpdate — O(1) for
+// sums and counts, at most one bucket rescan for boundary-moving min/max
+// values, the paper's "at most one additional page access" bound.
+//
+// The write lock is held for the whole statement. Matches are collected
+// before any tuple is modified, so an update can never re-qualify a row it
+// already rewrote (the Halloween problem); the context is checked at every
+// page boundary of the qualifying scan and before every write-back.
+// Numeric assignments into integer and date columns truncate toward zero.
+func (db *DB) updateWhere(ctx context.Context, s *parser.UpdateStmt) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return 0, err
+	}
+	t, err := db.table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	apply, err := compileSets(t.Schema, s.Sets)
+	if err != nil {
+		return 0, err
+	}
+	if s.Where != nil {
+		if err := s.Where.Bind(t.Schema); err != nil {
+			return 0, err
+		}
+	}
+	var pending []pendingUpdate
+	lastPage, first := storage.PageID(0), true
+	err = t.Heap.Scan(func(tp tuple.Tuple, rid storage.RID) error {
+		if first || rid.Page != lastPage {
+			first, lastPage = false, rid.Page
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if s.Where != nil && !s.Where.Eval(tp) {
+			return nil
+		}
+		old := tp.Copy()
+		newT, err := apply(old)
+		if err != nil {
+			return err
+		}
+		pending = append(pending, pendingUpdate{rid: rid, old: old, new: newT})
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var updated int64
+	for _, pu := range pending {
+		if err := ctx.Err(); err != nil {
+			return updated, err
+		}
+		if err := t.Heap.Update(pu.rid, pu.new); err != nil {
+			return updated, err
+		}
+		t.markSMAsDirty()
+		for _, sm := range t.smas {
+			if err := sm.OnUpdate(t.Heap, pu.old, pu.new, pu.rid); err != nil {
+				return updated, repairSMAs(t, err)
+			}
+		}
+		updated++
+	}
+	return updated, nil
+}
+
+// compileSets type-checks the SET clauses against the schema and returns a
+// function computing the new tuple image from an old one. String right-hand
+// sides serve CHAR and date columns; everything else needs a scalar
+// expression, bound here once for the whole statement.
+func compileSets(s *tuple.Schema, sets []parser.SetClause) (func(old tuple.Tuple) (tuple.Tuple, error), error) {
+	compiled := make([]func(dst, old tuple.Tuple) error, 0, len(sets))
+	for _, sc := range sets {
+		i := s.ColumnIndex(sc.Col)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in SET", sc.Col)
+		}
+		col := s.Column(i)
+		var set func(dst, old tuple.Tuple) error
+		switch {
+		case col.Type == tuple.TChar:
+			if sc.Str == nil {
+				return nil, fmt.Errorf("engine: char(%d) column %s needs a string literal in SET", col.Len, col.Name)
+			}
+			if len(*sc.Str) > col.Len {
+				return nil, fmt.Errorf("engine: value %q exceeds char(%d) column %s", *sc.Str, col.Len, col.Name)
+			}
+			v := *sc.Str
+			set = func(dst, _ tuple.Tuple) error {
+				dst.SetChar(i, v)
+				return nil
+			}
+		case sc.Str != nil && col.Type == tuple.TDate:
+			d, err := tuple.ParseDate(*sc.Str)
+			if err != nil {
+				return nil, fmt.Errorf("engine: column %s: %w", col.Name, err)
+			}
+			set = func(dst, _ tuple.Tuple) error {
+				dst.SetInt32(i, d)
+				return nil
+			}
+		case sc.Str != nil:
+			return nil, fmt.Errorf("engine: column %s (type %s) cannot be set from string %q",
+				col.Name, col.Type, *sc.Str)
+		default:
+			if err := sc.Expr.Bind(s); err != nil {
+				return nil, err
+			}
+			e, lo, hiExcl := sc.Expr, 0.0, 0.0
+			switch col.Type {
+			case tuple.TInt32, tuple.TDate:
+				lo, hiExcl = math.MinInt32, maxInt32Excl
+			case tuple.TInt64:
+				lo, hiExcl = math.MinInt64, maxInt64Excl
+			}
+			set = func(dst, old tuple.Tuple) error {
+				v := e.Eval(old)
+				if lo != 0 || hiExcl != 0 {
+					if math.IsNaN(v) || v < lo || v >= hiExcl {
+						return fmt.Errorf("engine: value %g out of range for column %s", v, col.Name)
+					}
+				}
+				dst.SetNumeric(i, v)
+				return nil
+			}
+		}
+		compiled = append(compiled, set)
+	}
+	return func(old tuple.Tuple) (tuple.Tuple, error) {
+		dst := old.Copy()
+		for _, set := range compiled {
+			if err := set(dst, old); err != nil {
+				return tuple.Tuple{}, err
+			}
+		}
+		return dst, nil
+	}, nil
+}

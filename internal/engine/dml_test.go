@@ -1,0 +1,314 @@
+package engine_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sma/internal/engine"
+	"sma/internal/tuple"
+)
+
+// day renders a calendar date in the numeric day domain aggregate outputs
+// use (aggregate columns are always float64, even over date columns).
+func day(s string) string {
+	return fmt.Sprint(tuple.MustParseDate(s))
+}
+
+// openEvents creates a small EVENTS table with a fat pad column so only a
+// handful of records fit per page, making bucket boundaries cheap to reach.
+func openEvents(t testing.TB) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(t.TempDir(), engine.Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	_, err = db.ExecContext(context.Background(),
+		"create table EVENTS (TS date, KIND char(1), VALUE float64, N int64, PAD char(400))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// exec runs a statement, failing the test on error.
+func exec(t testing.TB, db *engine.DB, sql string) *engine.ExecResult {
+	t.Helper()
+	res, err := db.ExecContext(context.Background(), sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+// verifyAll re-derives every SMA from the heap and compares.
+func verifyAll(t testing.TB, db *engine.DB, table string) {
+	t.Helper()
+	tbl, err := db.Table(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.SMAs() {
+		if err := tbl.VerifySMA(s.Def.Name); err != nil {
+			t.Fatalf("VerifySMA(%s): %v", s.Def.Name, err)
+		}
+	}
+}
+
+// queryOne runs an aggregation query expected to yield a single row and
+// returns that row.
+func queryOne(t testing.TB, db *engine.DB, sql string) []string {
+	t.Helper()
+	res, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("%s: %d rows, want 1", sql, len(res.Rows))
+	}
+	return res.Rows[0]
+}
+
+// TestInsertAcrossBucketBoundary: a single multi-row INSERT that starts in
+// one bucket and ends in the next maintains every SMA, including opening
+// new buckets in O(1) per SMA-file.
+func TestInsertAcrossBucketBoundary(t *testing.T) {
+	db := openEvents(t)
+	tbl, err := db.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPage := tbl.Heap.RecordsPerPage()
+	if perPage < 2 || perPage > 64 {
+		t.Fatalf("unexpected records per page %d; pad the schema", perPage)
+	}
+	// Fill all but one slot of the first bucket.
+	var rows []string
+	for i := 0; i < perPage-1; i++ {
+		rows = append(rows, fmt.Sprintf("(date '2024-01-%02d', 'A', %d, %d, 'p')", i%27+1, i, i))
+	}
+	exec(t, db, "insert into EVENTS values "+strings.Join(rows, ", "))
+	exec(t, db, "define sma vmin select min(VALUE) from EVENTS")
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS group by KIND")
+	exec(t, db, "define sma cnt select count(*) from EVENTS group by KIND")
+	if got := tbl.Heap.NumBuckets(); got != 1 {
+		t.Fatalf("setup should stay in bucket 0, got %d buckets", got)
+	}
+
+	// Five more rows: one lands in bucket 0, four spill into bucket 1.
+	res := exec(t, db, `insert into EVENTS values
+		(date '2024-02-01', 'B', -5, 100, 'q'),
+		(date '2024-02-02', 'A', 50, 101, 'q'),
+		(date '2024-02-03', 'C', 60, 102, 'q'),
+		(date '2024-02-04', 'B', 70, 103, 'q'),
+		(date '2024-02-05', 'A', 80, 104, 'q')`)
+	if res.RowsAffected != 5 || res.Kind != "insert" {
+		t.Fatalf("insert result = %+v", res)
+	}
+	if got := tbl.Heap.NumBuckets(); got < 2 {
+		t.Fatalf("insert should have crossed into bucket 1, got %d buckets", got)
+	}
+	verifyAll(t, db, "EVENTS")
+	row := queryOne(t, db, "select count(*), min(VALUE) from EVENTS")
+	if row[0] != fmt.Sprint(perPage-1+5) || row[1] != "-5" {
+		t.Errorf("count/min after boundary insert = %v", row)
+	}
+}
+
+// TestInsertColumnListAndErrors: explicit column order works; arity and
+// type violations are rejected.
+func TestInsertColumnListAndErrors(t *testing.T) {
+	db := openEvents(t)
+	res := exec(t, db,
+		"insert into EVENTS (VALUE, TS, N, PAD, KIND) values (1.5, '2024-03-01', 7, 'pp', 'Z')")
+	if res.RowsAffected != 1 {
+		t.Fatalf("rows affected = %d", res.RowsAffected)
+	}
+	row := queryOne(t, db, "select KIND, sum(VALUE), max(N) from EVENTS group by KIND")
+	if row[0] != "Z" || row[1] != "1.5000" || row[2] != "7" {
+		t.Errorf("reordered insert row = %v", row)
+	}
+	for _, bad := range []string{
+		"insert into NOPE values (1)",
+		"insert into EVENTS values (date '2024-01-01', 'A', 1, 2)",            // arity
+		"insert into EVENTS (TS, KIND) values (date '2024-01-01', 'A')",       // partial column list
+		"insert into EVENTS (TS, KIND, VALUE, N, N) values (1, 'A', 1, 2, 3)", // duplicate column
+		"insert into EVENTS values (date '2024-01-01', 'AB', 1, 2, 'p')",      // char(1) overflow
+		"insert into EVENTS values (date '2024-01-01', 'A', 1, 2.5, 'p')",     // non-integral int64
+		"insert into EVENTS values (date '2024-01-01', 'A', 1, 'x', 'p')",     // string into int64
+		// MaxInt64 is not float64-representable; the literal arrives as
+		// 2^63 and must be rejected, not wrapped to MinInt64.
+		"insert into EVENTS values (date '2024-01-01', 'A', 1, 9223372036854775807, 'p')",
+		"insert into EVENTS values ('not-a-date', 'A', 1, 2, 'p')", // bad date string
+	} {
+		if _, err := db.ExecContext(context.Background(), bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+// TestUpdateMovesBoundaryValue: updating the tuple that carries a bucket's
+// min (or max) forces the OnUpdate rescan path; the SMA must re-derive the
+// next-best value from the bucket.
+func TestUpdateMovesBoundaryValue(t *testing.T) {
+	db := openEvents(t)
+	exec(t, db, `insert into EVENTS values
+		(date '2024-01-01', 'A', 10, 1, 'p'),
+		(date '2024-01-02', 'A', 20, 2, 'p'),
+		(date '2024-01-03', 'A', 30, 3, 'p')`)
+	exec(t, db, "define sma vmin select min(VALUE) from EVENTS")
+	exec(t, db, "define sma vmax select max(VALUE) from EVENTS")
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS")
+
+	// Raise the bucket minimum (10 -> 25): min must become 20 via rescan.
+	res := exec(t, db, "update EVENTS set VALUE = 25 where VALUE = 10")
+	if res.Kind != "update" || res.RowsAffected != 1 {
+		t.Fatalf("update result = %+v", res)
+	}
+	verifyAll(t, db, "EVENTS")
+	row := queryOne(t, db, "select min(VALUE), max(VALUE), sum(VALUE) from EVENTS")
+	if row[0] != "20" || row[1] != "30" || row[2] != "75" {
+		t.Errorf("after boundary min update: %v", row)
+	}
+
+	// Lower the bucket maximum (30 -> 5): max must become 25 via rescan,
+	// and the new value becomes the min.
+	exec(t, db, "update EVENTS set VALUE = VALUE - 25 where VALUE = 30")
+	verifyAll(t, db, "EVENTS")
+	row = queryOne(t, db, "select min(VALUE), max(VALUE), sum(VALUE) from EVENTS")
+	if row[0] != "5" || row[1] != "25" || row[2] != "50" {
+		t.Errorf("after boundary max update: %v", row)
+	}
+}
+
+// TestInsertAfterLateSMADefinition: SMAs defined long after the initial
+// load pick up subsequent SQL inserts seamlessly.
+func TestInsertAfterLateSMADefinition(t *testing.T) {
+	db := openEvents(t)
+	exec(t, db, `insert into EVENTS values
+		(date '2024-01-01', 'A', 1, 1, 'p'),
+		(date '2024-01-02', 'B', 2, 2, 'p')`)
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS group by KIND")
+	exec(t, db, "define sma tmax select max(TS) from EVENTS")
+	res := exec(t, db, `insert into EVENTS values
+		(date '2024-05-01', 'A', 10, 3, 'p'),
+		(date '2024-05-02', 'C', 100, 4, 'p')`)
+	if res.RowsAffected != 2 {
+		t.Fatalf("rows affected = %d", res.RowsAffected)
+	}
+	verifyAll(t, db, "EVENTS")
+	row := queryOne(t, db, "select max(TS), sum(VALUE) from EVENTS")
+	if row[0] != day("2024-05-02") || row[1] != "113" {
+		t.Errorf("after late-SMA insert: %v", row)
+	}
+	res2, err := db.Query("select KIND, sum(VALUE) from EVENTS group by KIND order by KIND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"A", "11"}, {"B", "2"}, {"C", "100"}}
+	if len(res2.Rows) != len(want) {
+		t.Fatalf("group rows = %v", res2.Rows)
+	}
+	for i, w := range want {
+		if res2.Rows[i][0] != w[0] || res2.Rows[i][1] != w[1] {
+			t.Errorf("group %d = %v, want %v", i, res2.Rows[i], w)
+		}
+	}
+}
+
+// TestUpdateDeleteZeroMatches: predicates matching nothing succeed with
+// RowsAffected 0 and leave SMAs untouched.
+func TestUpdateDeleteZeroMatches(t *testing.T) {
+	db := openEvents(t)
+	exec(t, db, "insert into EVENTS values (date '2024-01-01', 'A', 1, 1, 'p')")
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS")
+	if res := exec(t, db, "update EVENTS set VALUE = 99 where N > 1000"); res.RowsAffected != 0 {
+		t.Errorf("update matched %d rows, want 0", res.RowsAffected)
+	}
+	if res := exec(t, db, "delete from EVENTS where TS > date '2030-01-01'"); res.RowsAffected != 0 {
+		t.Errorf("delete matched %d rows, want 0", res.RowsAffected)
+	}
+	verifyAll(t, db, "EVENTS")
+	if row := queryOne(t, db, "select sum(VALUE), count(*) from EVENTS"); row[0] != "1" || row[1] != "1" {
+		t.Errorf("table changed: %v", row)
+	}
+}
+
+// TestDMLPersistence: incrementally maintained SMAs are re-saved on Close
+// — a reopened database must answer from them exactly, not from the stale
+// bulkload-time SMA-files.
+func TestDMLPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := engine.Open(dir, engine.Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	exec(t, db, "create table EVENTS (TS date, KIND char(1), VALUE float64, N int64, PAD char(400))")
+	exec(t, db, `insert into EVENTS values
+		(date '2024-01-01', 'A', 10, 1, 'p'),
+		(date '2024-01-02', 'B', 20, 2, 'p')`)
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS group by KIND")
+	exec(t, db, "define sma vmin select min(VALUE) from EVENTS")
+	exec(t, db, `insert into EVENTS values (date '2024-02-01', 'A', -5, 3, 'p')`)
+	exec(t, db, "update EVENTS set VALUE = 7 where N = 2")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := engine.Open(dir, engine.Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db2.Close() })
+	verifyAll(t, db2, "EVENTS")
+	row := queryOne(t, db2, "select min(VALUE), sum(VALUE), count(*) from EVENTS")
+	if row[0] != "-5" || row[1] != "12" || row[2] != "3" {
+		t.Errorf("after reopen: %v", row)
+	}
+	// And the maintenance hooks keep working on the reopened handle.
+	if _, err := db2.ExecContext(ctx, "insert into EVENTS values (date '2024-03-01', 'C', 100, 4, 'p')"); err != nil {
+		t.Fatal(err)
+	}
+	verifyAll(t, db2, "EVENTS")
+}
+
+// TestUpdateSetForms: string sets on CHAR and date columns, expression
+// sets referencing other columns, group-migrating updates, and type errors.
+func TestUpdateSetForms(t *testing.T) {
+	db := openEvents(t)
+	exec(t, db, `insert into EVENTS values
+		(date '2024-01-01', 'A', 10, 1, 'p'),
+		(date '2024-01-02', 'B', 20, 2, 'p')`)
+	exec(t, db, "define sma vsum select sum(VALUE) from EVENTS group by KIND")
+	exec(t, db, "define sma cnt select count(*) from EVENTS group by KIND")
+
+	// Group migration: B becomes A; the per-group SMAs rescan the bucket.
+	exec(t, db, "update EVENTS set KIND = 'A', TS = '2024-02-01', VALUE = N * 100 where KIND = 'B'")
+	verifyAll(t, db, "EVENTS")
+	row := queryOne(t, db, "select KIND, sum(VALUE), count(*), max(TS) from EVENTS group by KIND")
+	if row[0] != "A" || row[1] != "210" || row[2] != "2" || row[3] != day("2024-02-01") {
+		t.Errorf("after group migration: %v", row)
+	}
+
+	for _, bad := range []string{
+		"update NOPE set A = 1",
+		"update EVENTS set MISSING = 1",             // unknown column
+		"update EVENTS set KIND = 1",                // char needs string
+		"update EVENTS set KIND = 'XY'",             // char(1) overflow
+		"update EVENTS set VALUE = 'x'",             // numeric needs expression
+		"update EVENTS set TS = 'not-a-date'",       // bad date string
+		"update EVENTS set N = 1/0",                 // +Inf out of int64 range
+		"update EVENTS set N = 9223372036854775807", // 2^63 after float64 rounding; must not wrap
+		"update EVENTS set PAD = VALUE",             // char set from expression
+		"update EVENTS set VALUE = MISSING + 1",     // unknown column in expr
+	} {
+		if _, err := db.ExecContext(context.Background(), bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+	// Errors must not have modified anything.
+	verifyAll(t, db, "EVENTS")
+}

@@ -67,6 +67,19 @@ type Table struct {
 	disk *storage.DiskManager
 	pool *storage.BufferPool
 	smas map[string]*core.SMA
+	// smaDirty records that incremental maintenance has changed the
+	// in-memory SMA vectors since load, so Close must re-save them.
+	// Guarded by db.mu like the rest of the table state.
+	smaDirty bool
+}
+
+// markSMAsDirty flags the table's SMAs for re-save on Close. Called under
+// the write lock by every path that runs maintenance hooks; a table
+// without SMAs has nothing to save.
+func (t *Table) markSMAsDirty() {
+	if len(t.smas) > 0 {
+		t.smaDirty = true
+	}
 }
 
 // DB is an embedded warehouse instance rooted at a directory. A DB is safe
@@ -98,9 +111,12 @@ func Open(dir string, opts Options) (*DB, error) {
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
 
-// Close flushes and closes every table, persisting delete vectors. Close
-// is idempotent: a second call is a no-op and returns nil. Close blocks
-// until open streaming cursors release their read locks.
+// Close flushes and closes every table, persisting delete vectors and —
+// for tables whose SMAs were incrementally maintained this session — the
+// in-memory SMA vectors (without the re-save a reopened database would
+// grade and answer queries from stale SMA-files). Read-only sessions write
+// nothing. Close is idempotent: a second call is a no-op and returns nil.
+// Close blocks until open streaming cursors release their read locks.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -116,6 +132,13 @@ func (db *DB) Close() error {
 		if dv := t.Heap.DeleteVector(); dv != nil && dv.Len() > 0 {
 			if err := dv.Save(db.deletePath(t.Name)); err != nil && firstErr == nil {
 				firstErr = err
+			}
+		}
+		if t.smaDirty {
+			for _, s := range t.smas {
+				if err := s.Save(db.smaDir(t.Name)); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 		if err := t.disk.Close(); err != nil && firstErr == nil {
@@ -249,9 +272,10 @@ func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
 	if err != nil {
 		return rid, err
 	}
+	t.markSMAsDirty()
 	for _, s := range t.smas {
 		if err := s.OnAppend(t.Heap, tp, rid); err != nil {
-			return rid, err
+			return rid, repairSMAs(t, err)
 		}
 	}
 	return rid, nil
@@ -271,9 +295,10 @@ func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
 	if err := t.Heap.Update(rid, tp); err != nil {
 		return err
 	}
+	t.markSMAsDirty()
 	for _, s := range t.smas {
 		if err := s.OnUpdate(t.Heap, old, tp, rid); err != nil {
-			return err
+			return repairSMAs(t, err)
 		}
 	}
 	return nil
@@ -291,9 +316,10 @@ func (t *Table) Delete(rid storage.RID) error {
 	if err != nil {
 		return err
 	}
+	t.markSMAsDirty()
 	for _, s := range t.smas {
 		if err := s.OnDelete(t.Heap, old, rid); err != nil {
-			return err
+			return repairSMAs(t, err)
 		}
 	}
 	return nil

@@ -14,19 +14,21 @@ import (
 // ExecResult reports the effect of a non-SELECT statement.
 type ExecResult struct {
 	// Kind names the executed statement: "define sma", "drop sma",
-	// "create table", or "delete".
+	// "create table", "insert", "update", or "delete".
 	Kind  string
 	Table string
 	// SMA is the built SMA for "define sma" statements.
 	SMA *core.SMA
-	// RowsAffected is the number of tuples removed by "delete".
+	// RowsAffected is the number of tuples inserted, updated, or removed
+	// by a DML statement.
 	RowsAffected int64
 }
 
 // ExecContext runs a DDL or DML statement through the unified SQL
-// entrypoint: "define sma", "drop sma", "create table", and "delete"
-// statements are dispatched to the corresponding engine operation. SELECT
-// statements are rejected — they stream through QueryContext.
+// entrypoint: "define sma", "drop sma", "create table", "insert",
+// "update", and "delete" statements are dispatched to the corresponding
+// engine operation. SELECT statements are rejected — they stream through
+// QueryContext.
 func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -57,6 +59,18 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) 
 			return nil, err
 		}
 		return &ExecResult{Kind: "create table", Table: s.Table}, nil
+	case *parser.InsertStmt:
+		n, err := db.insertInto(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "insert", Table: s.Table, RowsAffected: n}, nil
+	case *parser.UpdateStmt:
+		n, err := db.updateWhere(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Kind: "update", Table: s.Table, RowsAffected: n}, nil
 	case *parser.DeleteStmt:
 		n, err := db.deleteWhere(ctx, s.Table, s.Where)
 		if err != nil {
@@ -110,9 +124,10 @@ func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (
 		if err != nil {
 			return deleted, err
 		}
+		t.markSMAsDirty()
 		for _, s := range t.smas {
 			if err := s.OnDelete(t.Heap, old, rid); err != nil {
-				return deleted, err
+				return deleted, repairSMAs(t, err)
 			}
 		}
 		deleted++

@@ -1,0 +1,89 @@
+package parser
+
+import (
+	"testing"
+)
+
+// statementSeeds covers every statement form the repo uses: DDL, the full
+// DML surface, and the query shapes of the examples and tests.
+var statementSeeds = []string{
+	// DDL
+	"create table T (A date, B char(3), C float64, D int32, E int64)",
+	"define sma tmin select min(TS) from EVENTS",
+	"define sma vsum select sum(VALUE) from EVENTS group by KIND",
+	"define sma n select count(*) from EVENTS group by KIND",
+	"define sma disc select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"drop sma vsum on EVENTS",
+	// DML
+	"insert into T values (1, 'x', 2.5)",
+	"insert into EVENTS values (date '2024-01-01', 'A', 1, 1, 'p'), ('2024-01-02', 'B', -2.5, 2, '')",
+	"insert into T (B, A) values ('x', 1)",
+	"update T set A = A + 1, G = 'B', D = date '2024-06-01' where B >= 10",
+	"update EVENTS set VALUE = 25 where VALUE = 10",
+	"update W set D = D - 6, K = 'C'",
+	"delete from T where A <= 5 and B <> 'x'",
+	"delete from W",
+	// queries through the statement entrypoint
+	"select count(*) from LINEITEM where L_SHIPDATE <= date '1998-09-02'",
+	"select * from W where not (D <= date '2024-11-19')",
+	"select K, sum(V) as AG0, avg(V) as AG1 from W where V >= N group by K having AG0 < 7 order by K limit 3",
+	"select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT) * (1 + L_TAX)) from LINEITEM",
+	"select D, K from W where K = 'B' or V > 1.5 limit 10",
+}
+
+var querySeeds = []string{
+	"select count(*) from T",
+	"select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, avg(l_extendedprice) as avg_price from lineitem where l_shipdate <= date '1998-09-02' group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus",
+	"select min(D), max(D) from W where V = 0.5",
+	"select * from EVENTS limit 7",
+	"select K, count(*) from W where D >= '2024-02-01' and N < 100 group by K having K >= 'B' order by K",
+	"select sum(V + INTERVAL '30' DAY) from W",
+}
+
+var smaDefSeeds = []string{
+	"define sma tmin select min(TS) from EVENTS",
+	"define sma smax select max(L_SHIPDATE) from LINEITEM",
+	"define sma vsum select sum(VALUE) from EVENTS group by KIND",
+	"define sma cnt select count(*) from LINEITEM group by L_RETURNFLAG, L_LINESTATUS",
+	"define sma rev select sum(L_EXTENDEDPRICE * (1 - L_DISCOUNT)) from LINEITEM",
+}
+
+// FuzzParseStatement: any input either parses into a non-nil statement or
+// returns an error; it must never panic.
+func FuzzParseStatement(f *testing.F) {
+	for _, s := range statementSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := ParseStatement(src)
+		if err == nil && st == nil {
+			t.Fatalf("ParseStatement(%q) returned nil statement without error", src)
+		}
+	})
+}
+
+// FuzzParseQuery: malformed queries error, valid ones yield a query.
+func FuzzParseQuery(f *testing.F) {
+	for _, s := range querySeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err == nil && q == nil {
+			t.Fatalf("ParseQuery(%q) returned nil query without error", src)
+		}
+	})
+}
+
+// FuzzParseSMADef: malformed definitions error, valid ones name a table.
+func FuzzParseSMADef(f *testing.F) {
+	for _, s := range smaDefSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		def, err := ParseSMADef(src)
+		if err == nil && (def.Name == "" || def.Table == "") {
+			t.Fatalf("ParseSMADef(%q) succeeded with empty name or table", src)
+		}
+	})
+}

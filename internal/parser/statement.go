@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"sma/internal/core"
+	"sma/internal/expr"
 	"sma/internal/pred"
 	"sma/internal/tuple"
 )
@@ -45,14 +46,61 @@ type DeleteStmt struct {
 	Where pred.Predicate // nil deletes every tuple
 }
 
+// Literal is one literal value of an INSERT row: a quoted string (CHAR
+// data, or a date in "YYYY-MM-DD" form that the engine converts by column
+// type) or a number, with DATE literals already folded into the numeric
+// day domain.
+type Literal struct {
+	IsStr bool
+	Str   string  // string literal text when IsStr
+	Num   float64 // numeric and DATE literals otherwise
+}
+
+// String renders the literal for diagnostics.
+func (l Literal) String() string {
+	if l.IsStr {
+		return "'" + l.Str + "'"
+	}
+	return strconv.FormatFloat(l.Num, 'g', -1, 64)
+}
+
+// InsertStmt inserts tuples:
+// "insert into T [(col, ...)] values (v, ...), (v, ...)".
+// When Columns is empty the values follow the schema's column order.
+type InsertStmt struct {
+	Table   string
+	Columns []string    // optional explicit column order
+	Rows    [][]Literal // one entry per VALUES group
+}
+
+// SetClause is one assignment of an UPDATE's SET list. Expr carries a
+// scalar right-hand side over the old tuple; a bare string literal is kept
+// in Str instead (only the engine knows whether the column is CHAR data or
+// a date).
+type SetClause struct {
+	Col  string
+	Expr expr.Expr
+	Str  *string
+}
+
+// UpdateStmt updates tuples: "update T set col = expr [, ...] [where <pred>]".
+type UpdateStmt struct {
+	Table string
+	Sets  []SetClause
+	Where pred.Predicate // nil updates every tuple
+}
+
 func (*SelectStmt) isStatement()      {}
 func (*DefineSMAStmt) isStatement()   {}
 func (*DropSMAStmt) isStatement()     {}
 func (*CreateTableStmt) isStatement() {}
 func (*DeleteStmt) isStatement()      {}
+func (*InsertStmt) isStatement()      {}
+func (*UpdateStmt) isStatement()      {}
 
 // ParseStatement parses any supported SQL statement, dispatching on the
-// leading keyword: SELECT, DEFINE SMA, DROP SMA, CREATE TABLE, DELETE.
+// leading keyword: SELECT, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT,
+// UPDATE, DELETE.
 func ParseStatement(src string) (Statement, error) {
 	p, err := newParser(src)
 	if err != nil {
@@ -75,10 +123,14 @@ func ParseStatement(src string) (Statement, error) {
 		return p.parseDropSMA()
 	case p.isKeyword("create"):
 		return p.parseCreateTable()
+	case p.isKeyword("insert"):
+		return p.parseInsert()
+	case p.isKeyword("update"):
+		return p.parseUpdate()
 	case p.isKeyword("delete"):
 		return p.parseDelete()
 	default:
-		return nil, fmt.Errorf("parser: expected SELECT, DEFINE SMA, DROP SMA, CREATE TABLE or DELETE, found %q", p.peek().text)
+		return nil, fmt.Errorf("parser: expected SELECT, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT, UPDATE or DELETE, found %q", p.peek().text)
 	}
 }
 
@@ -187,6 +239,182 @@ func (p *parser) parseColumnDef() (tuple.Column, error) {
 		return tuple.Column{}, fmt.Errorf("parser: unknown column type %q (want int32, int64, float64, date, char(n))", typName)
 	}
 	return col, nil
+}
+
+// parseInsert parses "insert into <table> [(col, ...)] values (lit, ...)
+// [, (lit, ...) ...]". Every VALUES group must have the same arity; the
+// engine checks the arity against the schema.
+func (p *parser) parseInsert() (Statement, error) {
+	if err := p.expectKeyword("insert"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	st := &InsertStmt{Table: strings.ToUpper(table)}
+	if p.acceptSymbol("(") {
+		cols, err := p.parseColumnList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		st.Columns = cols
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, lit)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if len(st.Rows) > 0 && len(row) != len(st.Rows[0]) {
+			return nil, fmt.Errorf("parser: VALUES row %d has %d values, first row has %d",
+				len(st.Rows)+1, len(row), len(st.Rows[0]))
+		}
+		st.Rows = append(st.Rows, row)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return st, nil
+}
+
+// parseLiteral parses one INSERT value: a (possibly negated) number, a
+// quoted string, or a DATE literal.
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.peek()
+	switch {
+	case p.acceptSymbol("-"):
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Literal{}, err
+		}
+		if lit.IsStr {
+			return Literal{}, fmt.Errorf("parser: cannot negate string literal %s", lit)
+		}
+		lit.Num = -lit.Num
+		return lit, nil
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("parser: bad number %q: %w", t.text, err)
+		}
+		return Literal{Num: v}, nil
+	case t.kind == tokString:
+		p.pos++
+		return Literal{IsStr: true, Str: t.text}, nil
+	case t.kind == tokIdent && strings.EqualFold(t.text, "date"):
+		p.pos++
+		s := p.peek()
+		if s.kind != tokString {
+			return Literal{}, fmt.Errorf("parser: DATE must be followed by a 'YYYY-MM-DD' literal")
+		}
+		p.pos++
+		d, err := tuple.ParseDate(s.text)
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Num: float64(d)}, nil
+	default:
+		return Literal{}, fmt.Errorf("parser: expected literal value at offset %d, found %q", t.pos, t.text)
+	}
+}
+
+// parseUpdate parses "update <table> set col = rhs [, ...] [where <pred>]".
+// A right-hand side that is a bare string literal stays a string (CHAR or
+// date data); anything else is a scalar expression over the old tuple.
+func (p *parser) parseUpdate() (Statement, error) {
+	if err := p.expectKeyword("update"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	st := &UpdateStmt{Table: strings.ToUpper(table)}
+	seen := map[string]bool{}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		col = strings.ToUpper(col)
+		if seen[col] {
+			return nil, fmt.Errorf("parser: column %s assigned twice in SET", col)
+		}
+		seen[col] = true
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		sc := SetClause{Col: col}
+		if s, ok := p.acceptBareString(); ok {
+			sc.Str = &s
+		} else if sc.Expr, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, sc)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("where") {
+		if st.Where, err = p.parseOr(); err != nil {
+			return nil, err
+		}
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return st, nil
+}
+
+// acceptBareString consumes a string literal only when it is a complete
+// clause by itself (followed by ",", ";", WHERE or end of input), so that
+// expressions starting with a string — none exist today, but DATE '...'
+// arithmetic does — keep going through parseExpr.
+func (p *parser) acceptBareString() (string, bool) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", false
+	}
+	next := p.toks[p.pos+1]
+	switch {
+	case next.kind == tokEOF,
+		next.kind == tokSymbol && (next.text == "," || next.text == ";"),
+		next.kind == tokIdent && strings.EqualFold(next.text, "where"):
+		p.pos++
+		return t.text, true
+	}
+	return "", false
 }
 
 // parseDelete parses "delete from <table> [where <pred>]".

@@ -18,6 +18,8 @@ func TestParseStatementDispatch(t *testing.T) {
 		{"drop sma m on T", "drop"},
 		{"create table T (A date, B char(3), C float64)", "create"},
 		{"delete from T where A <= 5", "delete"},
+		{"insert into T values (1, 'x')", "insert"},
+		{"update T set A = 1", "update"},
 	}
 	for _, c := range cases {
 		st, err := ParseStatement(c.src)
@@ -36,6 +38,10 @@ func TestParseStatementDispatch(t *testing.T) {
 			got = "create"
 		case *DeleteStmt:
 			got = "delete"
+		case *InsertStmt:
+			got = "insert"
+		case *UpdateStmt:
+			got = "update"
 		}
 		if got != c.want {
 			t.Errorf("%q parsed as %T", c.src, st)
@@ -140,20 +146,96 @@ func TestParseProjection(t *testing.T) {
 	}
 }
 
+// TestParseInsert: multi-row VALUES, optional column list, every literal
+// form.
+func TestParseInsert(t *testing.T) {
+	st, err := ParseStatement(
+		"insert into SALES values (date '2020-01-02', 'N', 129.95, -3), ('2020-01-03', 'S', 0, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := st.(*InsertStmt)
+	if in.Table != "SALES" || len(in.Columns) != 0 || len(in.Rows) != 2 {
+		t.Fatalf("insert = %+v", in)
+	}
+	r0 := in.Rows[0]
+	if r0[0].IsStr || r0[0].Num != float64(tuple.MustParseDate("2020-01-02")) {
+		t.Errorf("date literal = %+v", r0[0])
+	}
+	if !r0[1].IsStr || r0[1].Str != "N" {
+		t.Errorf("string literal = %+v", r0[1])
+	}
+	if r0[2].Num != 129.95 || r0[3].Num != -3 {
+		t.Errorf("numeric literals = %+v %+v", r0[2], r0[3])
+	}
+	if !in.Rows[1][0].IsStr || in.Rows[1][0].Str != "2020-01-03" {
+		t.Errorf("date-as-string literal = %+v", in.Rows[1][0])
+	}
+
+	st, err = ParseStatement("insert into T (B, A) values (1, 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in = st.(*InsertStmt)
+	if len(in.Columns) != 2 || in.Columns[0] != "B" || in.Columns[1] != "A" {
+		t.Errorf("columns = %v", in.Columns)
+	}
+}
+
+// TestParseUpdate: expression and string right-hand sides, optional WHERE.
+func TestParseUpdate(t *testing.T) {
+	st, err := ParseStatement(
+		"update T set A = A + 1, G = 'B', D = date '2024-06-01' where B >= 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := st.(*UpdateStmt)
+	if up.Table != "T" || len(up.Sets) != 3 || up.Where == nil {
+		t.Fatalf("update = %+v", up)
+	}
+	if up.Sets[0].Col != "A" || up.Sets[0].Expr == nil || up.Sets[0].Str != nil {
+		t.Errorf("expr set = %+v", up.Sets[0])
+	}
+	if up.Sets[1].Col != "G" || up.Sets[1].Str == nil || *up.Sets[1].Str != "B" {
+		t.Errorf("string set = %+v", up.Sets[1])
+	}
+	if up.Sets[2].Expr == nil {
+		t.Errorf("date set should parse as an expression, got %+v", up.Sets[2])
+	}
+	st, err = ParseStatement("update T set A = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*UpdateStmt).Where != nil {
+		t.Errorf("bare update should have nil predicate")
+	}
+}
+
 // TestParseStatementErrors: malformed statements are rejected.
 func TestParseStatementErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"insert into T values (1)",
-		"drop sma m",                   // missing ON table
-		"create table T ()",            // no columns
-		"create table T (A varchar)",   // unknown type
-		"create table T (A char)",      // char without length
-		"create table T (A char(0))",   // bad length
-		"delete T",                     // missing FROM
-		"delete from T where A ~ 1",    // bad operator
-		"drop sma m on T junk",         // trailing tokens
-		"create table T (A date) junk", // trailing tokens
+		"drop sma m",                       // missing ON table
+		"create table T ()",                // no columns
+		"create table T (A varchar)",       // unknown type
+		"create table T (A char)",          // char without length
+		"create table T (A char(0))",       // bad length
+		"delete T",                         // missing FROM
+		"delete from T where A ~ 1",        // bad operator
+		"drop sma m on T junk",             // trailing tokens
+		"create table T (A date) junk",     // trailing tokens
+		"insert into T",                    // missing VALUES
+		"insert into T values",             // missing row
+		"insert into T values (1,)",        // dangling comma
+		"insert into T values (1) (2)",     // missing comma between rows
+		"insert into T values (1, 2), (3)", // ragged arity
+		"insert into T values (-'x')",      // negated string
+		"update T",                         // missing SET
+		"update T set",                     // missing assignment
+		"update T set A",                   // missing '='
+		"update T set A = ",                // missing value
+		"update T set A = 1, A = 2",        // duplicate target
+		"update T set A = 1 where",         // dangling WHERE
 	}
 	for _, src := range cases {
 		if _, err := ParseStatement(src); err == nil {

@@ -169,7 +169,13 @@ func (db *DB) Query(query string, opts ...QueryOption) (*Rows, error) {
 
 // ExecContext runs a DDL or DML statement through the unified SQL
 // entrypoint: "define sma", "drop sma <name> on <table>", "create table",
-// and "delete from <table> [where ...]".
+// "insert into <table> [(cols)] values (...), (...)", "update <table> set
+// col = expr [, ...] [where ...]", and "delete from <table> [where ...]".
+// DML maintains every SMA of the table incrementally (appends and
+// sum/count updates in O(1) per SMA-file, boundary-moving min/max updates
+// and deletes with at most one bucket rescan) and holds the write lock for
+// the whole statement, so concurrent queries — parallel ones included —
+// never observe a half-applied statement.
 func (db *DB) ExecContext(ctx context.Context, stmt string) (*ExecResult, error) {
 	res, err := db.eng.ExecContext(ctx, stmt)
 	if err != nil {
@@ -193,10 +199,12 @@ func (db *DB) Exec(stmt string) (*ExecResult, error) {
 // ExecResult reports the effect of a non-SELECT statement.
 type ExecResult struct {
 	// Kind names the executed statement: "define sma", "drop sma",
-	// "create table", or "delete".
+	// "create table", "insert", "update", or "delete".
 	Kind  string
 	Table string
-	// RowsAffected is the number of tuples removed by a delete.
+	// RowsAffected is the number of tuples inserted, updated, or removed
+	// by a DML statement. An update or delete whose predicate matches no
+	// tuple reports 0 without error.
 	RowsAffected int64
 	// SMAName, SMABuckets, SMAFiles, and SMAPages describe the SMA built
 	// by a "define sma" statement.
