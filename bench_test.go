@@ -377,12 +377,12 @@ WHERE L_SHIPDATE <= DATE '1998-12-01' - INTERVAL '90' DAY
 GROUP BY L_RETURNFLAG, L_LINESTATUS
 ORDER BY L_RETURNFLAG, L_LINESTATUS`
 
-// parQ1DB loads a LINEITEM-only engine (no SMAs) for the parallel
-// benchmarks; readLatency > 0 simulates a disk whose reads the partition
-// workers overlap.
-func parQ1DB(b *testing.B, sf float64, readLatency time.Duration) *engine.DB {
+// parQ1DB loads a LINEITEM-only engine (no SMAs) for the parallel and
+// exec-mode benchmarks; opts.ReadLatency > 0 simulates a disk whose reads
+// the partition workers (and the prefetcher) overlap.
+func parQ1DB(b *testing.B, sf float64, opts engine.Options) *engine.DB {
 	b.Helper()
-	db, err := engine.Open(b.TempDir(), engine.Options{ReadLatency: readLatency})
+	db, err := engine.Open(b.TempDir(), opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -439,7 +439,7 @@ func parallelDOPs() []int {
 // speedup comes from overlapping page waits across page-range partitions —
 // the classic Gamma argument — and appears even on a single core.
 func BenchmarkParallelQ1FullScanDisk(b *testing.B) {
-	db := parQ1DB(b, 0.002, time.Millisecond)
+	db := parQ1DB(b, 0.002, engine.Options{ReadLatency: time.Millisecond})
 	tbl, err := db.Table("LINEITEM")
 	if err != nil {
 		b.Fatal(err)
@@ -463,13 +463,76 @@ func BenchmarkParallelQ1FullScanDisk(b *testing.B) {
 // buffer pool: pure CPU (predicate evaluation + aggregation), which scales
 // with physical cores.
 func BenchmarkParallelQ1FullScanWarm(b *testing.B) {
-	db := parQ1DB(b, 0.02, 0)
+	db := parQ1DB(b, 0.02, engine.Options{})
 	drainQ1(b, db, 1) // warm the pool
 	for _, dop := range parallelDOPs() {
 		b.Run(fmt.Sprintf("dop=%d", dop), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				drainQ1(b, db, dop)
 			}
+		})
+	}
+}
+
+// --- batch execution + prefetch (PR 4 trajectory) -----------------------------
+
+// execModes are the before/after pair of the PR-4 perf work: the legacy
+// row-at-a-time iterators without readahead vs vectorized batch execution
+// with SMA-guided asynchronous prefetch.
+var execModes = []struct {
+	name string
+	opts engine.Options
+}{
+	{"row", engine.Options{BatchSize: -1, PrefetchWindow: -1}},
+	{"batch", engine.Options{}},
+}
+
+// BenchmarkQuery1ExecModeWarm runs the TPC-D Query 1 full scan at dop=1
+// entirely from the buffer pool — pure CPU — in row vs batch mode. The
+// ratio is the CPU-side win of batch execution (selection vectors +
+// alloc-free aggregation fold).
+func BenchmarkQuery1ExecModeWarm(b *testing.B) {
+	for _, mode := range execModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := mode.opts
+			opts.PoolPages = 16384 // hold the whole table: no re-reads
+			db := parQ1DB(b, 0.02, opts)
+			drainQ1(b, db, 1) // warm the pool
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQ1(b, db, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkQuery1ExecModeColdDisk runs the same query cold against the
+// simulated disk at dop=1 (1ms page reads, the time.Sleep regime, so
+// prefetch I/O genuinely overlaps even on a single core). In batch mode
+// the prefetcher streams the pages in ahead of the cursor, overlapping
+// I/O with computation; in row mode every page miss is paid synchronously.
+func BenchmarkQuery1ExecModeColdDisk(b *testing.B) {
+	for _, mode := range execModes {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := mode.opts
+			opts.ReadLatency = time.Millisecond
+			db := parQ1DB(b, 0.002, opts)
+			tbl, err := db.Table("LINEITEM")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				if err := tbl.Pool().DropAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				drainQ1(b, db, 1)
+			}
+			st := tbl.Pool().Stats()
+			b.ReportMetric(float64(tbl.Heap.NumPages()), "pages")
+			b.ReportMetric(float64(st.PrefetchHits)/float64(b.N), "prefetch-hits/op")
 		})
 	}
 }

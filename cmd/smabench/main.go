@@ -3,10 +3,13 @@
 //
 // Usage:
 //
-//	smabench [-exp all|e1|e2|...|e10] [-sf 0.02] [-latency] [-delta 90]
+//	smabench [-exp all|e1|e2|...|e10|pr4] [-sf 0.02] [-latency] [-delta 90]
+//	smabench -exp pr4 -out BENCH_pr4.json   # batch/prefetch trajectory
 //
 // Each experiment prints the measured rows next to the paper's published
 // numbers; EXPERIMENTS.md records a full paper-vs-measured comparison.
+// The pr4 experiment measures the vectorized-batch + prefetch read path
+// against the legacy row path and records the trajectory as JSON.
 package main
 
 import (
@@ -21,11 +24,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e11")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
 	seed := flag.Int64("seed", 1998, "data generation seed")
+	out := flag.String("out", "", "write the pr4 JSON trajectory to this file")
 	flag.Parse()
 
 	// E1–E4 use shipdate-sorted LINEITEM, the paper's "optimal case"; the
@@ -112,8 +116,14 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+	if run("pr4") && want == "pr4" {
+		ok = true
+		if err := runPR4(*sf, *seed, *delta, *out); err != nil {
+			fatal(err)
+		}
+	}
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all or e1..e11)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, or pr4)", *exp))
 	}
 }
 

@@ -34,6 +34,9 @@ func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
 	dop := flag.Int("dop", 0, "degree of intra-query parallelism (0 = serial; buckets are partitioned across this many workers)")
+	batch := flag.Bool("batch", true, "vectorized batch execution (false = legacy row-at-a-time iterators, for A/B runs)")
+	batchSize := flag.Int("batchsize", 0, "tuples per batch (0 = default 1024)")
+	prefetch := flag.Int("prefetch", 0, "pages of asynchronous readahead per scan (0 = default 16, negative disables; for A/B runs)")
 	flag.Parse()
 	if *dir == "" {
 		fatal(fmt.Errorf("-dir is required"))
@@ -50,7 +53,17 @@ func main() {
 		sql = string(data)
 	}
 
-	db, err := sma.Open(*dir, sma.WithParallelism(*dop))
+	opts := []sma.Option{sma.WithParallelism(*dop)}
+	switch {
+	case !*batch:
+		opts = append(opts, sma.WithBatchSize(-1))
+	case *batchSize != 0:
+		opts = append(opts, sma.WithBatchSize(*batchSize))
+	}
+	if *prefetch != 0 {
+		opts = append(opts, sma.WithPrefetchWindow(*prefetch))
+	}
+	db, err := sma.Open(*dir, opts...)
 	if err != nil {
 		fatal(err)
 	}

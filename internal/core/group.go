@@ -114,6 +114,11 @@ func NewExtractor(s *tuple.Schema, cols []string) (*Extractor, error) {
 	return g, nil
 }
 
+// Cols returns the schema column indexes of the group-by columns, in
+// group-by order. The batched aggregation uses them to compare raw group
+// bytes without building keys.
+func (g *Extractor) Cols() []int { return g.idx }
+
 // Vals extracts the group values of t.
 func (g *Extractor) Vals(t tuple.Tuple) []GroupVal {
 	vals := make([]GroupVal, len(g.idx))
@@ -131,4 +136,24 @@ func (g *Extractor) Vals(t tuple.Tuple) []GroupVal {
 // slice twice.
 func (g *Extractor) Key(t tuple.Tuple) GroupKey {
 	return MakeGroupKey(g.Vals(t))
+}
+
+// AppendKey appends the canonical group key of t to dst, producing bytes
+// identical to MakeGroupKey(g.Vals(t)) without allocating. The batched
+// aggregation inner loop builds keys in a reused scratch buffer this way
+// and looks groups up via an allocation-free []byte→string map index.
+func (g *Extractor) AppendKey(dst []byte, t tuple.Tuple) []byte {
+	for i, j := range g.idx {
+		if i > 0 {
+			dst = append(dst, keySep[0])
+		}
+		if g.types[i] == tuple.TChar {
+			dst = append(dst, 's', ':')
+			dst = append(dst, t.CharBytes(j)...)
+		} else {
+			dst = append(dst, 'n', ':')
+			dst = strconv.AppendFloat(dst, t.Numeric(j), 'g', -1, 64)
+		}
+	}
+	return dst
 }

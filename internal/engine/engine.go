@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"sma/internal/core"
+	"sma/internal/exec"
 	"sma/internal/parser"
 	"sma/internal/planner"
 	"sma/internal/storage"
@@ -44,6 +45,14 @@ type Options struct {
 	// are divided across. 0 or 1 executes serially. Individual queries
 	// can override it with the WithDOP query option.
 	Parallelism int
+	// BatchSize is the tuples-per-batch target of the vectorized read
+	// path (default 1024). Negative values disable batching entirely:
+	// plans fall back to the legacy row-at-a-time iterators.
+	BatchSize int
+	// PrefetchWindow is the number of pages of SMA-guided asynchronous
+	// readahead per scan (default 16, derated per worker under
+	// parallelism). Negative values disable prefetch.
+	PrefetchWindow int
 }
 
 func (o Options) withDefaults() Options {
@@ -102,6 +111,11 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table), pl: planner.New()}
 	db.pl.DOP = opts.Parallelism
+	db.pl.Exec = exec.ExecOptions{
+		RowMode:        opts.BatchSize < 0,
+		BatchSize:      opts.BatchSize,
+		PrefetchWindow: opts.PrefetchWindow,
+	}
 	if err := db.loadCatalog(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"testing"
+
+	"sma/internal/core"
+	"sma/internal/expr"
+	"sma/internal/pred"
+	"sma/internal/tuple"
+)
+
+// mustBindPred returns a bound predicate over the synthetic batch schema.
+func mustBindPred(t *testing.T, schema *tuple.Schema) pred.Predicate {
+	t.Helper()
+	p := pred.NewAnd(pred.NewAtom("B", pred.Ge, 100), pred.NewAtom("A", pred.Lt, 400))
+	if err := p.Bind(schema); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// fillTestBatch packs n synthetic records into a leased batch: a CHAR(1)
+// group column cycling through k values and two numeric columns.
+func fillTestBatch(t *testing.T, n, k int) (*Batch, *tuple.Schema) {
+	t.Helper()
+	schema := tuple.MustSchema([]tuple.Column{
+		{Name: "G", Type: tuple.TChar, Len: 1},
+		{Name: "A", Type: tuple.TFloat64},
+		{Name: "B", Type: tuple.TInt32},
+	})
+	b := getBatch(schema, n)
+	rec := tuple.NewTuple(schema)
+	for i := 0; i < n; i++ {
+		rec.SetChar(0, string(rune('A'+i%k)))
+		rec.SetFloat64(1, float64(i)*0.5)
+		rec.SetInt32(2, int32(i))
+		b.data = append(b.data, rec.Data...)
+		b.n++
+	}
+	b.selectAll()
+	return b, schema
+}
+
+// TestGroupFolderMatchesRowAccumulation cross-checks the alloc-free fold
+// against the row-path accumulator on the same records.
+func TestGroupFolderMatchesRowAccumulation(t *testing.T) {
+	b, schema := fillTestBatch(t, 500, 3)
+	defer putBatch(b)
+	specs := []AggSpec{
+		{Func: AggSum, Arg: expr.NewCol("A"), Name: "S"},
+		{Func: AggCount, Name: "N"},
+		{Func: AggMin, Arg: expr.NewCol("B"), Name: "MN"},
+		{Func: AggMax, Arg: expr.NewCol("B"), Name: "MX"},
+	}
+	for i := range specs {
+		if err := specs[i].Validate(schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gx, err := core.NewExtractor(schema, []string{"G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folder := newGroupFolder(specs, gx, nil)
+	folder.fold(b)
+
+	want := make(map[core.GroupKey]*Partial)
+	for i := 0; i < b.Len(); i++ {
+		tp := b.Tuple(int32(i))
+		vals := gx.Vals(tp)
+		key := core.MakeGroupKey(vals)
+		acc := want[key]
+		if acc == nil {
+			acc = newGroupAcc(vals, len(specs))
+			want[key] = acc
+		}
+		acc.addTuple(specs, tp)
+	}
+	if len(folder.groups) != len(want) {
+		t.Fatalf("%d groups, want %d", len(folder.groups), len(want))
+	}
+	for key, w := range want {
+		g, ok := folder.groups[key]
+		if !ok {
+			t.Fatalf("missing group %q", key)
+		}
+		if g.Count != w.Count {
+			t.Fatalf("group %q count %v, want %v", key, g.Count, w.Count)
+		}
+		for j := range w.Aggs {
+			if g.Aggs[j] != w.Aggs[j] {
+				t.Fatalf("group %q agg %d = %v, want %v", key, j, g.Aggs[j], w.Aggs[j])
+			}
+		}
+	}
+}
+
+// TestBatchFoldZeroAllocs asserts the batched aggregation inner loop does
+// not allocate per tuple: once every group exists, folding a full batch —
+// group-key construction, map lookups, aggregate updates — runs at zero
+// allocations.
+func TestBatchFoldZeroAllocs(t *testing.T) {
+	b, schema := fillTestBatch(t, 1024, 4)
+	defer putBatch(b)
+	specs := []AggSpec{
+		{Func: AggSum, Arg: expr.NewCol("A"), Name: "S"},
+		{Func: AggAvg, Arg: expr.NewCol("B"), Name: "AV"},
+		{Func: AggCount, Name: "N"},
+	}
+	for i := range specs {
+		if err := specs[i].Validate(schema); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gx, err := core.NewExtractor(schema, []string{"G"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	folder := newGroupFolder(specs, gx, nil)
+	folder.fold(b) // warm-up creates the groups and sizes the scratch buffers
+
+	if avg := testing.AllocsPerRun(10, func() { folder.fold(b) }); avg != 0 {
+		t.Fatalf("batched fold allocates %.1f times per batch of %d tuples; want 0", avg, b.Len())
+	}
+
+	// The global (no group-by) fold must be allocation-free too.
+	global := newGroupFolder(specs, nil, nil)
+	global.fold(b)
+	if avg := testing.AllocsPerRun(10, func() { global.fold(b) }); avg != 0 {
+		t.Fatalf("global batched fold allocates %.1f times per batch; want 0", avg)
+	}
+}
+
+// TestBatchSelectionZeroAllocs asserts the predicate selection loop over a
+// batch does not allocate.
+func TestBatchSelectionZeroAllocs(t *testing.T) {
+	b, schema := fillTestBatch(t, 1024, 4)
+	defer putBatch(b)
+	p := mustBindPred(t, schema)
+	if avg := testing.AllocsPerRun(10, func() { b.selectPred(p) }); avg != 0 {
+		t.Fatalf("selection loop allocates %.1f times per batch; want 0", avg)
+	}
+}

@@ -1,0 +1,292 @@
+package exec_test
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"sma/internal/core"
+	"sma/internal/exec"
+	"sma/internal/pred"
+	"sma/internal/storage"
+	"sma/internal/tpcd"
+	"sma/internal/tuple"
+)
+
+// batchOpts exercises small batches so multi-batch paths and grade-class
+// flushes run even on the tiny test relations.
+var batchOpts = exec.ExecOptions{BatchSize: 64, PrefetchWindow: 4}
+
+// deleteEveryNth deletes every n-th record so batch decoding exercises the
+// slot-skipping copy path.
+func deleteEveryNth(t *testing.T, h *storage.HeapFile, n int) {
+	t.Helper()
+	var rids []storage.RID
+	if err := h.Scan(func(_ tuple.Tuple, rid storage.RID) error {
+		rids = append(rids, rid)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(rids); i += n {
+		if _, err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// collectBatched drains a batch iterator through the row adapter, copying
+// every tuple.
+func collectBatched(t *testing.T, it exec.BatchIter) []tuple.Tuple {
+	t.Helper()
+	out, err := exec.CollectTuples(exec.NewBatchToTuples(it))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// tuplesEqual compares two tuple sequences byte for byte.
+func tuplesEqual(a, b []tuple.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchTableScanEqualsRowScan: for random predicates, orders, bucket
+// sizes and deleted records, the batched scan yields exactly the row
+// scan's tuple sequence.
+func TestBatchTableScanEqualsRowScan(t *testing.T) {
+	orders := []tpcd.Order{tpcd.OrderSorted, tpcd.OrderSpec, tpcd.OrderShuffled}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.0008, Seed: seed, Order: orders[rng.Intn(3)]}, 1+rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			deleteEveryNth(t, h, 2+rng.Intn(9))
+		}
+		p := randPred(rng, 2)
+		want, err := exec.CollectTuples(exec.NewTableScan(h, clonePred(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectBatched(t, exec.NewBatchTableScan(h, p, batchOpts))
+		if !tuplesEqual(got, want) {
+			t.Logf("seed %d: %d batched tuples vs %d (pred %s)", seed, len(got), len(want), p)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchSMAScanEqualsRowScan: the batched SMA_Scan returns exactly the
+// row SMA_Scan's tuples and classifies buckets identically.
+func TestBatchSMAScanEqualsRowScan(t *testing.T) {
+	orders := []tpcd.Order{tpcd.OrderSorted, tpcd.OrderDiagonal, tpcd.OrderShuffled}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.0008, Seed: seed, Order: orders[rng.Intn(3)]}, 1+rng.Intn(3))
+		smas := buildQ1SMAs(t, h)
+		grader := core.NewGrader(smas["min"], smas["max"])
+		p := randPred(rng, 2)
+
+		rowScan := exec.NewSMAScan(h, clonePred(p), grader)
+		want, err := exec.CollectTuples(rowScan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchScan := exec.NewBatchSMAScan(h, p, grader, batchOpts)
+		got := collectBatched(t, batchScan)
+		if !tuplesEqual(got, want) {
+			t.Logf("seed %d: %d batched tuples vs %d (pred %s)", seed, len(got), len(want), p)
+			return false
+		}
+		bs, rs := batchScan.Stats(), rowScan.Stats()
+		if bs.Qualifying != rs.Qualifying || bs.Disqualifying != rs.Disqualifying ||
+			bs.Ambivalent != rs.Ambivalent || bs.PagesRead != rs.PagesRead {
+			t.Logf("seed %d: batch stats %+v vs row %+v", seed, bs, rs)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBatchGAggrEqualsGAggr: the batched aggregation produces bit-identical
+// rows to the row-path hash aggregation — same fold order, same groups —
+// over both scan shapes, with and without GROUP BY.
+func TestBatchGAggrEqualsGAggr(t *testing.T) {
+	groupings := [][]string{{"L_RETURNFLAG", "L_LINESTATUS"}, {"L_RETURNFLAG"}, nil}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.0008, Seed: seed, Order: tpcd.OrderShuffled}, 1+rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			deleteEveryNth(t, h, 3+rng.Intn(7))
+		}
+		groupBy := groupings[rng.Intn(len(groupings))]
+		p := randPred(rng, 2)
+		specs := q1Specs()
+
+		row := exec.NewGAggr(exec.NewTableScan(h, clonePred(p)), h.Schema(), exec.CloneSpecs(specs), groupBy)
+		want, err := exec.CollectRows(exec.NewSortRows(row))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := exec.NewBatchGAggr(exec.NewBatchTableScan(h, p, batchOpts), h.Schema(), exec.CloneSpecs(specs), groupBy)
+		got, err := exec.CollectRows(exec.NewSortRows(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d groups vs %d (pred %s)", seed, len(got), len(want), p)
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Logf("seed %d: key %q vs %q", seed, got[i].Key, want[i].Key)
+				return false
+			}
+			for j := range want[i].Aggs {
+				// Same accumulation order ⇒ bit-identical floats.
+				if got[i].Aggs[j] != want[i].Aggs[j] {
+					t.Logf("seed %d: agg[%d][%d] %v vs %v (pred %s)", seed, i, j, got[i].Aggs[j], want[i].Aggs[j], p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSMAGAggrBatchedEqualsRow: the batched ambivalent-bucket path of
+// SMA_GAggr produces bit-identical results to its row path.
+func TestSMAGAggrBatchedEqualsRow(t *testing.T) {
+	orders := []tpcd.Order{tpcd.OrderSorted, tpcd.OrderDiagonal, tpcd.OrderShuffled}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.0008, Seed: seed, Order: orders[rng.Intn(3)]}, 1+rng.Intn(3))
+		smas := buildQ1SMAs(t, h)
+		grader := core.NewGrader(smas["min"], smas["max"])
+		groupBy := []string{"L_RETURNFLAG", "L_LINESTATUS"}
+		specs := q1Specs()
+		aggSMAs := []*core.SMA{smas["qty"], smas["ext"], smas["extdis"], smas["extdistax"],
+			smas["qty"], smas["ext"], smas["dis"], smas["count"]}
+		p := randPred(rng, 2)
+
+		build := func(rowMode bool, q pred.Predicate) *exec.SMAGAggr {
+			op := exec.NewSMAGAggr(h, q, exec.CloneSpecs(specs), groupBy, grader, aggSMAs, smas["count"])
+			op.Opts = batchOpts
+			op.Opts.RowMode = rowMode
+			return op
+		}
+		want, err := exec.CollectRows(exec.NewSortRows(build(true, clonePred(p))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched := build(false, p)
+		got, err := exec.CollectRows(exec.NewSortRows(batched))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Logf("seed %d: %d groups vs %d (pred %s)", seed, len(got), len(want), p)
+			return false
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key {
+				t.Logf("seed %d: key %q vs %q", seed, got[i].Key, want[i].Key)
+				return false
+			}
+			for j := range want[i].Aggs {
+				if got[i].Aggs[j] != want[i].Aggs[j] {
+					t.Logf("seed %d: agg[%d][%d] %v vs %v (pred %s)", seed, i, j, got[i].Aggs[j], want[i].Aggs[j], p)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// cancellingPred cancels a context after a fixed number of evaluations, so
+// cancellation lands mid-batch, between two pages of the same fill loop.
+type cancellingPred struct {
+	pred.Predicate
+	after  int64
+	seen   atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancellingPred) Eval(t tuple.Tuple) bool {
+	if c.seen.Add(1) == c.after {
+		c.cancel()
+	}
+	return c.Predicate.Eval(t)
+}
+
+// TestBatchScanCancelMidBatch cancels the context from inside the
+// selection loop and requires the batched pipeline to abort with the
+// context's error at the next page boundary.
+func TestBatchScanCancelMidBatch(t *testing.T) {
+	h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.002, Seed: 7, Order: tpcd.OrderSorted}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := &cancellingPred{
+		Predicate: pred.NewAtom("L_QUANTITY", pred.Ge, 0),
+		after:     100,
+		cancel:    cancel,
+	}
+	scan := exec.NewBatchTableScan(h, p, exec.ExecOptions{BatchSize: 64, PrefetchWindow: 4})
+	scan.Ctx = ctx
+	ga := exec.NewBatchGAggr(scan, h.Schema(), q1Specs(), []string{"L_RETURNFLAG"})
+	err := ga.Open()
+	if err == nil {
+		ga.Close()
+		t.Fatal("batched aggregation completed despite mid-batch cancellation")
+	}
+	if err != context.Canceled {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if err := ga.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The scan must still close cleanly (prefetcher stopped, batch
+	// returned) after the abort.
+	if err := scan.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchToTuplesAdapter spot-checks the adapter against a plain scan on
+// a page with deleted slots.
+func TestBatchToTuplesAdapter(t *testing.T) {
+	h := loadLineItems(t, tpcd.Config{ScaleFactor: 0.0008, Seed: 3, Order: tpcd.OrderSorted}, 2)
+	deleteEveryNth(t, h, 5)
+	want, err := exec.CollectTuples(exec.NewTableScan(h, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectBatched(t, exec.NewBatchTableScan(h, nil, batchOpts))
+	if !tuplesEqual(got, want) {
+		t.Fatalf("adapter sequence differs: %d vs %d tuples", len(got), len(want))
+	}
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"sma/internal/core"
+	"sma/internal/tuple"
+)
+
+// BatchGAggr is hash aggregation over a batch input: the batched
+// counterpart of GAggr. Open drains the input batch by batch, folding the
+// selected tuples of each batch into the mergeable per-group Partials with
+// an allocation-free inner loop (no per-tuple group-key strings, no
+// per-tuple interface hop through a tuple iterator). Like GAggr it is a
+// pipeline breaker and supports KeepPartials for the parallel workers.
+type BatchGAggr struct {
+	Input   BatchIter
+	Specs   []AggSpec
+	GroupBy []string
+	// KeepPartials makes Open keep the merge-ready per-group state instead
+	// of finishing it into rows; retrieve it with Partials before Close.
+	KeepPartials bool
+
+	schema *tuple.Schema
+	folder *groupFolder
+	out    []Row
+	pos    int
+}
+
+// NewBatchGAggr creates the operator. schema is the input tuple schema.
+func NewBatchGAggr(input BatchIter, schema *tuple.Schema, specs []AggSpec, groupBy []string) *BatchGAggr {
+	return &BatchGAggr{Input: input, Specs: specs, GroupBy: groupBy, schema: schema}
+}
+
+// Open consumes the entire input and computes all groups.
+func (g *BatchGAggr) Open() error {
+	for i := range g.Specs {
+		if err := g.Specs[i].Validate(g.schema); err != nil {
+			return err
+		}
+	}
+	var gx *core.Extractor
+	if len(g.GroupBy) > 0 {
+		var err error
+		gx, err = core.NewExtractor(g.schema, g.GroupBy)
+		if err != nil {
+			return err
+		}
+	}
+	if err := g.Input.Open(); err != nil {
+		return err
+	}
+	defer g.Input.Close()
+	g.folder = newGroupFolder(g.Specs, gx, nil)
+	for {
+		b, err := g.Input.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		g.folder.fold(b)
+	}
+	if !g.KeepPartials {
+		g.out = FinishPartials(g.folder.groups, g.Specs, len(g.GroupBy) == 0)
+	}
+	g.pos = 0
+	return nil
+}
+
+// Partials returns the merge-ready group states computed by Open. The map
+// is owned by the operator and valid until Close.
+func (g *BatchGAggr) Partials() map[core.GroupKey]*Partial {
+	if g.folder == nil {
+		return nil
+	}
+	return g.folder.groups
+}
+
+// Next returns one result group after another.
+func (g *BatchGAggr) Next() (Row, bool, error) {
+	if g.pos >= len(g.out) {
+		return Row{}, false, nil
+	}
+	r := g.out[g.pos]
+	g.pos++
+	return r, true, nil
+}
+
+// Close drops the hash table.
+func (g *BatchGAggr) Close() error {
+	g.folder = nil
+	g.out = nil
+	return nil
+}

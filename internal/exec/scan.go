@@ -25,10 +25,15 @@ type TableScan struct {
 	// file. The parallel subsystem assigns one page range per worker.
 	StartPage storage.PageID
 	EndPage   storage.PageID
+	// PrefetchWindow, when > 0, starts an asynchronous prefetcher that
+	// keeps up to that many pages of the range in flight ahead of the
+	// cursor. 0 (the zero value) keeps the legacy synchronous behaviour.
+	PrefetchWindow int
 
 	page  storage.PageID
 	end   storage.PageID
 	cur   *storage.PageCursor
+	pf    *storage.Prefetcher
 	stats ScanStats
 }
 
@@ -51,6 +56,10 @@ func (s *TableScan) Open() error {
 	}
 	s.cur = nil
 	s.stats = ScanStats{}
+	if s.PrefetchWindow > 0 && s.page < s.end {
+		span := []storage.PageSpan{{First: s.page, Last: s.end - 1}}
+		s.pf = s.H.Pool().StartPrefetch(span, s.PrefetchWindow)
+	}
 	return nil
 }
 
@@ -78,6 +87,9 @@ func (s *TableScan) Next() (tuple.Tuple, bool, error) {
 		if err := ctxErr(s.Ctx); err != nil {
 			return tuple.Tuple{}, false, err
 		}
+		if s.pf.Claim(s.page) {
+			s.stats.PrefetchHits++
+		}
 		cur, err := s.H.OpenPage(s.page)
 		if err != nil {
 			return tuple.Tuple{}, false, err
@@ -85,11 +97,17 @@ func (s *TableScan) Next() (tuple.Tuple, bool, error) {
 		s.cur = cur
 		s.page++
 		s.stats.PagesRead++
+		s.pf.Advance()
 	}
 }
 
-// Close unpins any current page.
+// Close unpins any current page and stops the prefetcher.
 func (s *TableScan) Close() error {
+	if s.pf != nil {
+		s.pf.Close()
+		s.stats.PagesPrefetched += s.pf.Issued()
+		s.pf = nil
+	}
 	if s.cur != nil {
 		err := s.cur.Close()
 		s.cur = nil

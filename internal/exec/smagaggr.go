@@ -49,6 +49,11 @@ type SMAGAggr struct {
 	// of finishing it into rows; retrieve it with Partials before Close.
 	// Next yields nothing in this mode. Parallel partition workers use it.
 	KeepPartials bool
+	// Opts selects batched execution of the ambivalent buckets (decode to
+	// a reusable batch, predicate as a selection-vector loop, alloc-free
+	// group fold) and asynchronous prefetch of their pages. The zero value
+	// batches with defaults; set RowMode for the legacy per-tuple path.
+	Opts ExecOptions
 
 	schema *tuple.Schema
 	gx     *core.Extractor
@@ -172,16 +177,62 @@ func (g *SMAGAggr) Open() error {
 	if g.Buckets != nil {
 		nb = len(g.Buckets)
 	}
+	bucketNo := func(i int) int {
+		if g.Buckets != nil {
+			return g.Buckets[i]
+		}
+		return i
+	}
+
+	// Batched mode grades every bucket up front (reusing pre-computed
+	// grades when given), so the ambivalent page set — the only pages this
+	// operator ever touches — is known before the first access and can
+	// stream in behind an asynchronous prefetcher.
+	var folder *groupFolder
+	var batch *Batch
+	var pf *storage.Prefetcher
+	var grades []core.Grade
+	if g.Opts.Batching() {
+		grades = g.Grades
+		if grades == nil {
+			grades = make([]core.Grade, nb)
+			for i := range grades {
+				if g.Pred == nil {
+					grades[i] = core.Qualifies
+				} else {
+					grades[i] = g.Grader.Grade(bucketNo(i), g.Pred)
+				}
+			}
+		}
+		if w := g.Opts.EffectivePrefetchWindow(); w > 0 {
+			var spans []storage.PageSpan
+			for i, gr := range grades {
+				if gr != core.Ambivalent {
+					continue
+				}
+				first, last := g.H.BucketRange(bucketNo(i))
+				spans = append(spans, storage.PageSpan{First: first, Last: last})
+			}
+			pf = g.H.Pool().StartPrefetch(spans, w)
+			defer func() {
+				pf.Close()
+				g.stats.PagesPrefetched += pf.Issued()
+			}()
+		}
+		folder = newGroupFolder(g.Specs, g.gx, g.groups)
+		batch = getBatch(g.schema, batchCap(g.Opts, g.H.RecordsPerPage()))
+		defer putBatch(batch)
+	}
+
 	for i := 0; i < nb; i++ {
 		if err := ctxErr(g.Ctx); err != nil {
 			return err
 		}
-		b := i
-		if g.Buckets != nil {
-			b = g.Buckets[i]
-		}
+		b := bucketNo(i)
 		grade := core.Qualifies
 		switch {
+		case grades != nil:
+			grade = grades[i]
 		case g.Grades != nil:
 			grade = g.Grades[i]
 		case g.Pred != nil:
@@ -195,7 +246,11 @@ func (g *SMAGAggr) Open() error {
 			g.advanceFromSMAs(b)
 		default:
 			g.stats.Ambivalent++
-			if err := g.advanceFromBucket(b); err != nil {
+			if folder != nil {
+				if err := g.advanceFromBucketBatched(b, batch, folder, pf); err != nil {
+					return err
+				}
+			} else if err := g.advanceFromBucket(b); err != nil {
 				return err
 			}
 		}
@@ -255,6 +310,42 @@ func (g *SMAGAggr) advanceFromBucket(b int) error {
 		g.acc(key, vals).addTuple(g.Specs, t)
 		return nil
 	})
+}
+
+// advanceFromBucketBatched inspects an ambivalent bucket batch by batch:
+// pages decode into the reusable batch, the predicate runs as a selection-
+// vector loop, and the survivors fold into the shared group map without
+// per-tuple allocations.
+func (g *SMAGAggr) advanceFromBucketBatched(b int, batch *Batch, folder *groupFolder, pf *storage.Prefetcher) error {
+	first, last := g.H.BucketRange(b)
+	per := g.H.RecordsPerPage()
+	capT := batchCap(g.Opts, per)
+	for p := first; p <= last; {
+		batch.reset()
+		for ; p <= last && batch.n+per <= capT; p++ {
+			if pf.Claim(p) {
+				g.stats.PrefetchHits++
+			}
+			data, n, err := g.H.ReadPageInto(p, batch.data)
+			if err != nil {
+				return err
+			}
+			batch.data, batch.n = data, batch.n+n
+			g.stats.PagesRead++
+			pf.Advance()
+		}
+		if batch.n == 0 {
+			continue
+		}
+		g.stats.Batches++
+		if g.Pred != nil {
+			batch.selectPred(g.Pred)
+		} else {
+			batch.selectAll()
+		}
+		folder.fold(batch)
+	}
+	return nil
 }
 
 // Next returns the next unseen group.

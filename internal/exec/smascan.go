@@ -34,6 +34,10 @@ type SMAScan struct {
 	// bucket's pre-computed grade, saving the per-bucket grading pass.
 	Buckets []int
 	Grades  []core.Grade
+	// PrefetchWindow, when > 0 and the grades are known up front (Grades
+	// set, or no predicate), starts an asynchronous prefetcher over the
+	// surviving buckets' pages. 0 keeps the legacy synchronous behaviour.
+	PrefetchWindow int
 
 	bucket    int // currBucketNo (an index into Buckets when set)
 	numBucket int
@@ -43,16 +47,27 @@ type SMAScan struct {
 	lastPage storage.PageID // last page of the current bucket
 	inBucket bool
 	cur      *storage.PageCursor
+	pf       *storage.Prefetcher
 
 	stats ScanStats
 }
 
-// ScanStats reports the bucket classification observed by an SMA scan.
+// ScanStats reports the bucket classification observed by an SMA scan,
+// plus the batch and prefetch activity of the vectorized read path.
 type ScanStats struct {
 	Qualifying    int
 	Disqualifying int
 	Ambivalent    int
 	PagesRead     int // heap pages fetched (disqualified buckets cost none)
+	// Batches counts the tuple batches the batched operators produced
+	// (0 on the legacy row path).
+	Batches int
+	// PagesPrefetched counts the pages the asynchronous prefetcher read
+	// ahead of the cursor; populated when the scan closes.
+	PagesPrefetched int
+	// PrefetchHits counts page fetches that found their page already
+	// resident because the prefetcher got there first.
+	PrefetchHits int
 }
 
 // Add accumulates another worker's statistics into s; the parallel merge
@@ -62,6 +77,9 @@ func (s *ScanStats) Add(o ScanStats) {
 	s.Disqualifying += o.Disqualifying
 	s.Ambivalent += o.Ambivalent
 	s.PagesRead += o.PagesRead
+	s.Batches += o.Batches
+	s.PagesPrefetched += o.PagesPrefetched
+	s.PrefetchHits += o.PrefetchHits
 }
 
 // NewSMAScan creates the operator. grader must cover the heap's buckets.
@@ -85,6 +103,17 @@ func (s *SMAScan) Open() error {
 	s.inBucket = false
 	s.cur = nil
 	s.stats = ScanStats{}
+	if s.PrefetchWindow > 0 && (s.Grades != nil || s.Pred == nil) {
+		var spans []storage.PageSpan
+		for i := 0; i < s.numBucket; i++ {
+			if s.Grades != nil && s.Grades[i] == core.Disqualifies {
+				continue
+			}
+			first, last := s.H.BucketRange(s.bucketAt(i))
+			spans = append(spans, storage.PageSpan{First: first, Last: last})
+		}
+		s.pf = s.H.Pool().StartPrefetch(spans, s.PrefetchWindow)
+	}
 	return nil
 }
 
@@ -153,6 +182,9 @@ func (s *SMAScan) Next() (tuple.Tuple, bool, error) {
 			if err := ctxErr(s.Ctx); err != nil {
 				return tuple.Tuple{}, false, err
 			}
+			if s.pf.Claim(s.page) {
+				s.stats.PrefetchHits++
+			}
 			cur, err := s.H.OpenPage(s.page)
 			if err != nil {
 				return tuple.Tuple{}, false, err
@@ -160,6 +192,7 @@ func (s *SMAScan) Next() (tuple.Tuple, bool, error) {
 			s.cur = cur
 			s.page++
 			s.stats.PagesRead++
+			s.pf.Advance()
 			continue
 		}
 		s.inBucket = false
@@ -169,8 +202,13 @@ func (s *SMAScan) Next() (tuple.Tuple, bool, error) {
 	}
 }
 
-// Close unpins any current page.
+// Close unpins any current page and stops the prefetcher.
 func (s *SMAScan) Close() error {
+	if s.pf != nil {
+		s.pf.Close()
+		s.stats.PagesPrefetched += s.pf.Issued()
+		s.pf = nil
+	}
 	if s.cur != nil {
 		err := s.cur.Close()
 		s.cur = nil

@@ -1,0 +1,125 @@
+package oracle_test
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"sma"
+	"sma/internal/oracle"
+)
+
+// runBatchRowDiff replays one seeded workload into two engines that differ
+// only in execution mode — vectorized batch execution with prefetch vs the
+// legacy row-at-a-time iterators — and requires identical RowsAffected for
+// every write and identical rendered results for every query. Unlike the
+// oracle comparison this pins the two physical read paths directly against
+// each other, including their floating-point accumulation order.
+func runBatchRowDiff(t *testing.T, seed int64, dop, nOps int) map[string]bool {
+	t.Helper()
+	open := func(extra ...sma.Option) *sma.DB {
+		opts := append([]sma.Option{sma.WithBucketPages(1), sma.WithParallelism(dop)}, extra...)
+		db, err := sma.Open(t.TempDir(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		return db
+	}
+	batchDB := open(sma.WithBatchSize(96), sma.WithPrefetchWindow(4))
+	rowDB := open(sma.WithBatchSize(-1))
+
+	g := oracle.NewGen(seed)
+	for _, setup := range g.Setup() {
+		for _, db := range []*sma.DB{batchDB, rowDB} {
+			if _, err := db.Exec(setup); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	strategies := map[string]bool{}
+	for i := 0; i < nOps; i++ {
+		op := g.Next()
+		if !op.IsQuery {
+			br, err := batchDB.Exec(op.SQL)
+			if err != nil {
+				t.Fatalf("step %d: batch engine: %s: %v", i, op.SQL, err)
+			}
+			rr, err := rowDB.Exec(op.SQL)
+			if err != nil {
+				t.Fatalf("step %d: row engine: %s: %v", i, op.SQL, err)
+			}
+			if br.RowsAffected != rr.RowsAffected {
+				t.Fatalf("step %d: %s: batch affected %d rows, row %d",
+					i, op.SQL, br.RowsAffected, rr.RowsAffected)
+			}
+			continue
+		}
+		got := collectAll(t, batchDB, i, op.SQL)
+		want := collectAll(t, rowDB, i, op.SQL)
+		if got.Strategy != want.Strategy {
+			t.Fatalf("step %d: %s: batch plan %s vs row plan %s",
+				i, op.SQL, got.Strategy, want.Strategy)
+		}
+		strategies[strategyBucket(got.Strategy)] = true
+		if len(got.Rows) != len(want.Rows) || len(got.Columns) != len(want.Columns) {
+			t.Fatalf("step %d: %s (plan %s): batch %dx%d vs row %dx%d",
+				i, op.SQL, got.Strategy, len(got.Rows), len(got.Columns), len(want.Rows), len(want.Columns))
+		}
+		for r := range want.Rows {
+			for c := range want.Rows[r] {
+				if got.Rows[r][c] != want.Rows[r][c] {
+					t.Fatalf("step %d: %s (plan %s): row %d col %d: batch %q vs row %q",
+						i, op.SQL, got.Strategy, r, c, got.Rows[r][c], want.Rows[r][c])
+				}
+			}
+		}
+	}
+	return strategies
+}
+
+// collectAll runs a query and materializes the rendered result.
+func collectAll(t *testing.T, db *sma.DB, step int, sql string) *sma.Result {
+	t.Helper()
+	rows, err := db.Query(sql)
+	if err != nil {
+		t.Fatalf("step %d: %s: %v", step, sql, err)
+	}
+	res, err := sma.Collect(rows)
+	if err != nil {
+		t.Fatalf("step %d: %s: %v", step, sql, err)
+	}
+	return res
+}
+
+// TestBatchVsRowDifferential runs the seeded interleaved DML/query
+// workloads against the batch and row execution engines at dop 1 and
+// dop NumCPU; across the seed set every dop must pass through all three
+// planner strategies. Run with -race: it exercises concurrent partition
+// workers with per-worker prefetchers.
+func TestBatchVsRowDifferential(t *testing.T) {
+	parallel := runtime.NumCPU()
+	if parallel < 2 {
+		parallel = 2
+	}
+	for _, dop := range []int{1, parallel} {
+		dop := dop
+		t.Run(fmt.Sprintf("dop=%d", dop), func(t *testing.T) {
+			covered := map[string]bool{}
+			for _, seed := range []int64{3, 11, 1998} {
+				seed := seed
+				t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+					for s := range runBatchRowDiff(t, seed, dop, 200) {
+						covered[s] = true
+					}
+				})
+			}
+			for _, s := range []string{"FullScan", "SMA_GAggr", "SMA_Scan"} {
+				if !covered[s] {
+					t.Errorf("no seed exercised strategy %s at dop %d (saw %v)", s, dop, covered)
+				}
+			}
+		})
+	}
+}

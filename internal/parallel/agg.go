@@ -59,6 +59,12 @@ type Agg struct {
 	// Ctx, when set, cancels all workers at their next bucket or page
 	// boundary.
 	Ctx context.Context
+	// Exec selects the physical mode of each worker's pipeline: batched
+	// operators with selection vectors, and asynchronous prefetch of the
+	// worker's own partition pages. The per-worker prefetch window is
+	// derated by the partition count so concurrent prefetchers cannot
+	// crowd the shared buffer pool.
+	Exec exec.ExecOptions
 
 	out   []exec.Row
 	pos   int
@@ -115,6 +121,7 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 			a.stats.Disqualifying++
 		}
 	}
+	workerOpts := a.workerExecOptions(len(parts))
 	partials := make([]map[core.GroupKey]*exec.Partial, len(parts))
 	stats := make([]exec.ScanStats, len(parts))
 	err := Run(a.Ctx, len(parts), func(ctx context.Context, i int) error {
@@ -129,6 +136,7 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 			op.Buckets = parts[i].Buckets
 			op.Grades = parts[i].Grades
 			op.KeepPartials = true
+			op.Opts = workerOpts
 			if err := op.Open(); err != nil {
 				op.Close()
 				return err
@@ -136,10 +144,24 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 			partials[i], stats[i] = op.Partials(), op.Stats()
 			return op.Close()
 		}
+		if workerOpts.Batching() {
+			scan := exec.NewBatchSMAScan(a.Heap, p, a.Grader, workerOpts)
+			scan.Ctx = ctx
+			scan.Buckets = parts[i].Buckets
+			scan.Grades = parts[i].Grades
+			ga := exec.NewBatchGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
+			ga.KeepPartials = true
+			if err := ga.Open(); err != nil {
+				return err
+			}
+			partials[i], stats[i] = ga.Partials(), scan.Stats()
+			return ga.Close()
+		}
 		scan := exec.NewSMAScan(a.Heap, p, a.Grader)
 		scan.Ctx = ctx
 		scan.Buckets = parts[i].Buckets
 		scan.Grades = parts[i].Grades
+		scan.PrefetchWindow = workerOpts.EffectivePrefetchWindow()
 		ga := exec.NewGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
 		ga.KeepPartials = true
 		if err := ga.Open(); err != nil {
@@ -154,19 +176,60 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 	return partials, stats, nil
 }
 
+// workerExecOptions derates the query-level prefetch window for n
+// concurrent workers: each worker prefetches its own partition, but the
+// combined readahead must leave the shared pool room for the workers'
+// demand pins. A derated window below one page disables prefetch.
+func (a *Agg) workerExecOptions(n int) exec.ExecOptions {
+	opts := a.Exec
+	w := opts.EffectivePrefetchWindow()
+	if w == 0 || n <= 1 {
+		if w == 0 {
+			opts.PrefetchWindow = -1
+		} else {
+			opts.PrefetchWindow = w
+		}
+		return opts
+	}
+	if room := a.Heap.Pool().Capacity() / (4 * n); w > room {
+		w = room
+	}
+	if w < 1 {
+		opts.PrefetchWindow = -1
+	} else {
+		opts.PrefetchWindow = w
+	}
+	return opts
+}
+
 // runScan executes ModeScan: one TableScan + hash aggregation per page
 // range.
 func (a *Agg) runScan() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats, error) {
 	ranges := PartitionPages(a.Heap.NumPages(), a.DOP)
+	workerOpts := a.workerExecOptions(len(ranges))
 	partials := make([]map[core.GroupKey]*exec.Partial, len(ranges))
 	stats := make([]exec.ScanStats, len(ranges))
 	err := Run(a.Ctx, len(ranges), func(ctx context.Context, i int) error {
 		p := pred.Clone(a.Pred)
 		specs := exec.CloneSpecs(a.Specs)
+		if workerOpts.Batching() {
+			scan := exec.NewBatchTableScan(a.Heap, p, workerOpts)
+			scan.Ctx = ctx
+			scan.StartPage = ranges[i].First
+			scan.EndPage = ranges[i].Last
+			ga := exec.NewBatchGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
+			ga.KeepPartials = true
+			if err := ga.Open(); err != nil {
+				return err
+			}
+			partials[i], stats[i] = ga.Partials(), scan.Stats()
+			return ga.Close()
+		}
 		scan := exec.NewTableScan(a.Heap, p)
 		scan.Ctx = ctx
 		scan.StartPage = ranges[i].First
 		scan.EndPage = ranges[i].Last
+		scan.PrefetchWindow = workerOpts.EffectivePrefetchWindow()
 		ga := exec.NewGAggr(scan, a.Heap.Schema(), specs, a.GroupBy)
 		ga.KeepPartials = true
 		if err := ga.Open(); err != nil {

@@ -89,6 +89,12 @@ type Plan struct {
 	// page-range) partition, merged into one sorted result.
 	DOP int
 
+	// Exec selects the physical execution mode: batch-at-a-time operators
+	// with selection vectors (the default) or the legacy row iterators,
+	// plus the asynchronous page-prefetch window. Copied from the planner
+	// at plan time.
+	Exec exec.ExecOptions
+
 	// Planning diagnostics.
 	Grades   core.GradeCounts
 	CostSMA  float64
@@ -141,6 +147,9 @@ type Planner struct {
 	// aggregation plans; values <= 1 plan serial execution. The effective
 	// per-plan degree is capped by the work available (see ChooseDOP).
 	DOP int
+	// Exec is the physical execution mode stamped onto every plan: batch
+	// vs row operators, batch size, prefetch window.
+	Exec exec.ExecOptions
 }
 
 // New creates a planner with the default cost model.
@@ -253,6 +262,7 @@ func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 		return nil, err
 	}
 	plan.DOP = pl.ChooseDOP(plan, pl.DOP)
+	plan.Exec = pl.Exec
 	return plan, nil
 }
 
@@ -386,7 +396,8 @@ func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas 
 		return plan, nil
 	}
 	if q.Where != nil {
-		plan.Grades = core.CountGrades(grader.GradeAll(q.Where))
+		plan.gradeVec = grader.GradeAll(q.Where)
+		plan.Grades = core.CountGrades(plan.gradeVec)
 	} else {
 		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
 	}
@@ -407,6 +418,28 @@ func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas 
 // IsProjection reports whether the plan streams tuples (TupleIterator)
 // rather than aggregation rows (RowIterator).
 func (p *Plan) IsProjection() bool { return p.Query.IsProjection() }
+
+// serialGrades returns the grade vector computed during planning, padded
+// to the heap's bucket count (missing information degrades to Ambivalent,
+// never to a wrong skip), or nil when planning did not grade. Serial scan
+// operators reuse it instead of grading again, which also hands the
+// prefetcher the surviving page set before the first page access.
+func (p *Plan) serialGrades() []core.Grade {
+	if p.gradeVec == nil {
+		return nil
+	}
+	nb := p.Heap.NumBuckets()
+	g := p.gradeVec
+	if len(g) >= nb {
+		return g[:nb]
+	}
+	out := make([]core.Grade, nb)
+	copy(out, g)
+	for i := len(g); i < nb; i++ {
+		out[i] = core.Ambivalent
+	}
+	return out
+}
 
 // RowIterator builds the aggregation pipeline of the plan. The context, if
 // non-nil, is threaded into the scan operators, which check it on every
@@ -430,6 +463,7 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 			Pregraded: p.gradeVec,
 			DOP:       p.DOP,
 			Ctx:       ctx,
+			Exec:      p.Exec,
 		}
 		switch p.Strategy {
 		case StrategySMAGAggr:
@@ -449,18 +483,38 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 			op := exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
 				p.Grader, p.AggSMAs, p.CountSMA)
 			op.Ctx = ctx
+			op.Grades = p.serialGrades()
+			op.Opts = p.Exec
 			p.statsSrc = op
 			it = op
 		case StrategySMAScan:
-			scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
-			scan.Ctx = ctx
-			p.statsSrc = scan
-			it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			if p.Exec.Batching() {
+				scan := exec.NewBatchSMAScan(p.Heap, p.Query.Where, p.Grader, p.Exec)
+				scan.Ctx = ctx
+				scan.Grades = p.serialGrades()
+				p.statsSrc = scan
+				it = exec.NewBatchGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			} else {
+				scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
+				scan.Ctx = ctx
+				scan.Grades = p.serialGrades()
+				scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
+				p.statsSrc = scan
+				it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			}
 		default:
-			scan := exec.NewTableScan(p.Heap, p.Query.Where)
-			scan.Ctx = ctx
-			p.statsSrc = scan
-			it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			if p.Exec.Batching() {
+				scan := exec.NewBatchTableScan(p.Heap, p.Query.Where, p.Exec)
+				scan.Ctx = ctx
+				p.statsSrc = scan
+				it = exec.NewBatchGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			} else {
+				scan := exec.NewTableScan(p.Heap, p.Query.Where)
+				scan.Ctx = ctx
+				scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
+				p.statsSrc = scan
+				it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+			}
 		}
 	}
 	if len(p.Query.Having) > 0 {
@@ -484,11 +538,14 @@ func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
 	if p.Strategy == StrategySMAScan {
 		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
 		scan.Ctx = ctx
+		scan.Grades = p.serialGrades()
+		scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 		p.statsSrc = scan
 		it = scan
 	} else {
 		scan := exec.NewTableScan(p.Heap, p.Query.Where)
 		scan.Ctx = ctx
+		scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 		p.statsSrc = scan
 		it = scan
 	}

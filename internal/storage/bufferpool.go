@@ -21,6 +21,11 @@ type Frame struct {
 	// read. loadErr carries the read error, published before the close.
 	loading chan struct{}
 	loadErr error
+
+	// prefetched marks a frame whose read was issued by a Prefetcher and
+	// that no demand fetch has claimed yet; the first demand hit counts as
+	// a prefetch hit and clears the mark.
+	prefetched bool
 }
 
 // ID returns the page id held by the frame.
@@ -35,9 +40,11 @@ func (fr *Frame) MarkDirty() { fr.dirty = true }
 
 // PoolStats aggregates buffer pool activity.
 type PoolStats struct {
-	Hits      int64 // requests satisfied without disk I/O
-	Misses    int64 // requests that required a physical read
-	Evictions int64 // frames written back / recycled
+	Hits         int64 // requests satisfied without disk I/O
+	Misses       int64 // requests that required a physical read
+	Evictions    int64 // frames written back / recycled
+	Prefetched   int64 // physical reads issued by prefetchers
+	PrefetchHits int64 // demand fetches that landed on a prefetched frame
 }
 
 // BufferPool caches pages of a single DiskManager with LRU replacement.
@@ -56,9 +63,11 @@ type BufferPool struct {
 	frames map[PageID]*Frame
 	lru    *list.List // of PageID, front = most recently unpinned
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	prefetched   atomic.Int64
+	prefetchHits atomic.Int64
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over disk.
@@ -83,9 +92,21 @@ func (bp *BufferPool) Disk() *DiskManager { return bp.disk }
 // FetchPage pins page id, reading it from disk on a miss.
 // The caller must UnpinPage it when done.
 func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
+	fr, _, err := bp.fetch(id, false)
+	return fr, err
+}
+
+// fetch implements FetchPage. prefetch marks the frame on a miss so the
+// first later demand hit can be attributed to readahead; missed reports
+// whether this call issued the physical read.
+func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 	bp.mu.Lock()
 	if fr, ok := bp.frames[id]; ok {
 		bp.hits.Add(1)
+		if !prefetch && fr.prefetched {
+			fr.prefetched = false
+			bp.prefetchHits.Add(1)
+		}
 		bp.pinLocked(fr)
 		loading := fr.loading
 		bp.mu.Unlock()
@@ -95,16 +116,16 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 			// its pins, so there is nothing to unpin here.
 			<-loading
 			if fr.loadErr != nil {
-				return nil, fr.loadErr
+				return nil, false, fr.loadErr
 			}
 		}
-		return fr, nil
+		return fr, false, nil
 	}
 	bp.misses.Add(1)
 	fr, err := bp.victimLocked(id)
 	if err != nil {
 		bp.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	// Read outside the lock so concurrent misses on different pages overlap
 	// their I/O. The frame is registered and pinned with an open loading
@@ -113,6 +134,10 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 	loading := make(chan struct{})
 	fr.loading = loading
 	fr.loadErr = nil
+	fr.prefetched = prefetch
+	if prefetch {
+		bp.prefetched.Add(1)
+	}
 	bp.mu.Unlock()
 
 	err = bp.disk.ReadPage(id, fr.data[:])
@@ -128,9 +153,9 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 	bp.mu.Unlock()
 	close(loading)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return fr, nil
+	return fr, true, nil
 }
 
 // NewPage allocates a fresh page on disk, pins it, and returns the frame.
@@ -185,6 +210,7 @@ func (bp *BufferPool) victimLocked(id PageID) (*Frame, error) {
 		victim.elem = nil
 		victim.loading = nil
 		victim.loadErr = nil
+		victim.prefetched = false
 		bp.frames[id] = victim
 		return victim, nil
 	}
@@ -252,9 +278,11 @@ func (bp *BufferPool) DropAll() error {
 // concurrent workers.
 func (bp *BufferPool) Stats() PoolStats {
 	return PoolStats{
-		Hits:      bp.hits.Load(),
-		Misses:    bp.misses.Load(),
-		Evictions: bp.evictions.Load(),
+		Hits:         bp.hits.Load(),
+		Misses:       bp.misses.Load(),
+		Evictions:    bp.evictions.Load(),
+		Prefetched:   bp.prefetched.Load(),
+		PrefetchHits: bp.prefetchHits.Load(),
 	}
 }
 
@@ -263,6 +291,8 @@ func (bp *BufferPool) ResetStats() {
 	bp.hits.Store(0)
 	bp.misses.Store(0)
 	bp.evictions.Store(0)
+	bp.prefetched.Store(0)
+	bp.prefetchHits.Store(0)
 }
 
 // Resident returns the number of pages currently cached.

@@ -218,6 +218,36 @@ func (h *HeapFile) PageRecords(p PageID, visit func(t tuple.Tuple, rid RID) erro
 	return nil
 }
 
+// ReadPageInto appends the live records of page p to dst and returns the
+// extended slice plus the number of records appended. The page is pinned
+// only for the duration of the copy; when the heap has no deleted records
+// the copy is a single memcpy of the page's record area. This is the
+// page-decode step of the batched scan operators.
+func (h *HeapFile) ReadPageInto(p PageID, dst []byte) ([]byte, int, error) {
+	fr, err := h.pool.FetchPage(p)
+	if err != nil {
+		return dst, 0, err
+	}
+	defer h.pool.UnpinPage(p)
+	data := fr.Data()
+	n := pageCount(data)
+	rs := h.schema.RecordSize()
+	if h.deletes == nil || h.deletes.Len() == 0 {
+		dst = append(dst, data[pageHeaderSize:pageHeaderSize+n*rs]...)
+		return dst, n, nil
+	}
+	live := 0
+	for s := 0; s < n; s++ {
+		if !h.isLive(RID{Page: p, Slot: s}) {
+			continue
+		}
+		off := pageHeaderSize + s*rs
+		dst = append(dst, data[off:off+rs]...)
+		live++
+	}
+	return dst, live, nil
+}
+
 // ScanBucket visits every record in bucket b in physical order.
 func (h *HeapFile) ScanBucket(b int, visit func(t tuple.Tuple, rid RID) error) error {
 	first, last := h.BucketRange(b)

@@ -1,0 +1,187 @@
+package storage
+
+import (
+	"testing"
+	"time"
+)
+
+// prefetchDisk allocates n pages with a recognizable first byte each.
+func prefetchDisk(t *testing.T, n int) *DiskManager {
+	t.Helper()
+	dm := newDisk(t)
+	var page [PageSize]byte
+	for i := 0; i < n; i++ {
+		page[0] = byte(i)
+		if err := dm.WritePage(PageID(i), page[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dm
+}
+
+// waitIssued polls until the prefetcher has read ahead at least n pages.
+func waitIssued(t *testing.T, p *Prefetcher, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Issued() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetcher stuck at %d/%d pages", p.Issued(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestPrefetchWindowAndHits drives a prefetcher like a scan would: the
+// prefetcher stays within its window, the consumer's fetches land on
+// prefetched frames, and the pool attributes hits to readahead.
+func TestPrefetchWindowAndHits(t *testing.T) {
+	const numPages, window = 32, 4
+	dm := prefetchDisk(t, numPages)
+	bp := NewBufferPool(dm, 64)
+
+	// Two spans covering all pages, exercising the span→page mapping.
+	spans := []PageSpan{{First: 0, Last: numPages/2 - 1}, {First: numPages / 2, Last: numPages - 1}}
+	p := bp.StartPrefetch(spans, window)
+	if p == nil {
+		t.Fatal("StartPrefetch returned nil for a valid window")
+	}
+	defer p.Close()
+
+	// Without consumption the prefetcher must stall at the window.
+	waitIssued(t, p, window)
+	time.Sleep(10 * time.Millisecond)
+	if got := p.Issued(); got > window {
+		t.Fatalf("prefetcher ran %d pages ahead, window is %d", got, window)
+	}
+
+	hits := 0
+	for i := 0; i < numPages; i++ {
+		id := PageID(i)
+		if p.Claim(id) {
+			hits++
+		}
+		fr, err := bp.FetchPage(id)
+		if err != nil {
+			t.Fatalf("fetch %d: %v", id, err)
+		}
+		if fr.Data()[0] != byte(i) {
+			t.Fatalf("page %d has wrong contents", i)
+		}
+		if err := bp.UnpinPage(id); err != nil {
+			t.Fatal(err)
+		}
+		p.Advance()
+	}
+	if hits == 0 {
+		t.Fatal("no scan fetch landed on a prefetched page")
+	}
+	p.Close()
+
+	st := bp.Stats()
+	if st.Prefetched == 0 {
+		t.Fatal("pool counted no prefetched reads")
+	}
+	if st.PrefetchHits == 0 {
+		t.Fatal("pool counted no prefetch hits")
+	}
+	// Prefetch and demand must have coalesced: every page exactly one
+	// physical read.
+	reads, _ := dm.Stats()
+	if reads != numPages {
+		t.Fatalf("%d physical reads for %d pages; prefetch duplicated I/O", reads, numPages)
+	}
+}
+
+// TestPrefetchedFrameEvictable verifies that a prefetched-but-never-pinned
+// frame is an ordinary eviction candidate: on a two-frame pool, demand
+// fetches of other pages must be able to evict it.
+func TestPrefetchedFrameEvictable(t *testing.T) {
+	dm := prefetchDisk(t, 4)
+	bp := NewBufferPool(dm, 2)
+
+	p := bp.StartPrefetch([]PageSpan{{First: 0, Last: 0}}, 1)
+	if p == nil {
+		t.Fatal("window clamped to zero on a 2-frame pool")
+	}
+	waitIssued(t, p, 1)
+	p.Close()
+
+	if bp.Resident() != 1 {
+		t.Fatalf("resident = %d after prefetch", bp.Resident())
+	}
+	// Two demand fetches fill the pool; the second must evict the
+	// prefetched page 0 rather than fail.
+	for _, id := range []PageID{1, 2} {
+		fr, err := bp.FetchPage(id)
+		if err != nil {
+			t.Fatalf("fetch %d with prefetched frame resident: %v", id, err)
+		}
+		if fr.Data()[0] != byte(id) {
+			t.Fatalf("page %d has wrong contents", id)
+		}
+		if err := bp.UnpinPage(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bp.Stats().Evictions == 0 {
+		t.Fatal("prefetched frame was never evicted")
+	}
+}
+
+// TestPrefetcherCloseReleasesPool is the shutdown regression test: closing
+// a prefetcher mid-stream on a tiny pool must leave no pinned frame and no
+// leaked loading channel, so DropAll and further fetches succeed.
+func TestPrefetcherCloseReleasesPool(t *testing.T) {
+	const numPages = 64
+	dm := prefetchDisk(t, numPages)
+	dm.SetReadLatency(200 * time.Microsecond) // keep reads in flight at Close
+	bp := NewBufferPool(dm, 4)
+
+	p := bp.StartPrefetch([]PageSpan{{First: 0, Last: numPages - 1}}, 2)
+	waitIssued(t, p, 1)
+	p.Close() // must wait for in-flight reads and drop their pins
+
+	if err := bp.DropAll(); err != nil {
+		t.Fatalf("DropAll after prefetcher Close: %v", err)
+	}
+	dm.SetReadLatency(0)
+	// A frame abandoned with a stuck loading channel would hang this fetch.
+	done := make(chan error, 1)
+	go func() {
+		fr, err := bp.FetchPage(3)
+		if err == nil {
+			err = bp.UnpinPage(fr.ID())
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fetch after shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("fetch after shutdown hung on a leaked loading channel")
+	}
+}
+
+// TestPrefetchWindowClamp checks the safety clamps: tiny pools disable or
+// shrink readahead instead of starving demand fetches.
+func TestPrefetchWindowClamp(t *testing.T) {
+	dm := prefetchDisk(t, 8)
+	if p := NewBufferPool(dm, 1).StartPrefetch([]PageSpan{{First: 0, Last: 1}}, 16); p != nil {
+		t.Fatal("1-frame pool should refuse to prefetch")
+	}
+	if p := NewBufferPool(dm, 64).StartPrefetch(nil, 16); p != nil {
+		t.Fatal("empty span list should return a nil prefetcher")
+	}
+	if p := NewBufferPool(dm, 64).StartPrefetch([]PageSpan{{First: 3, Last: 2}}, 16); p != nil {
+		t.Fatal("empty span should return a nil prefetcher")
+	}
+	// Nil prefetchers must be safe to drive.
+	var p *Prefetcher
+	p.Advance()
+	p.Close()
+	if p.Claim(0) || p.Issued() != 0 {
+		t.Fatal("nil prefetcher misbehaves")
+	}
+}

@@ -89,6 +89,11 @@ func (s *Schema) Columns() []Column {
 	return out
 }
 
+// ColumnOffset returns the byte offset of the i-th column within a record,
+// as computed by NewSchema. Batch operators use it to compare raw column
+// bytes without re-deriving the record layout.
+func (s *Schema) ColumnOffset(i int) int { return s.cols[i].offset }
+
 // ColumnIndex resolves a column name (case-insensitive) to its index,
 // returning -1 if absent.
 func (s *Schema) ColumnIndex(name string) int {
@@ -143,6 +148,19 @@ func (t Tuple) Float64(i int) float64 {
 func (t Tuple) Char(i int) string {
 	c := t.Schema.cols[i]
 	return strings.TrimRight(string(t.Data[c.offset:c.offset+c.Len]), " ")
+}
+
+// CharBytes returns the bytes of a TChar column with trailing padding
+// trimmed, aliasing the tuple's memory. It is the allocation-free
+// counterpart of Char for hot loops; callers must not retain or mutate the
+// slice.
+func (t Tuple) CharBytes(i int) []byte {
+	c := t.Schema.cols[i]
+	b := t.Data[c.offset : c.offset+c.Len]
+	for len(b) > 0 && b[len(b)-1] == ' ' {
+		b = b[:len(b)-1]
+	}
+	return b
 }
 
 // CharByte returns the first byte of a TChar column; convenient for the

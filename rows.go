@@ -57,6 +57,15 @@ type QueryStats struct {
 	DisqualifyingBuckets int
 	AmbivalentBuckets    int
 	PagesRead            int
+	// Batches counts the tuple batches the vectorized operators produced
+	// (0 when the query ran on the legacy row path).
+	Batches int
+	// PagesPrefetched counts heap pages the asynchronous prefetcher read
+	// ahead of the scan cursors.
+	PagesPrefetched int
+	// PrefetchHits counts page fetches that found their page already
+	// resident because readahead got there first.
+	PrefetchHits int
 }
 
 // Stats returns the query's scan statistics and whether the plan tracks
@@ -73,6 +82,9 @@ func (r *Rows) Stats() (QueryStats, bool) {
 		DisqualifyingBuckets: s.Disqualifying,
 		AmbivalentBuckets:    s.Ambivalent,
 		PagesRead:            s.PagesRead,
+		Batches:              s.Batches,
+		PagesPrefetched:      s.PagesPrefetched,
+		PrefetchHits:         s.PrefetchHits,
 	}, true
 }
 

@@ -58,6 +58,27 @@ func WithReadLatency(d time.Duration) Option {
 	return func(o *engine.Options) { o.ReadLatency = d }
 }
 
+// WithBatchSize sets the tuples-per-batch target of the vectorized read
+// path (default 1024 tuples). The batched operators decode each heap page
+// into a reusable batch once, evaluate the predicate as a tight loop
+// producing a selection vector, and fold aggregates per batch instead of
+// per tuple. Passing a negative n disables batching: plans fall back to
+// the legacy row-at-a-time iterators (the pre-batch execution engine,
+// kept as the projection-streaming substrate and for A/B comparison).
+func WithBatchSize(n int) Option {
+	return func(o *engine.Options) { o.BatchSize = n }
+}
+
+// WithPrefetchWindow sets the number of pages of SMA-guided asynchronous
+// readahead per scan (default 16). Because bucket grading computes the
+// exact surviving page set before the first page access, the prefetcher
+// never reads a page the query will skip; it stays at most n pages ahead
+// of the cursor and is derated per worker under parallelism. Passing a
+// negative n disables prefetch.
+func WithPrefetchWindow(n int) Option {
+	return func(o *engine.Options) { o.PrefetchWindow = n }
+}
+
 // WithParallelism sets the default degree of intra-query parallelism for
 // aggregation queries: buckets are pre-graded with the selection SMAs,
 // disqualified buckets are dropped, and the survivors are split into n
