@@ -1,0 +1,390 @@
+// Package client is the Go client for the sma query server (cmd/smaserverd):
+// it speaks the server's JSON-over-HTTP wire protocol — streaming NDJSON
+// query results, DML execs with RowsAffected, and the /status snapshot.
+//
+// Typical use:
+//
+//	c := client.New("http://localhost:7421")
+//	rows, _ := c.Query(ctx, "select REGION, sum(AMOUNT) as REV from SALES group by REGION")
+//	defer rows.Close()
+//	for rows.Next() {
+//	    fmt.Println(rows.Row()) // rendered display strings, column order
+//	}
+//	if err := rows.Err(); err != nil { ... }
+//
+// Row values arrive as the engine's rendered display strings — the same
+// bytes sma.Collect produces in-process — so results are comparable across
+// the wire byte for byte.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client talks to one sma query server. It is safe for concurrent use;
+// each Query holds one HTTP connection open until its Rows is closed.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client (TLS config, timeouts,
+// proxies). The default client has no overall timeout: query streams are
+// long-lived by design and bounded server-side via WithTimeout.
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New creates a client for a server base URL like "http://host:7421".
+func New(base string, opts ...Option) *Client {
+	for len(base) > 0 && base[len(base)-1] == '/' {
+		base = base[:len(base)-1]
+	}
+	c := &Client{base: base, hc: &http.Client{}}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// queryRequest mirrors the server's /query body.
+type queryRequest struct {
+	SQL           string `json:"sql"`
+	DOP           int    `json:"dop,omitempty"`
+	BatchSize     *int   `json:"batch_size,omitempty"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+}
+
+// QueryOption adjusts one Query or Exec request.
+type QueryOption func(*queryRequest)
+
+// WithDOP requests a degree of intra-query parallelism (0 = server
+// default, 1 = serial).
+func WithDOP(n int) QueryOption {
+	return func(q *queryRequest) { q.DOP = n }
+}
+
+// WithBatchSize overrides the server's tuples-per-batch target for one
+// query; negative runs the row-at-a-time fallback.
+func WithBatchSize(n int) QueryOption {
+	return func(q *queryRequest) { q.BatchSize = &n }
+}
+
+// WithTimeout asks the server to abort the statement after d.
+func WithTimeout(d time.Duration) QueryOption {
+	return func(q *queryRequest) { q.TimeoutMillis = d.Milliseconds() }
+}
+
+// Stats mirrors the engine's scan statistics reported in the trailer.
+type Stats struct {
+	QualifyingBuckets    int `json:"qualifying_buckets"`
+	DisqualifyingBuckets int `json:"disqualifying_buckets"`
+	AmbivalentBuckets    int `json:"ambivalent_buckets"`
+	PagesRead            int `json:"pages_read"`
+	Batches              int `json:"batches"`
+	PagesPrefetched      int `json:"pages_prefetched"`
+	PrefetchHits         int `json:"prefetch_hits"`
+}
+
+// wire frame mirrors of the server's NDJSON stream.
+type header struct {
+	Columns     []string `json:"columns"`
+	Types       []string `json:"types"`
+	Strategy    string   `json:"strategy"`
+	Parallelism int      `json:"parallelism"`
+}
+
+type trailer struct {
+	RowCount      int64  `json:"row_count"`
+	ElapsedMicros int64  `json:"elapsed_us"`
+	Stats         *Stats `json:"stats,omitempty"`
+}
+
+type frame struct {
+	Header  *header  `json:"header,omitempty"`
+	Row     []string `json:"row,omitempty"`
+	Trailer *trailer `json:"trailer,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// Rows is a streaming query result in the style of database/sql: Next
+// until false, Row inside the loop, then Err and Close. The server holds
+// the query's cursor (and the database read lock) until the stream ends
+// or the connection closes, so close promptly.
+type Rows struct {
+	body io.ReadCloser
+	dec  *json.Decoder
+	hdr  header
+	row  []string
+	trl  *trailer
+	err  error
+	done bool
+}
+
+// Columns returns the output column names in select-list order.
+func (r *Rows) Columns() []string { return r.hdr.Columns }
+
+// Types names each column's value type ("int32", "int64", "float64",
+// "date", "char"); aggregate columns report "float64".
+func (r *Rows) Types() []string { return r.hdr.Types }
+
+// Strategy names the physical plan the server executed.
+func (r *Rows) Strategy() string { return r.hdr.Strategy }
+
+// Parallelism is the degree of parallelism the plan ran with (1 = serial).
+func (r *Rows) Parallelism() int { return r.hdr.Parallelism }
+
+// Next advances to the next row, returning false at end of stream or on
+// error (check Err to tell them apart).
+func (r *Rows) Next() bool {
+	if r.done {
+		return false
+	}
+	var f frame
+	if err := r.dec.Decode(&f); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF // stream must end with trailer or error
+		}
+		r.fail(err)
+		return false
+	}
+	switch {
+	case f.Row != nil:
+		r.row = f.Row
+		return true
+	case f.Trailer != nil:
+		r.trl = f.Trailer
+		r.done = true
+		return false
+	case f.Error != "":
+		r.fail(fmt.Errorf("server: %s", f.Error))
+		return false
+	default:
+		r.fail(fmt.Errorf("client: unexpected frame in stream"))
+		return false
+	}
+}
+
+// Row returns the current row as rendered display strings, one per
+// column. The slice is valid until the next call to Next.
+func (r *Rows) Row() []string { return r.row }
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Trailer returns the stream's trailing statistics once Next has
+// returned false without error.
+func (r *Rows) Trailer() (rowCount int64, elapsed time.Duration, stats *Stats, ok bool) {
+	if r.trl == nil {
+		return 0, 0, nil, false
+	}
+	return r.trl.RowCount, time.Duration(r.trl.ElapsedMicros) * time.Microsecond, r.trl.Stats, true
+}
+
+// Close releases the HTTP connection. Closing before the stream is
+// drained disconnects, which cancels the query server-side.
+func (r *Rows) Close() error {
+	r.done = true
+	return r.body.Close()
+}
+
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.done = true
+}
+
+// Query begins executing a SELECT on the server, returning a streaming
+// cursor. Cancelling ctx disconnects, which aborts the query mid-scan on
+// the server.
+func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows, error) {
+	req := queryRequest{SQL: sql}
+	for _, o := range opts {
+		o(&req)
+	}
+	resp, err := c.post(ctx, "/query", req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.asError(resp)
+	}
+	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
+	var f frame
+	if err := r.dec.Decode(&f); err != nil || f.Header == nil {
+		resp.Body.Close()
+		if err == nil {
+			err = fmt.Errorf("client: stream did not begin with a header frame")
+		}
+		return nil, err
+	}
+	r.hdr = *f.Header
+	return r, nil
+}
+
+// ExecResult reports the effect of a non-SELECT statement.
+type ExecResult struct {
+	Kind         string `json:"kind"`
+	Table        string `json:"table"`
+	RowsAffected int64  `json:"rows_affected"`
+	SMA          *struct {
+		Name    string `json:"name"`
+		Buckets int    `json:"buckets"`
+		Files   int    `json:"files"`
+		Pages   int64  `json:"pages"`
+	} `json:"sma"`
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// Exec runs a DDL or DML statement on the server. Of the query options
+// only WithTimeout applies; WithDOP and WithBatchSize are query-execution
+// knobs and are rejected rather than silently dropped.
+func (c *Client) Exec(ctx context.Context, sql string, opts ...QueryOption) (*ExecResult, error) {
+	req := queryRequest{SQL: sql}
+	for _, o := range opts {
+		o(&req)
+	}
+	if req.DOP != 0 || req.BatchSize != nil {
+		return nil, fmt.Errorf("client: WithDOP and WithBatchSize do not apply to Exec")
+	}
+	body := struct {
+		SQL           string `json:"sql"`
+		TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+	}{SQL: req.SQL, TimeoutMillis: req.TimeoutMillis}
+	resp, err := c.post(ctx, "/exec", body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.asError(resp)
+	}
+	var out ExecResult
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status mirrors the server's /status snapshot.
+type Status struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Tables        []struct {
+		Name    string `json:"name"`
+		Columns []struct {
+			Name string `json:"name"`
+			Type string `json:"type"`
+			Len  int    `json:"len"`
+		} `json:"columns"`
+		Rows        int64 `json:"rows"`
+		Pages       int64 `json:"pages"`
+		Buckets     int   `json:"buckets"`
+		BucketPages int   `json:"bucket_pages"`
+		SMAs        []struct {
+			Name    string `json:"name"`
+			SQL     string `json:"sql"`
+			Files   int    `json:"files"`
+			Pages   int64  `json:"pages"`
+			Buckets int    `json:"buckets"`
+		} `json:"smas"`
+	} `json:"tables"`
+	Pool struct {
+		Hits         int64 `json:"hits"`
+		Misses       int64 `json:"misses"`
+		Evictions    int64 `json:"evictions"`
+		Prefetched   int64 `json:"prefetched"`
+		PrefetchHits int64 `json:"prefetch_hits"`
+	} `json:"pool"`
+	Admission struct {
+		Active             int   `json:"active"`
+		Queued             int   `json:"queued"`
+		MaxConcurrent      int   `json:"max_concurrent"`
+		QueueTimeoutMillis int64 `json:"queue_timeout_ms"`
+		Draining           bool  `json:"draining"`
+	} `json:"admission"`
+	Sessions []struct {
+		ID            int64  `json:"id"`
+		Kind          string `json:"kind"`
+		SQL           string `json:"sql"`
+		ElapsedMicros int64  `json:"elapsed_us"`
+	} `json:"sessions"`
+	Totals struct {
+		Queries           int64 `json:"queries"`
+		Execs             int64 `json:"execs"`
+		Errors            int64 `json:"errors"`
+		Cancelled         int64 `json:"cancelled"`
+		RowsStreamed      int64 `json:"rows_streamed"`
+		AdmissionTimeouts int64 `json:"admission_timeouts"`
+		AdmissionRejected int64 `json:"admission_rejected"`
+	} `json:"totals"`
+}
+
+// Status fetches the server's catalog/pool/session snapshot.
+func (c *Client) Status(ctx context.Context) (*Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/status", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, c.asError(resp)
+	}
+	var out Status
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// post sends one JSON request body.
+func (c *Client) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// Error is a non-200 server answer.
+type Error struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("server: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// IsUnavailable reports whether the server shed this request (admission
+// queue timeout or draining); the caller may retry after a backoff.
+func (e *Error) IsUnavailable() bool { return e.StatusCode == http.StatusServiceUnavailable }
+
+// asError converts a non-200 response into *Error.
+func (c *Client) asError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var body struct {
+		Error string `json:"error"`
+	}
+	msg := resp.Status
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
+		msg = body.Error
+	}
+	return &Error{StatusCode: resp.StatusCode, Message: msg}
+}

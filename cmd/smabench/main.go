@@ -24,12 +24,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
 	seed := flag.Int64("seed", 1998, "data generation seed")
-	out := flag.String("out", "", "write the pr4 JSON trajectory to this file")
+	out := flag.String("out", "", "write the pr4/serve JSON artifact to this file")
+	serveClients := flag.Int("serve-clients", 16, "serve experiment: concurrent clients")
+	serveOps := flag.Int("serve-ops", 200, "serve experiment: statements per client")
+	serveRows := flag.Int("serve-rows", 20000, "serve experiment: seed rows")
 	flag.Parse()
 
 	// E1–E4 use shipdate-sorted LINEITEM, the paper's "optimal case"; the
@@ -122,8 +125,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run("serve") && want == "serve" {
+		ok = true
+		if err := runServe(*serveClients, *serveOps, *serveRows, *out); err != nil {
+			fatal(err)
+		}
+	}
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, or pr4)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, or serve)", *exp))
 	}
 }
 

@@ -1,0 +1,252 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sma"
+	"sma/client"
+	"sma/internal/server"
+)
+
+// serveResult is the JSON artifact of the serve experiment: end-to-end
+// throughput of the wire protocol under concurrent mixed load.
+type serveResult struct {
+	Clients       int     `json:"clients"`
+	OpsPerClient  int     `json:"ops_per_client"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	DOP           int     `json:"dop"`
+	SeedRows      int     `json:"seed_rows"`
+	DurationSecs  float64 `json:"duration_s"`
+	Ops           int64   `json:"ops"`
+	QPS           float64 `json:"qps"`
+	RowsStreamed  int64   `json:"rows_streamed"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"` // 503s (queue timeout / draining)
+	P50Millis     float64 `json:"p50_ms"`
+	P95Millis     float64 `json:"p95_ms"`
+	P99Millis     float64 `json:"p99_ms"`
+	MaxMillis     float64 `json:"max_ms"`
+	PoolHits      int64   `json:"pool_hits"`
+	PoolMisses    int64   `json:"pool_misses"`
+}
+
+// runServe measures wire-protocol throughput: an in-process smaserverd
+// (real TCP listener, real HTTP) under N concurrent clients running a
+// mixed workload — SMA-answerable aggregates, bucket-pruned range
+// aggregates, projections, and multi-row inserts.
+func runServe(clients, opsPerClient, seedRows int, outPath string) error {
+	dop := runtime.NumCPU()
+	dir, err := os.MkdirTemp("", "sma-serve-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	db, err := sma.Open(dir, sma.WithParallelism(dop))
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	if err := loadServeData(db, seedRows); err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{MaxConcurrent: 2 * dop, QueueTimeout: 5 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		latencies []float64
+		rows      int64
+		errs      int64
+		shed      int64
+	)
+	start := time.Now()
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			c := client.New(base)
+			rnd := rand.New(rand.NewSource(int64(1000 + ci)))
+			local := make([]float64, 0, opsPerClient)
+			var localRows, localErrs, localShed int64
+			for op := 0; op < opsPerClient; op++ {
+				t0 := time.Now()
+				n, err := serveOp(c, rnd, dop)
+				local = append(local, float64(time.Since(t0).Microseconds())/1000)
+				localRows += n
+				if err != nil {
+					if se, ok := err.(*client.Error); ok && se.IsUnavailable() {
+						localShed++
+					} else {
+						localErrs++
+					}
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			rows += localRows
+			errs += localErrs
+			shed += localShed
+			mu.Unlock()
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	srv.Shutdown(shCtx)
+	httpSrv.Shutdown(shCtx)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	ps := db.PoolStats()
+	res := serveResult{
+		Clients:       clients,
+		OpsPerClient:  opsPerClient,
+		MaxConcurrent: 2 * dop,
+		DOP:           dop,
+		SeedRows:      seedRows,
+		DurationSecs:  elapsed.Seconds(),
+		Ops:           int64(clients * opsPerClient),
+		QPS:           float64(clients*opsPerClient) / elapsed.Seconds(),
+		RowsStreamed:  rows,
+		Errors:        errs,
+		Shed:          shed,
+		P50Millis:     pct(0.50),
+		P95Millis:     pct(0.95),
+		P99Millis:     pct(0.99),
+		MaxMillis:     pct(1.0),
+		PoolHits:      ps.Hits,
+		PoolMisses:    ps.Misses,
+	}
+	fmt.Printf("serve: %d clients x %d ops over the wire in %.2fs\n", clients, opsPerClient, res.DurationSecs)
+	fmt.Printf("  %.0f statements/s, %d rows streamed, %d errors, %d shed\n", res.QPS, res.RowsStreamed, res.Errors, res.Shed)
+	fmt.Printf("  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f\n", res.P50Millis, res.P95Millis, res.P99Millis, res.MaxMillis)
+	if res.Errors > 0 {
+		return fmt.Errorf("serve: %d ops failed", res.Errors)
+	}
+	if outPath != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// loadServeData creates the workload table, bulk-inserts date-clustered
+// rows, and defines the SMAs the query mix is baited toward.
+func loadServeData(db *sma.DB, seedRows int) error {
+	if _, err := db.Exec("create table W (D date, K char(1), V float64, N int64)"); err != nil {
+		return err
+	}
+	rnd := rand.New(rand.NewSource(1998))
+	day := 0
+	for done := 0; done < seedRows; {
+		n := 200
+		if seedRows-done < n {
+			n = seedRows - done
+		}
+		vals := make([]string, n)
+		for i := range vals {
+			if rnd.Intn(4) == 0 {
+				day++ // monotone insert dates: the paper's shipdate clustering
+			}
+			vals[i] = fmt.Sprintf("(date '%s', '%c', %d.5, %d)",
+				serveDate(day), 'A'+rune(rnd.Intn(5)), rnd.Intn(200), rnd.Intn(400))
+		}
+		if _, err := db.Exec("insert into W values " + strings.Join(vals, ", ")); err != nil {
+			return err
+		}
+		done += n
+	}
+	for _, ddl := range []string{
+		"define sma dmin select min(D) from W",
+		"define sma dmax select max(D) from W",
+		"define sma gsum select sum(V) from W group by K",
+		"define sma gcnt select count(*) from W group by K",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serveDate renders a day index in 2024 (28-day months, like the oracle
+// generator).
+func serveDate(i int) string {
+	i %= 12 * 28
+	return fmt.Sprintf("2024-%02d-%02d", i/28+1, i%28+1)
+}
+
+// serveOp runs one statement of the mixed workload and returns the rows
+// it streamed.
+func serveOp(c *client.Client, rnd *rand.Rand, dop int) (int64, error) {
+	ctx := context.Background()
+	roll := rnd.Intn(100)
+	switch {
+	case roll < 10: // DML: small multi-row insert
+		n := 1 + rnd.Intn(4)
+		vals := make([]string, n)
+		for i := range vals {
+			vals[i] = fmt.Sprintf("(date '%s', '%c', %d.5, %d)",
+				serveDate(rnd.Intn(12*28)), 'A'+rune(rnd.Intn(5)), rnd.Intn(200), rnd.Intn(400))
+		}
+		_, err := c.Exec(ctx, "insert into W values "+strings.Join(vals, ", "))
+		return 0, err
+	case roll < 55: // SMA-answerable grouped aggregate (SMA_GAggr bait)
+		return drain(c.Query(ctx,
+			"select K, sum(V) as S, count(*) as C from W group by K order by K"))
+	case roll < 85: // selective date-range aggregate (SMA_Scan bait), parallel
+		d := serveDate(rnd.Intn(40))
+		return drain(c.Query(ctx,
+			fmt.Sprintf("select count(*) as C, sum(V) as S from W where D <= date '%s'", d),
+			client.WithDOP(dop)))
+	default: // projection stream with LIMIT
+		return drain(c.Query(ctx,
+			fmt.Sprintf("select D, K, V from W where N >= %d limit 50", rnd.Intn(300))))
+	}
+}
+
+// drain consumes a query stream, returning the row count.
+func drain(rows *client.Rows, err error) (int64, error) {
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	var n int64
+	for rows.Next() {
+		n++
+	}
+	return n, rows.Err()
+}

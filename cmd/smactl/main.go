@@ -68,13 +68,10 @@ func main() {
 				res.SMAName, res.SMAPages, res.SMAFiles, time.Since(start).Round(time.Millisecond))
 		}
 	case "list":
-		for _, name := range db.Tables() {
-			t, err := db.Table(name)
-			if err != nil {
-				fatal(err)
-			}
-			fmt.Printf("%s: %d pages, bucket = %d page(s)\n", name, t.Pages(), t.BucketPages())
-			for _, s := range t.SMAs() {
+		for _, ti := range db.Tables() {
+			fmt.Printf("%s: %d rows, %d pages, bucket = %d page(s)\n",
+				ti.Name, ti.Rows, ti.Pages, ti.BucketPages)
+			for _, s := range ti.SMAs {
 				fmt.Printf("  %-12s %-60s %4d file(s) %5d page(s)\n",
 					s.Name, s.SQL, s.Files, s.Pages)
 			}

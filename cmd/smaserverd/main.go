@@ -1,0 +1,126 @@
+// Command smaserverd serves a database directory over the SQL-over-HTTP
+// wire protocol: streaming /query, /exec, /status, and Prometheus
+// /metrics, with bounded admission and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	smaserverd -dir ./db                          # serve on :7421
+//	smaserverd -dir ./db -addr 127.0.0.1:7421 -max-concurrency 16
+//	smaserverd -dir ./db -tls-cert cert.pem -tls-key key.pem
+//
+// The database directory is exclusively locked (LOCK sentinel) while the
+// daemon runs: a second smaserverd — or any embedded open — on the same
+// directory fails fast instead of corrupting the SMA files.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sma"
+	"sma/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7421", "listen address")
+	dir := flag.String("dir", "", "database directory (required)")
+	maxConc := flag.Int("max-concurrency", 0, "max concurrently executing statements (0 = 2×GOMAXPROCS)")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max wait for an execution slot before 503")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown drain budget; past it in-flight queries are cancelled")
+	dop := flag.Int("dop", 0, "default degree of intra-query parallelism (0/1 = serial)")
+	poolPages := flag.Int("pool-pages", 0, "buffer pool capacity per table in pages (0 = default 2048)")
+	batch := flag.Int("batch-size", 0, "tuples-per-batch target (0 = default, negative = row mode)")
+	prefetch := flag.Int("prefetch", 0, "prefetch window in pages (0 = default 16, negative = off)")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate file (serve HTTPS when set with -tls-key)")
+	tlsKey := flag.String("tls-key", "", "TLS key file")
+	flag.Parse()
+	if *dir == "" {
+		fatal(errors.New("-dir is required"))
+	}
+	if (*tlsCert == "") != (*tlsKey == "") {
+		fatal(errors.New("-tls-cert and -tls-key must be set together"))
+	}
+
+	var opts []sma.Option
+	if *dop > 1 {
+		opts = append(opts, sma.WithParallelism(*dop))
+	}
+	if *poolPages > 0 {
+		opts = append(opts, sma.WithPoolPages(*poolPages))
+	}
+	if *batch != 0 {
+		opts = append(opts, sma.WithBatchSize(*batch))
+	}
+	if *prefetch != 0 {
+		opts = append(opts, sma.WithPrefetchWindow(*prefetch))
+	}
+	db, err := sma.Open(*dir, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(db, server.Config{
+		MaxConcurrent: *maxConc,
+		QueueTimeout:  *queueTimeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		db.Close()
+		fatal(err)
+	}
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(os.Stderr, "smaserverd: serving %s on %s://%s (tables: %d)\n",
+		*dir, scheme, ln.Addr(), len(db.TableNames()))
+
+	errc := make(chan error, 1)
+	go func() {
+		if *tlsCert != "" {
+			errc <- httpSrv.ServeTLS(ln, *tlsCert, *tlsKey)
+		} else {
+			errc <- httpSrv.Serve(ln)
+		}
+	}()
+
+	sigctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-sigctx.Done():
+		fmt.Fprintln(os.Stderr, "smaserverd: draining...")
+	case err := <-errc:
+		db.Close()
+		fatal(err)
+	}
+
+	// Drain order: stop admitting and wait for in-flight cursors, then
+	// close listeners/connections, then close (and unlock) the database.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smaserverd: drain incomplete, cancelled in-flight queries: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "smaserverd: http shutdown: %v\n", err)
+	}
+	if err := db.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "smaserverd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smaserverd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,114 @@
+// Server round trip: start the SQL-over-HTTP query server in-process on a
+// loopback port, load a table through the wire protocol with the client
+// package, stream a pruned aggregate back out, inspect /status, and drain
+// gracefully — the same protocol cmd/smaserverd serves and curl can speak.
+//
+//	go run ./examples/server
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sma"
+	"sma/client"
+	"sma/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sma-server-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sma.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The serving layer: bounded admission (at most 4 statements execute
+	// at once; the rest queue up to 2s, then shed with a 503).
+	srv := server.New(db, server.Config{MaxConcurrent: 4, QueueTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	ctx := context.Background()
+	c := client.New(base)
+
+	// DDL and a bulk insert through POST /exec.
+	if _, err := c.Exec(ctx, `create table SALES (SALE_DATE date, REGION char(1), AMOUNT float64)`); err != nil {
+		log.Fatal(err)
+	}
+	var vals []string
+	start := sma.DateOf(2020, 1, 1)
+	for day := 0; day < 120; day++ {
+		for _, region := range []string{"N", "S", "E", "W"} {
+			vals = append(vals, fmt.Sprintf("(date '%s', '%s', %d)",
+				start.AddDays(day), region, 10+(day*7)%90))
+		}
+	}
+	res, err := c.Exec(ctx, "insert into SALES values "+strings.Join(vals, ", "))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d rows over the wire\n", res.RowsAffected)
+	if _, err := c.Exec(ctx, "define sma d_min select min(SALE_DATE) from SALES"); err != nil {
+		log.Fatal(err)
+	}
+
+	// A pruned aggregate through POST /query: NDJSON frames stream back —
+	// header, rendered rows, then a trailer with the scan statistics.
+	rows, err := c.Query(ctx,
+		`select REGION, sum(AMOUNT) as REVENUE from SALES
+		 where SALE_DATE <= date '2020-02-15' group by REGION order by REGION`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan %s, columns %v\n", rows.Strategy(), rows.Columns())
+	for rows.Next() {
+		fmt.Println(" ", rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if n, elapsed, stats, ok := rows.Trailer(); ok {
+		fmt.Printf("%d rows in %v; buckets %d/%d/%d (qualify/disqualify/ambivalent)\n",
+			n, elapsed, stats.QualifyingBuckets, stats.DisqualifyingBuckets, stats.AmbivalentBuckets)
+	}
+	rows.Close()
+
+	// GET /status: the catalog and admission picture a dashboard polls.
+	st, err := c.Status(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range st.Tables {
+		fmt.Printf("\nstatus: table %s: %d rows, %d pages, %d SMA(s)\n", t.Name, t.Rows, t.Pages, len(t.SMAs))
+	}
+	fmt.Printf("status: %d queries, %d execs, %d rows streamed\n",
+		st.Totals.Queries, st.Totals.Execs, st.Totals.RowsStreamed)
+
+	// Graceful shutdown: stop admitting, drain in-flight cursors, then
+	// close the listener and the database.
+	shCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Fatal(err)
+	}
+	httpSrv.Shutdown(shCtx)
+	fmt.Println("\ndrained and shut down")
+}

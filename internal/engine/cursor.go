@@ -15,7 +15,8 @@ type QueryOption func(*queryConfig)
 
 // queryConfig collects per-query execution overrides.
 type queryConfig struct {
-	dop int
+	dop   int
+	batch *int
 }
 
 // WithDOP overrides the engine's default degree of intra-query parallelism
@@ -24,6 +25,13 @@ type queryConfig struct {
 // default.
 func WithDOP(n int) QueryOption {
 	return func(c *queryConfig) { c.dop = n }
+}
+
+// WithBatchSize overrides the engine's tuples-per-batch target for one
+// query: 0 batches at the default size, negative falls the plan back to
+// the legacy row-at-a-time iterators. The prefetch window is unaffected.
+func WithBatchSize(n int) QueryOption {
+	return func(c *queryConfig) { c.batch = &n }
 }
 
 // ColInfo describes one output column of a streaming cursor.
@@ -271,6 +279,10 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 	}
 	if cfg.dop > 0 {
 		plan.DOP = db.pl.ChooseDOP(plan, cfg.dop)
+	}
+	if cfg.batch != nil {
+		plan.Exec.RowMode = *cfg.batch < 0
+		plan.Exec.BatchSize = *cfg.batch
 	}
 	cur, err := newCursor(ctx, db, plan)
 	if err != nil {

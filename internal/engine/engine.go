@@ -100,16 +100,24 @@ type DB struct {
 	opts   Options
 	tables map[string]*Table
 	pl     *planner.Planner
+	lock   *dirLock
 	closed bool
 }
 
-// Open opens (or initializes) a database directory.
+// Open opens (or initializes) a database directory. Open takes an
+// exclusive advisory lock on the directory's LOCK sentinel and fails when
+// another live process (or another open DB in this one) already holds it,
+// so two engines can never maintain the same SMA-files concurrently.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
-	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table), pl: planner.New()}
+	lock, err := acquireDirLock(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opts: opts, tables: make(map[string]*Table), pl: planner.New(), lock: lock}
 	db.pl.DOP = opts.Parallelism
 	db.pl.Exec = exec.ExecOptions{
 		RowMode:        opts.BatchSize < 0,
@@ -117,6 +125,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		PrefetchWindow: opts.PrefetchWindow,
 	}
 	if err := db.loadCatalog(); err != nil {
+		lock.release()
 		return nil, err
 	}
 	return db, nil
@@ -158,6 +167,9 @@ func (db *DB) Close() error {
 		if err := t.disk.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if err := db.lock.release(); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
@@ -377,6 +389,26 @@ func (t *Table) SMAs() []*core.SMA {
 func (t *Table) SMA(name string) (*core.SMA, bool) {
 	s, ok := t.smas[strings.ToLower(name)]
 	return s, ok
+}
+
+// NumRecords counts the table's live records (deleted tuples excluded)
+// under the read lock by visiting every page.
+func (t *Table) NumRecords() (int64, error) {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return t.Heap.NumRecords()
+}
+
+// PoolStats returns buffer pool activity counters summed across every
+// table's pool — the database-wide I/O picture a serving layer reports.
+func (db *DB) PoolStats() storage.PoolStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out storage.PoolStats
+	for _, t := range db.tables {
+		out.Add(t.pool.Stats())
+	}
+	return out
 }
 
 // Pool exposes the table's buffer pool (benchmarks use it for cold/warm

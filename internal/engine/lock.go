@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// LockFileName is the advisory lock sentinel kept in every database
+// directory. Open acquires an exclusive lock on it and Close releases it,
+// so two processes can never have the same directory open at once: the
+// second Open fails fast instead of both engines maintaining the same
+// SMA-files and delete vectors into corruption.
+const LockFileName = "LOCK"
+
+// errLocked reports that another live process holds the directory.
+var errLocked = errors.New("database directory is locked by another process")
+
+// dirLock holds the open sentinel file while the lock is live.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive advisory lock on dir's LOCK sentinel.
+// On Unix the lock is a flock(2) on the (always-present) sentinel: it is
+// tied to the open file description, conflicts across processes and across
+// independent opens within one process, and evaporates with the process,
+// so a crash never leaves the directory permanently locked.
+func acquireDirLock(dir string) (*dirLock, error) {
+	path := filepath.Join(dir, LockFileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: lock %s: %w", path, err)
+	}
+	if err := flockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("engine: lock %s: %w", path, err)
+	}
+	// Best effort: record the holder for humans inspecting the directory.
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	f.Sync()
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock. The sentinel file stays behind (the lock lives
+// on the file description, not on the file's existence).
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := funlockFile(l.f)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

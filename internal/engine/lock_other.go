@@ -1,0 +1,26 @@
+//go:build !unix
+
+package engine
+
+import "os"
+
+// Without flock(2) the sentinel's mere existence is the lock: Open created
+// it with O_CREATE (not O_EXCL) for the Unix path, so on other platforms
+// approximate exclusivity with a marker byte check — a prior holder leaves
+// a non-empty sentinel and release truncates it. This is weaker than flock
+// (a crash leaves the directory locked until the sentinel is removed), but
+// the supported deployment targets are Unix.
+func flockFile(f *os.File) error {
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if st.Size() > 0 {
+		return errLocked
+	}
+	return nil
+}
+
+func funlockFile(f *os.File) error {
+	return f.Truncate(0)
+}

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDirLockExclusive proves the LOCK sentinel makes Open exclusive: a
+// second Open of a held directory fails fast (instead of two engines
+// corrupting the same SMA-files), and releasing via Close hands the
+// directory to the next Open.
+func TestDirLockExclusive(t *testing.T) {
+	dir := t.TempDir()
+	db1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, LockFileName)); err != nil {
+		t.Fatalf("LOCK sentinel missing: %v", err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, errLocked) {
+		t.Fatalf("second Open: got %v, want errLocked", err)
+	}
+	if err := db1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil { // idempotent Close must not double-release
+		t.Fatal(err)
+	}
+}
+
+// TestDirLockSurvivesFailedOpen ensures a failed Open (corrupt catalog)
+// releases the lock so a later Open is not wedged.
+func TestDirLockSurvivesFailedOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "catalog.json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("Open of corrupt catalog succeeded")
+	}
+	if err := os.Remove(filepath.Join(dir, "catalog.json")); err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open after failed Open: %v", err)
+	}
+	db.Close()
+}

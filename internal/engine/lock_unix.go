@@ -1,0 +1,22 @@
+//go:build unix
+
+package engine
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockFile takes a non-blocking exclusive flock(2) on the sentinel.
+func flockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
+		return errLocked
+	}
+	return err
+}
+
+// funlockFile releases the flock (also implied by closing the file).
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -28,6 +28,7 @@ type Op struct {
 // by a ulp, making exact string comparison sound.
 type Gen struct {
 	rnd  *rand.Rand
+	tbl  string   // relation the stream addresses (default Table)
 	smas []smaDef // live SMAs
 	seq  int      // SMA name sequence
 	day  int      // monotone insert-date cursor (see insertDate)
@@ -47,7 +48,15 @@ const Table = "W"
 
 // NewGen creates a generator. Equal seeds yield identical streams.
 func NewGen(seed int64) *Gen {
-	return &Gen{rnd: rand.New(rand.NewSource(seed))}
+	return NewGenFor(seed, Table)
+}
+
+// NewGenFor creates a generator whose stream addresses the named table
+// instead of the default. Concurrent differential sessions give each
+// session its own table so their streams stay independent while sharing
+// one database.
+func NewGenFor(seed int64, table string) *Gen {
+	return &Gen{rnd: rand.New(rand.NewSource(seed)), tbl: strings.ToUpper(table)}
 }
 
 // Setup returns the statements creating the schema both engines start
@@ -55,7 +64,7 @@ func NewGen(seed int64) *Gen {
 // inserts cross bucket boundaries early.
 func (g *Gen) Setup() []string {
 	return []string{
-		"create table W (D date, K char(1), V float64, N int64, PAD char(500))",
+		fmt.Sprintf("create table %s (D date, K char(1), V float64, N int64, PAD char(500))", g.tbl),
 	}
 }
 
@@ -146,13 +155,13 @@ func (g *Gen) insert() string {
 			}
 			rows[i] = "(" + strings.Join(vals, ", ") + ")"
 		}
-		return fmt.Sprintf("insert into W (%s) values %s",
-			strings.Join(names, ", "), strings.Join(rows, ", "))
+		return fmt.Sprintf("insert into %s (%s) values %s",
+			g.tbl, strings.Join(names, ", "), strings.Join(rows, ", "))
 	}
 	for i := range rows {
 		rows[i] = g.row()
 	}
-	return "insert into W values " + strings.Join(rows, ", ")
+	return "insert into " + g.tbl + " values " + strings.Join(rows, ", ")
 }
 
 // set returns one SET clause. Numeric right-hand sides stay additive (no
@@ -196,7 +205,7 @@ func (g *Gen) update() string {
 	for i := range sets {
 		sets[i] = g.set(cols[i])
 	}
-	sql := "update W set " + strings.Join(sets, ", ")
+	sql := "update " + g.tbl + " set " + strings.Join(sets, ", ")
 	if w := g.where(10); w != "" {
 		sql += " " + w
 	}
@@ -207,9 +216,9 @@ func (g *Gen) deleteStmt() string {
 	// A bare DELETE (the 1-in-40 case) wipes the table; later inserts
 	// rebuild it, exercising SMAs over emptied-then-refilled buckets.
 	if w := g.where(39); w != "" {
-		return "delete from W " + w
+		return "delete from " + g.tbl + " " + w
 	}
-	return "delete from W"
+	return "delete from " + g.tbl
 }
 
 // --- predicates -----------------------------------------------------------
@@ -266,7 +275,7 @@ func (g *Gen) defineSMA() string {
 		grouped: g.rnd.Intn(2) == 0,
 	}
 	g.smas = append(g.smas, def)
-	sql := fmt.Sprintf("define sma %s select %s from W", def.name, def.form)
+	sql := fmt.Sprintf("define sma %s select %s from %s", def.name, def.form, g.tbl)
 	if def.grouped {
 		sql += " group by K"
 	}
@@ -277,7 +286,7 @@ func (g *Gen) dropSMA() string {
 	i := g.rnd.Intn(len(g.smas))
 	name := g.smas[i].name
 	g.smas = append(g.smas[:i], g.smas[i+1:]...)
-	return "drop sma " + name + " on W"
+	return "drop sma " + name + " on " + g.tbl
 }
 
 // --- queries --------------------------------------------------------------
@@ -327,9 +336,9 @@ func (g *Gen) smaBackedQuery() (string, bool) {
 		list[i] = f + " as AG" + strconv.Itoa(i)
 	}
 	if grouped {
-		return "select K, " + strings.Join(list, ", ") + " from W group by K order by K", true
+		return "select K, " + strings.Join(list, ", ") + " from " + g.tbl + " group by K order by K", true
 	}
-	return "select " + strings.Join(list, ", ") + " from W", true
+	return "select " + strings.Join(list, ", ") + " from " + g.tbl, true
 }
 
 // scanBackedQuery builds a selective date-range aggregation that a live
@@ -357,10 +366,10 @@ func (g *Gen) scanBackedQuery() (string, bool) {
 	}
 	list, _ := g.aggs()
 	if g.rnd.Intn(2) == 0 {
-		return "select K, " + strings.Join(list, ", ") + " from W " + where +
+		return "select K, " + strings.Join(list, ", ") + " from " + g.tbl + " " + where +
 			" group by K order by K", true
 	}
-	return "select " + strings.Join(list, ", ") + " from W " + where, true
+	return "select " + strings.Join(list, ", ") + " from " + g.tbl + " " + where, true
 }
 
 func (g *Gen) query() string {
@@ -377,14 +386,14 @@ func (g *Gen) query() string {
 	switch g.rnd.Intn(10) {
 	case 0, 1, 2: // global aggregate: SMA_GAggr bait when unpredicated
 		list, _ := g.aggs()
-		sql := "select " + strings.Join(list, ", ") + " from W"
+		sql := "select " + strings.Join(list, ", ") + " from " + g.tbl
 		if w := g.where(16); w != "" {
 			sql += " " + w
 		}
 		return sql
 	case 3, 4, 5, 6: // grouped aggregate, deterministically ordered
 		list, aliases := g.aggs()
-		sql := "select K, " + strings.Join(list, ", ") + " from W"
+		sql := "select K, " + strings.Join(list, ", ") + " from " + g.tbl
 		if w := g.where(14); w != "" {
 			sql += " " + w
 		}
@@ -395,7 +404,7 @@ func (g *Gen) query() string {
 		sql += " order by K"
 		return sql
 	case 7: // select *
-		sql := "select * from W"
+		sql := "select * from " + g.tbl
 		if w := g.where(16); w != "" {
 			sql += " " + w
 		}
@@ -403,7 +412,7 @@ func (g *Gen) query() string {
 	default: // column projection, physical order, optional LIMIT
 		cols := []string{"D", "K", "V", "N"}
 		g.rnd.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
-		sql := "select " + strings.Join(cols[:1+g.rnd.Intn(3)], ", ") + " from W"
+		sql := "select " + strings.Join(cols[:1+g.rnd.Intn(3)], ", ") + " from " + g.tbl
 		if w := g.where(16); w != "" {
 			sql += " " + w
 		}

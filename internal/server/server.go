@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"sma"
+)
+
+// Config tunes a Server. The zero value picks sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds the statements executing at once (queries and
+	// DML alike). Excess requests queue. Default: 2 × GOMAXPROCS.
+	MaxConcurrent int
+	// QueueTimeout bounds how long a request waits for an execution slot
+	// before a 503. Default 2s.
+	QueueTimeout time.Duration
+	// DefaultTimeout bounds execution of requests that carry no
+	// timeout_ms of their own. 0 (default) means no server-side deadline.
+	DefaultTimeout time.Duration
+	// FlushEveryRows is the row-frame interval between explicit flushes of
+	// a /query stream (the header and trailer always flush). Default 64.
+	FlushEveryRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.FlushEveryRows <= 0 {
+		c.FlushEveryRows = 64
+	}
+	return c
+}
+
+// Server serves one sma.DB over HTTP. Create with New, mount Handler on
+// an http.Server, and call Shutdown before closing the database.
+type Server struct {
+	db       *sma.DB
+	cfg      Config
+	start    time.Time
+	adm      *admission
+	sessions *sessionTable
+	m        metrics
+}
+
+// New wraps a database in a query server. The Server does not own the DB:
+// the caller closes it after Shutdown has drained the in-flight cursors.
+func New(db *sma.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:       db,
+		cfg:      cfg,
+		start:    time.Now(),
+		adm:      newAdmission(cfg.MaxConcurrent),
+		sessions: newSessionTable(),
+	}
+}
+
+// Handler returns the server's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /exec", s.handleExec)
+	mux.HandleFunc("GET /status", s.handleStatus)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// Shutdown stops admitting new statements and blocks until every
+// in-flight statement finished and released its cursor (the graceful
+// drain contract). If ctx expires first, the remaining sessions'
+// contexts are cancelled — the engine aborts them at the next bucket or
+// page boundary — and Shutdown still waits for them to unwind before
+// returning ctx's error, so the caller can always Close the database
+// immediately after Shutdown returns.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.adm.beginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.adm.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.sessions.cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// admit runs the admission gate, answering 503 with Retry-After when the
+// request cannot get a slot. ok=false means the response was written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
+	err := s.adm.acquire(r.Context(), s.cfg.QueueTimeout)
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, ErrQueueTimeout):
+		s.m.admissionTimeouts.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, ErrDraining):
+		s.m.admissionRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	default: // client went away while queued
+		s.m.cancelled.Add(1)
+	}
+	return false
+}
+
+// statementContext derives the execution context of one statement: the
+// request context (cancelled by client disconnect) plus the per-request
+// or server-default deadline, registered in the session table so a
+// forced shutdown can cancel it.
+func (s *Server) statementContext(r *http.Request, timeoutMillis int64, kind, sql string) (context.Context, *session, context.CancelFunc) {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	d := time.Duration(timeoutMillis) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d > 0 {
+		ctx, cancel = context.WithTimeout(r.Context(), d)
+	} else {
+		ctx, cancel = context.WithCancel(r.Context())
+	}
+	sess := s.sessions.add(kind, sql, cancel)
+	return ctx, sess, cancel
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeQueryRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	s.m.queries.Add(1)
+
+	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, "query", req.SQL)
+	defer cancel()
+	defer s.sessions.remove(sess)
+
+	var opts []sma.QueryOption
+	if req.DOP > 0 {
+		opts = append(opts, sma.WithQueryParallelism(req.DOP))
+	}
+	if req.BatchSize != nil {
+		opts = append(opts, sma.WithQueryBatchSize(*req.BatchSize))
+	}
+	rows, err := s.db.QueryContext(ctx, req.SQL, opts...)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	defer rows.Close()
+	s.streamRows(ctx, w, rows)
+}
+
+// streamRows writes the NDJSON frame stream of one query. Once the header
+// frame is out the HTTP status is committed, so later failures travel as
+// in-band error frames.
+func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sma.Rows) {
+	start := time.Now()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	types := rows.ColumnTypes()
+	header := &QueryHeader{
+		Columns:     rows.Columns(),
+		Types:       make([]string, len(types)),
+		Strategy:    rows.Strategy(),
+		Parallelism: rows.Parallelism(),
+	}
+	for i, t := range types {
+		header.Types[i] = t.String()
+	}
+	enc.Encode(Frame{Header: header})
+	flush()
+
+	var count int64
+	for rows.Next() {
+		vals, err := rows.RowStrings()
+		if err != nil {
+			s.m.rowsStreamed.Add(count)
+			s.streamError(bw, flush, err)
+			return
+		}
+		enc.Encode(Frame{Row: vals})
+		count++
+		if count%int64(s.cfg.FlushEveryRows) == 0 {
+			flush()
+			// The engine checks the context at page boundaries, but rows
+			// already resident never hit one: surface a client disconnect
+			// or deadline here as an in-band error, never as a truncated
+			// stream under a success trailer.
+			if err := ctx.Err(); err != nil {
+				s.m.rowsStreamed.Add(count)
+				s.streamError(bw, flush, err)
+				return
+			}
+		}
+	}
+	s.m.rowsStreamed.Add(count)
+	if err := rows.Err(); err != nil {
+		s.streamError(bw, flush, err)
+		return
+	}
+	trailer := &QueryTrailer{RowCount: count, ElapsedMicros: time.Since(start).Microseconds()}
+	if qs, ok := rows.Stats(); ok {
+		trailer.Stats = &WireQueryStats{
+			QualifyingBuckets:    qs.QualifyingBuckets,
+			DisqualifyingBuckets: qs.DisqualifyingBuckets,
+			AmbivalentBuckets:    qs.AmbivalentBuckets,
+			PagesRead:            qs.PagesRead,
+			Batches:              qs.Batches,
+			PagesPrefetched:      qs.PagesPrefetched,
+			PrefetchHits:         qs.PrefetchHits,
+		}
+	}
+	enc.Encode(Frame{Trailer: trailer})
+	flush()
+}
+
+// streamError terminates a committed stream with an in-band error frame.
+func (s *Server) streamError(bw *bufio.Writer, flush func(), err error) {
+	if isCancel(err) {
+		s.m.cancelled.Add(1)
+	} else {
+		s.m.errors.Add(1)
+	}
+	json.NewEncoder(bw).Encode(Frame{Error: err.Error()})
+	flush()
+}
+
+func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
+	req, err := DecodeExecRequest(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if !s.admit(w, r) {
+		return
+	}
+	defer s.adm.release()
+	s.m.execs.Add(1)
+
+	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, "exec", req.SQL)
+	defer cancel()
+	defer s.sessions.remove(sess)
+
+	start := time.Now()
+	res, err := s.db.ExecContext(ctx, req.SQL)
+	if err != nil {
+		s.writeError(w, statusFor(err), err)
+		return
+	}
+	resp := &ExecResponse{
+		Kind:          res.Kind,
+		Table:         res.Table,
+		RowsAffected:  res.RowsAffected,
+		ElapsedMicros: time.Since(start).Microseconds(),
+	}
+	if res.SMAName != "" {
+		resp.SMA = &SMAResult{
+			Name:    res.SMAName,
+			Buckets: res.SMABuckets,
+			Files:   res.SMAFiles,
+			Pages:   res.SMAPages,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	active, queued, draining := s.adm.snapshot()
+	resp := &StatusResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Tables:        []TableStatus{},
+		Admission: AdmissionStatus{
+			Active:             active,
+			Queued:             queued,
+			MaxConcurrent:      s.cfg.MaxConcurrent,
+			QueueTimeoutMillis: s.cfg.QueueTimeout.Milliseconds(),
+			Draining:           draining,
+		},
+		Sessions: s.sessions.list(),
+		Totals:   s.m.totals(),
+	}
+	for _, ti := range s.db.Tables() {
+		ts := TableStatus{
+			Name:        ti.Name,
+			Rows:        ti.Rows,
+			Pages:       ti.Pages,
+			Buckets:     ti.Buckets,
+			BucketPages: ti.BucketPages,
+		}
+		for _, c := range ti.Columns {
+			cs := ColumnStatus{Name: c.Name, Type: c.Type.String()}
+			if c.Type == sma.TypeChar {
+				cs.Len = c.Len
+			}
+			ts.Columns = append(ts.Columns, cs)
+		}
+		for _, sm := range ti.SMAs {
+			ts.SMAs = append(ts.SMAs, SMAStatus{
+				Name: sm.Name, SQL: sm.SQL,
+				Files: sm.Files, Pages: sm.Pages, Buckets: sm.Buckets,
+			})
+		}
+		resp.Tables = append(resp.Tables, ts)
+	}
+	ps := s.db.PoolStats()
+	resp.Pool = PoolStatus{
+		Hits:         ps.Hits,
+		Misses:       ps.Misses,
+		Evictions:    ps.Evictions,
+		Prefetched:   ps.Prefetched,
+		PrefetchHits: ps.PrefetchHits,
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the Prometheus text exposition format by hand —
+// a handful of counters and gauges do not justify a client library.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	t := s.m.totals()
+	active, queued, _ := s.adm.snapshot()
+	ps := s.db.PoolStats()
+	var b []byte
+	counter := func(name, help string, v int64) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	}
+	counter("sma_queries_total", "Queries admitted for execution.", t.Queries)
+	counter("sma_execs_total", "DDL/DML statements admitted for execution.", t.Execs)
+	counter("sma_errors_total", "Statements that failed after admission.", t.Errors)
+	counter("sma_queries_cancelled_total", "Statements aborted by client disconnect or deadline.", t.Cancelled)
+	counter("sma_rows_streamed_total", "Result rows written to /query streams.", t.RowsStreamed)
+	counter("sma_admission_timeouts_total", "Requests that timed out waiting for a slot.", t.AdmissionTimeouts)
+	counter("sma_admission_rejected_total", "Requests rejected because the server was draining.", t.AdmissionRejected)
+	gauge("sma_sessions_active", "Statements currently executing.", strconv.Itoa(active))
+	gauge("sma_sessions_queued", "Requests waiting for an execution slot.", strconv.Itoa(queued))
+	gauge("sma_sessions_max", "Admission-control concurrency bound.", strconv.Itoa(s.cfg.MaxConcurrent))
+	gauge("sma_uptime_seconds", "Seconds since the server started.", strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
+	counter("sma_pool_hits_total", "Buffer pool hits across all tables.", ps.Hits)
+	counter("sma_pool_misses_total", "Buffer pool misses across all tables.", ps.Misses)
+	counter("sma_pool_evictions_total", "Buffer pool evictions across all tables.", ps.Evictions)
+	counter("sma_pool_prefetched_total", "Pages read ahead by the prefetchers.", ps.Prefetched)
+	counter("sma_pool_prefetch_hits_total", "Demand fetches served by prefetched frames.", ps.PrefetchHits)
+	w.Write(b)
+}
+
+// writeJSON answers a JSON body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// writeError answers the JSON error body, counting it.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	if isCancel(err) {
+		s.m.cancelled.Add(1)
+	} else {
+		s.m.errors.Add(1)
+	}
+	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// statusFor maps a pre-stream execution error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusBadRequest // client is gone; status is moot
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// isCancel reports whether err is a context cancellation or deadline.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,273 @@
+// Package server turns the embedded sma engine into a served system: a
+// concurrent SQL-over-HTTP query server with admission control, session
+// tracking, live metrics, and graceful shutdown.
+//
+// Wire protocol (JSON over HTTP):
+//
+//	POST /query  {"sql": "...", "dop": 4, "batch_size": 1024, "timeout_ms": 5000}
+//	  → 200, Content-Type application/x-ndjson: one JSON frame per line —
+//	    first a header frame {"header": {columns, types, strategy, parallelism}},
+//	    then a row frame {"row": ["...", ...]} per result row (values are the
+//	    engine's rendered display strings, byte-identical to sma.Collect),
+//	    finally a trailer frame {"trailer": {row_count, elapsed_us, stats}}.
+//	    A failure mid-stream replaces the trailer with {"error": "..."}.
+//	POST /exec   {"sql": "...", "timeout_ms": 5000}
+//	  → 200 {"kind", "table", "rows_affected", "sma"?, "elapsed_us"}
+//	GET  /status → catalog, pool, session, and admission snapshot
+//	GET  /metrics → Prometheus text exposition
+//
+// Requests rejected before execution answer a JSON error body with an HTTP
+// status: 400 (malformed request or SQL), 503 (admission queue timeout or
+// server draining, with Retry-After), 504 (per-query deadline exceeded).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Request limits: a decoded request is rejected before execution when it
+// exceeds them, so a malformed or hostile body cannot balloon memory or
+// spawn absurd parallelism.
+const (
+	// MaxSQLBytes caps the statement text length.
+	MaxSQLBytes = 1 << 20
+	// MaxBodyBytes caps the HTTP body read for /query and /exec.
+	MaxBodyBytes = MaxSQLBytes + 4096
+	// MaxDOP caps the per-request degree of parallelism.
+	MaxDOP = 512
+	// MaxBatchSize caps the per-request tuples-per-batch target: batch
+	// buffers are sized batch×record up front, so an unbounded value
+	// would let one request allocate the server to death. Any negative
+	// value selects the row-at-a-time fallback.
+	MaxBatchSize = 1 << 16
+	// MaxTimeoutMillis caps the per-request deadline (24h).
+	MaxTimeoutMillis = 24 * 60 * 60 * 1000
+)
+
+// QueryRequest is the body of POST /query.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// DOP overrides the server's degree of intra-query parallelism for
+	// this query (0 keeps the server default, 1 forces serial).
+	DOP int `json:"dop,omitempty"`
+	// BatchSize overrides the tuples-per-batch target (absent keeps the
+	// server default, 0 the engine default size, negative runs the legacy
+	// row-at-a-time iterators).
+	BatchSize *int `json:"batch_size,omitempty"`
+	// TimeoutMillis bounds execution; past it the query fails with 504 (or
+	// an in-stream error frame once streaming began). 0 means no deadline.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+// ExecRequest is the body of POST /exec.
+type ExecRequest struct {
+	SQL           string `json:"sql"`
+	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+}
+
+// DecodeQueryRequest strictly decodes and validates a /query body:
+// unknown fields, trailing data, empty or oversized SQL, and out-of-range
+// knobs are errors.
+func DecodeQueryRequest(r io.Reader) (*QueryRequest, error) {
+	var req QueryRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSQL(req.SQL); err != nil {
+		return nil, err
+	}
+	if req.DOP < 0 || req.DOP > MaxDOP {
+		return nil, fmt.Errorf("dop %d out of range [0, %d]", req.DOP, MaxDOP)
+	}
+	if req.BatchSize != nil && *req.BatchSize > MaxBatchSize {
+		return nil, fmt.Errorf("batch_size %d exceeds %d", *req.BatchSize, MaxBatchSize)
+	}
+	if err := validateTimeout(req.TimeoutMillis); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeExecRequest strictly decodes and validates an /exec body.
+func DecodeExecRequest(r io.Reader) (*ExecRequest, error) {
+	var req ExecRequest
+	if err := decodeStrict(r, &req); err != nil {
+		return nil, err
+	}
+	if err := validateSQL(req.SQL); err != nil {
+		return nil, err
+	}
+	if err := validateTimeout(req.TimeoutMillis); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// decodeStrict decodes exactly one JSON object, rejecting unknown fields
+// and trailing content.
+func decodeStrict(r io.Reader, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r, MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("malformed request body: trailing data after request object")
+	}
+	return nil
+}
+
+func validateSQL(sql string) error {
+	if sql == "" {
+		return errors.New(`request is missing "sql"`)
+	}
+	if len(sql) > MaxSQLBytes {
+		return fmt.Errorf("sql length %d exceeds %d bytes", len(sql), MaxSQLBytes)
+	}
+	return nil
+}
+
+func validateTimeout(ms int64) error {
+	if ms < 0 || ms > MaxTimeoutMillis {
+		return fmt.Errorf("timeout_ms %d out of range [0, %d]", ms, MaxTimeoutMillis)
+	}
+	return nil
+}
+
+// QueryHeader is the first frame of a /query response stream.
+type QueryHeader struct {
+	Columns []string `json:"columns"`
+	// Types names each column's value type ("int32", "int64", "float64",
+	// "date", "char"); aggregate columns are "float64".
+	Types []string `json:"types"`
+	// Strategy is the physical plan ("SMA_GAggr", "SMA_Scan+GAggr", ...).
+	Strategy string `json:"strategy"`
+	// Parallelism is the degree the plan executes with (1 = serial).
+	Parallelism int `json:"parallelism"`
+}
+
+// WireQueryStats mirrors sma.QueryStats on the wire.
+type WireQueryStats struct {
+	QualifyingBuckets    int `json:"qualifying_buckets"`
+	DisqualifyingBuckets int `json:"disqualifying_buckets"`
+	AmbivalentBuckets    int `json:"ambivalent_buckets"`
+	PagesRead            int `json:"pages_read"`
+	Batches              int `json:"batches"`
+	PagesPrefetched      int `json:"pages_prefetched"`
+	PrefetchHits         int `json:"prefetch_hits"`
+}
+
+// QueryTrailer is the final frame of a successful /query stream.
+type QueryTrailer struct {
+	RowCount      int64           `json:"row_count"`
+	ElapsedMicros int64           `json:"elapsed_us"`
+	Stats         *WireQueryStats `json:"stats,omitempty"`
+}
+
+// Frame is one NDJSON line of a /query response: exactly one field is
+// set. Error frames terminate the stream in place of the trailer.
+type Frame struct {
+	Header  *QueryHeader  `json:"header,omitempty"`
+	Row     []string      `json:"row,omitempty"`
+	Trailer *QueryTrailer `json:"trailer,omitempty"`
+	Error   string        `json:"error,omitempty"`
+}
+
+// SMAResult describes the SMA built by a "define sma" statement.
+type SMAResult struct {
+	Name    string `json:"name"`
+	Buckets int    `json:"buckets"`
+	Files   int    `json:"files"`
+	Pages   int64  `json:"pages"`
+}
+
+// ExecResponse is the body of a successful /exec.
+type ExecResponse struct {
+	Kind          string     `json:"kind"`
+	Table         string     `json:"table,omitempty"`
+	RowsAffected  int64      `json:"rows_affected"`
+	SMA           *SMAResult `json:"sma,omitempty"`
+	ElapsedMicros int64      `json:"elapsed_us"`
+}
+
+// ErrorResponse is the JSON body of every non-200 answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ColumnStatus describes one column in /status.
+type ColumnStatus struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Len  int    `json:"len,omitempty"`
+}
+
+// SMAStatus describes one SMA in /status.
+type SMAStatus struct {
+	Name    string `json:"name"`
+	SQL     string `json:"sql"`
+	Files   int    `json:"files"`
+	Pages   int64  `json:"pages"`
+	Buckets int    `json:"buckets"`
+}
+
+// TableStatus describes one table in /status.
+type TableStatus struct {
+	Name        string         `json:"name"`
+	Columns     []ColumnStatus `json:"columns"`
+	Rows        int64          `json:"rows"`
+	Pages       int64          `json:"pages"`
+	Buckets     int            `json:"buckets"`
+	BucketPages int            `json:"bucket_pages"`
+	SMAs        []SMAStatus    `json:"smas,omitempty"`
+}
+
+// PoolStatus is the database-wide buffer pool picture in /status.
+type PoolStatus struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	Prefetched   int64 `json:"prefetched"`
+	PrefetchHits int64 `json:"prefetch_hits"`
+}
+
+// SessionStatus describes one in-flight statement in /status.
+type SessionStatus struct {
+	ID            int64  `json:"id"`
+	Kind          string `json:"kind"` // "query" or "exec"
+	SQL           string `json:"sql"`
+	ElapsedMicros int64  `json:"elapsed_us"`
+}
+
+// AdmissionStatus reports the admission-control state in /status.
+type AdmissionStatus struct {
+	Active             int   `json:"active"`
+	Queued             int   `json:"queued"`
+	MaxConcurrent      int   `json:"max_concurrent"`
+	QueueTimeoutMillis int64 `json:"queue_timeout_ms"`
+	Draining           bool  `json:"draining"`
+}
+
+// TotalsStatus reports the lifetime counters in /status.
+type TotalsStatus struct {
+	Queries           int64 `json:"queries"`
+	Execs             int64 `json:"execs"`
+	Errors            int64 `json:"errors"`
+	Cancelled         int64 `json:"cancelled"`
+	RowsStreamed      int64 `json:"rows_streamed"`
+	AdmissionTimeouts int64 `json:"admission_timeouts"`
+	AdmissionRejected int64 `json:"admission_rejected"`
+}
+
+// StatusResponse is the body of GET /status.
+type StatusResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Tables        []TableStatus   `json:"tables"`
+	Pool          PoolStatus      `json:"pool"`
+	Admission     AdmissionStatus `json:"admission"`
+	Sessions      []SessionStatus `json:"sessions"`
+	Totals        TotalsStatus    `json:"totals"`
+}

@@ -47,6 +47,16 @@ type PoolStats struct {
 	PrefetchHits int64 // demand fetches that landed on a prefetched frame
 }
 
+// Add folds another snapshot into s; engines use it to merge the per-table
+// pools into one database-wide view.
+func (s *PoolStats) Add(o PoolStats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Evictions += o.Evictions
+	s.Prefetched += o.Prefetched
+	s.PrefetchHits += o.PrefetchHits
+}
+
 // BufferPool caches pages of a single DiskManager with LRU replacement.
 // Pages are pinned while in use; unpinned frames are eviction candidates in
 // least-recently-used order.

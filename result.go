@@ -22,9 +22,9 @@ func Collect(rows *Rows) (*Result, error) {
 	defer rows.Close()
 	res := &Result{Columns: rows.Columns(), Strategy: rows.Strategy()}
 	for rows.Next() {
-		out := make([]string, len(rows.vals))
-		for i, v := range rows.vals {
-			out[i] = renderValue(v, rows.cols[i].IsAgg)
+		out, err := rows.RowStrings()
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, out)
 	}

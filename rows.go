@@ -48,6 +48,10 @@ func (r *Rows) ColumnTypes() []ColumnType {
 // Strategy names the physical plan executing the query (diagnostics).
 func (r *Rows) Strategy() string { return r.cur.Plan().StrategyName() }
 
+// Parallelism returns the degree of intra-query parallelism the plan
+// executes with (1 = serial).
+func (r *Rows) Parallelism() int { return r.cur.Plan().DOP }
+
 // QueryStats reports how the executed query classified and touched the
 // relation: the §3.1 bucket partition the scan observed and the heap pages
 // it fetched. For parallel plans the counts are merged across all
@@ -138,6 +142,21 @@ func (r *Rows) Scan(dest ...any) error {
 		}
 	}
 	return nil
+}
+
+// RowStrings renders the current row with the engine's display rules —
+// the same rendering Collect uses: aggregates with integral values trimmed
+// ("4" not "4.0000"), dates as "YYYY-MM-DD". Serving layers stream these
+// strings so every consumer of a result sees identical bytes.
+func (r *Rows) RowStrings() ([]string, error) {
+	if r.vals == nil {
+		return nil, fmt.Errorf("sma: RowStrings called without a successful Next")
+	}
+	out := make([]string, len(r.vals))
+	for i, v := range r.vals {
+		out[i] = renderValue(v, r.cols[i].IsAgg)
+	}
+	return out, nil
 }
 
 // Values returns the current row as typed values: int64, float64, string,

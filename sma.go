@@ -96,7 +96,8 @@ type QueryOption func(*queryConfig)
 
 // queryConfig collects per-query overrides.
 type queryConfig struct {
-	dop int
+	dop   int
+	batch *int
 }
 
 // WithQueryParallelism overrides the database's degree of parallelism for
@@ -104,6 +105,15 @@ type queryConfig struct {
 // (capped by the work the plan dispatches), 0 keeps the database default.
 func WithQueryParallelism(n int) QueryOption {
 	return func(c *queryConfig) { c.dop = n }
+}
+
+// WithQueryBatchSize overrides the database's tuples-per-batch target for
+// one query: 0 batches at the default size, a negative n runs the query on
+// the legacy row-at-a-time iterators. Results are identical either way;
+// the knob exists for A/B comparison and for serving layers that let
+// clients choose per request.
+func WithQueryBatchSize(n int) QueryOption {
+	return func(c *queryConfig) { c.batch = &n }
 }
 
 // DB is an embedded warehouse instance rooted at a directory. A DB is safe
@@ -134,8 +144,52 @@ func (db *DB) Dir() string { return db.eng.Dir() }
 // release their read locks.
 func (db *DB) Close() error { return db.eng.Close() }
 
-// Tables lists table names in sorted order.
-func (db *DB) Tables() []string { return db.eng.Tables() }
+// TableNames lists table names in sorted order.
+func (db *DB) TableNames() []string { return db.eng.Tables() }
+
+// Tables returns a catalog snapshot: every table in name order with its
+// schema, live row count, heap size, and defined SMAs. It is the
+// inspection surface CLIs and the query server's /status endpoint report
+// from, so tools never reach into engine internals.
+func (db *DB) Tables() []TableInfo {
+	names := db.eng.Tables()
+	out := make([]TableInfo, 0, len(names))
+	for _, name := range names {
+		et, err := db.eng.Table(name)
+		if err != nil {
+			continue // dropped between listing and lookup
+		}
+		t := &Table{t: et}
+		rows, err := et.NumRecords()
+		if err != nil {
+			rows = -1 // catalog stays usable when a count hits an I/O error
+		}
+		out = append(out, TableInfo{
+			Name:        et.Name,
+			Columns:     t.Columns(),
+			Rows:        rows,
+			Pages:       et.Heap.NumPages(),
+			Buckets:     et.Heap.NumBuckets(),
+			BucketPages: et.BucketPages,
+			SMAs:        t.SMAs(),
+		})
+	}
+	return out
+}
+
+// PoolStats returns buffer pool activity counters summed across every
+// table's pool: the database-wide I/O picture. The counters are
+// cumulative since Open.
+func (db *DB) PoolStats() PoolStats {
+	s := db.eng.PoolStats()
+	return PoolStats{
+		Hits:         s.Hits,
+		Misses:       s.Misses,
+		Evictions:    s.Evictions,
+		Prefetched:   s.Prefetched,
+		PrefetchHits: s.PrefetchHits,
+	}
+}
 
 // Table returns a handle for an existing table.
 func (db *DB) Table(name string) (*Table, error) {
@@ -175,6 +229,9 @@ func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptio
 	var eopts []engine.QueryOption
 	if cfg.dop != 0 {
 		eopts = append(eopts, engine.WithDOP(cfg.dop))
+	}
+	if cfg.batch != nil {
+		eopts = append(eopts, engine.WithBatchSize(*cfg.batch))
 	}
 	cur, err := db.eng.QueryContext(ctx, query, eopts...)
 	if err != nil {

@@ -3,6 +3,7 @@ package sma
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -410,5 +411,101 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	if _, err := db.Query("select count(*) from T"); err == nil {
 		t.Errorf("query after Close should fail")
+	}
+}
+
+// TestCatalogSnapshot covers the public inspection surface a serving
+// layer reports from: Tables() with schema/rows/SMAs, TableNames, and the
+// merged PoolStats.
+func TestCatalogSnapshot(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("create table B (N int64)")
+	mustExec("create table A (D date, K char(3), V float64)")
+	mustExec("insert into A values (date '2024-01-01', 'x', 1), (date '2024-01-02', 'y', 2), (date '2024-01-03', 'z', 3)")
+	mustExec("delete from A where D = date '2024-01-02'")
+	mustExec("define sma m select min(D) from A")
+
+	if got := db.TableNames(); fmt.Sprint(got) != "[A B]" {
+		t.Fatalf("TableNames: %v", got)
+	}
+	infos := db.Tables()
+	if len(infos) != 2 || infos[0].Name != "A" || infos[1].Name != "B" {
+		t.Fatalf("Tables: %+v", infos)
+	}
+	a := infos[0]
+	if a.Rows != 2 {
+		t.Fatalf("A rows %d, want 2 (delete excluded)", a.Rows)
+	}
+	if len(a.Columns) != 3 || a.Columns[1].Type != TypeChar || a.Columns[1].Len != 3 {
+		t.Fatalf("A columns: %+v", a.Columns)
+	}
+	if a.Pages < 1 || a.Buckets < 1 || a.BucketPages < 1 {
+		t.Fatalf("A sizes: %+v", a)
+	}
+	if len(a.SMAs) != 1 || a.SMAs[0].Name != "m" {
+		t.Fatalf("A SMAs: %+v", a.SMAs)
+	}
+	if len(infos[1].SMAs) != 0 || infos[1].Rows != 0 {
+		t.Fatalf("B: %+v", infos[1])
+	}
+
+	rows, err := db.Query("select count(*) from A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(rows); err != nil {
+		t.Fatal(err)
+	}
+	if ps := db.PoolStats(); ps.Hits+ps.Misses == 0 {
+		t.Fatalf("PoolStats saw no traffic: %+v", ps)
+	}
+}
+
+// TestQueryBatchSizeOption checks the per-query batch override returns
+// identical bytes in row mode, tiny-batch mode, and the default.
+func TestQueryBatchSizeOption(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("create table T (K char(1), V float64)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table("T")
+	for i := 0; i < 5000; i++ {
+		if _, err := tbl.Append(string(rune('A'+i%4)), float64(i%97)+0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := "select K, sum(V) as S, count(*) as C from T group by K order by K"
+	render := func(opts ...QueryOption) string {
+		t.Helper()
+		rows, err := db.Query(q, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Collect(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.String()
+	}
+	base := render()
+	if got := render(WithQueryBatchSize(-1)); got != base {
+		t.Fatalf("row mode differs:\n%s\nvs\n%s", got, base)
+	}
+	if got := render(WithQueryBatchSize(7)); got != base {
+		t.Fatalf("batch=7 differs:\n%s\nvs\n%s", got, base)
 	}
 }

@@ -97,6 +97,36 @@ func (t *Table) Get(rid RID) ([]any, error) {
 	return out, nil
 }
 
+// TableInfo is a catalog snapshot of one table: name, schema, size, and
+// defined SMAs. DB.Tables returns one per table.
+type TableInfo struct {
+	Name    string
+	Columns []Column
+	// Rows is the live record count (deleted tuples excluded); -1 when the
+	// count failed with an I/O error.
+	Rows int64
+	// Pages is the heap size in pages (deleted records still occupy their
+	// slots until compaction).
+	Pages int64
+	// Buckets is the number of SMA buckets; BucketPages the bucket
+	// granularity in pages.
+	Buckets     int
+	BucketPages int
+	SMAs        []SMAInfo
+}
+
+// PoolStats aggregates buffer pool activity across every table's pool.
+type PoolStats struct {
+	Hits         int64 // page requests satisfied without disk I/O
+	Misses       int64 // page requests that required a physical read
+	Evictions    int64 // frames written back / recycled
+	Prefetched   int64 // physical reads issued by prefetchers
+	PrefetchHits int64 // demand fetches that landed on a prefetched frame
+}
+
+// Rows returns the table's live record count (deleted tuples excluded).
+func (t *Table) Rows() (int64, error) { return t.t.NumRecords() }
+
 // SMAInfo describes one SMA of a table.
 type SMAInfo struct {
 	Name string
