@@ -220,9 +220,12 @@ func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*R
 	r := &Rows{body: resp.Body, dec: json.NewDecoder(resp.Body)}
 	var f frame
 	if err := r.dec.Decode(&f); err != nil || f.Header == nil {
-		resp.Body.Close()
+		cerr := resp.Body.Close()
 		if err == nil {
 			err = fmt.Errorf("client: stream did not begin with a header frame")
+		}
+		if cerr != nil {
+			err = fmt.Errorf("%w (also failed to close response body: %v)", err, cerr)
 		}
 		return nil, err
 	}

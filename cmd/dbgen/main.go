@@ -48,7 +48,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	cfg := tpcd.Config{ScaleFactor: *sf, Seed: *seed, Order: order}
 
@@ -92,4 +92,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dbgen:", err)
 	os.Exit(1)
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		fmt.Fprintf(os.Stderr, "dbgen: close %s: %v\n", what, err)
+	}
 }

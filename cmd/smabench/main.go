@@ -142,7 +142,7 @@ func runTables(cfg experiments.Config, delta int, run func(string) bool) error {
 	if err != nil {
 		return err
 	}
-	defer e.Close()
+	defer closeOrWarn("experiment env", e.Close)
 	if run("e1") {
 		fmt.Println(experiments.RunE1(e).Render())
 	}
@@ -180,4 +180,11 @@ func min(a, b float64) float64 {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smabench:", err)
 	os.Exit(1)
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		fmt.Fprintf(os.Stderr, "smabench: close %s: %v\n", what, err)
+	}
 }

@@ -178,7 +178,7 @@ func pr4Load(dir string, sf float64, seed int64) error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 	tbl, err := db.CreateTable("LINEITEM", tpcd.LineItemSchema().Columns())
 	if err != nil {
 		return err
@@ -206,7 +206,7 @@ func pr4Measure(dir string, opts engine.Options, query string, cold bool) (pr4Re
 	if err != nil {
 		return pr4Result{}, err
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 	tbl, err := db.Table("LINEITEM")
 	if err != nil {
 		return pr4Result{}, err
@@ -222,7 +222,7 @@ func pr4Measure(dir string, opts engine.Options, query string, cold bool) (pr4Re
 		for {
 			vals, ok, err := cur.Next()
 			if err != nil {
-				cur.Close()
+				_ = cur.Close() // Next's error is the one worth reporting
 				return res, 0, err
 			}
 			if !ok {
@@ -240,7 +240,9 @@ func pr4Measure(dir string, opts engine.Options, query string, cold bool) (pr4Re
 		if s, ok := cur.Stats(); ok {
 			stats = s
 		}
-		cur.Close()
+		if err := cur.Close(); err != nil {
+			return res, 0, err
+		}
 		res.Strategy = "?"
 		if p := cur.Plan(); p != nil {
 			res.Strategy = p.StrategyName()

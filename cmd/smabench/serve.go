@@ -56,7 +56,7 @@ func runServe(clients, opsPerClient, seedRows int, outPath string) error {
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 	if err := loadServeData(db, seedRows); err != nil {
 		return err
 	}
@@ -239,12 +239,15 @@ func serveOp(c *client.Client, rnd *rand.Rand, dop int) (int64, error) {
 }
 
 // drain consumes a query stream, returning the row count.
-func drain(rows *client.Rows, err error) (int64, error) {
+func drain(rows *client.Rows, err error) (n int64, rerr error) {
 	if err != nil {
 		return 0, err
 	}
-	defer rows.Close()
-	var n int64
+	defer func() {
+		if cerr := rows.Close(); rerr == nil {
+			rerr = cerr
+		}
+	}()
 	for rows.Next() {
 		n++
 	}

@@ -37,7 +37,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	switch args[0] {
 	case "define":
@@ -124,4 +124,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smactl:", err)
 	os.Exit(1)
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		fmt.Fprintf(os.Stderr, "smactl: close %s: %v\n", what, err)
+	}
 }

@@ -1,0 +1,53 @@
+// Command smalint runs the project's analyzer suite (internal/lint) over
+// the given package patterns — the multichecker binary CI runs as a
+// required step:
+//
+//	go run ./cmd/smalint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load or internal failure. Findings
+// are suppressed case by case with `//lint:allow <check> <reason>` on (or
+// directly above) the offending line; see internal/lint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sma/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: smalint [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the project analyzer suite; defaults to ./...\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			doc := a.Doc
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := lint.Run(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smalint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "smalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

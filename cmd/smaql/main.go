@@ -67,7 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	if *explain {
 		plan, err := db.Plan(sql)
@@ -114,4 +114,11 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "smaql:", err)
 	os.Exit(1)
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		fmt.Fprintf(os.Stderr, "smaql: close %s: %v\n", what, err)
+	}
 }

@@ -40,12 +40,16 @@ func main() {
 }
 
 // run loads one ordering and asks the planner to grade the buckets.
-func run(dir string, order tpcd.Order) error {
+func run(dir string, order tpcd.Order) (err error) {
 	db, err := sma.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer db.Close()
+	defer func() {
+		if cerr := db.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
 		return err
 	}

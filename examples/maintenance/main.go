@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	// N is a load-order sequence number so updates and deletes below can
 	// address row ranges by predicate instead of by record id.
@@ -133,4 +133,11 @@ func main() {
 	report("after SQL delete")
 
 	fmt.Println("\nevery stage verified all SMAs against a fresh bulkload (VerifySMA)")
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		log.Printf("close %s: %v", what, err)
+	}
 }

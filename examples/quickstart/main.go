@@ -26,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	// A small sales table, appended in rough date order — the "implicit
 	// clustering by time of creation" the paper builds on.
@@ -83,7 +83,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rows.Close()
+	defer closeOrWarn("rows", rows.Close)
 	fmt.Printf("\ncolumns: %v\n", rows.Columns())
 	for rows.Next() {
 		var region string
@@ -96,5 +96,12 @@ func main() {
 	}
 	if err := rows.Err(); err != nil {
 		log.Fatal(err)
+	}
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		log.Printf("close %s: %v", what, err)
 	}
 }

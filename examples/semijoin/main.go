@@ -30,7 +30,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	// R = LINEITEM, shipdate-sorted.
 	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
@@ -129,7 +129,7 @@ func countOf(db *sma.DB, q string) int64 {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rows.Close()
+	defer closeOrWarn("rows", rows.Close)
 	if !rows.Next() {
 		log.Fatal("no count row")
 	}
@@ -138,4 +138,11 @@ func countOf(db *sma.DB, q string) int64 {
 		log.Fatal(err)
 	}
 	return n
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		log.Printf("close %s: %v", what, err)
+	}
 }

@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	// The serving layer: bounded admission (at most 4 statements execute
 	// at once; the rest queue up to 2s, then shed with a 503).
@@ -109,6 +109,15 @@ func main() {
 	if err := srv.Shutdown(shCtx); err != nil {
 		log.Fatal(err)
 	}
-	httpSrv.Shutdown(shCtx)
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
 	fmt.Println("\ndrained and shut down")
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		log.Printf("close %s: %v", what, err)
+	}
 }

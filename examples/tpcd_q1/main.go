@@ -62,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer closeOrWarn("database", db.Close)
 
 	if _, err := db.Exec(tpcd.LineItemDDL); err != nil {
 		log.Fatal(err)
@@ -148,4 +148,11 @@ func main() {
 		noSMA.Round(time.Microsecond), base.Strategy,
 		*dop, parScan.Round(time.Microsecond),
 		float64(noSMA)/float64(withSMA))
+}
+
+// closeOrWarn runs a deferred close, reporting (but not failing on) errors.
+func closeOrWarn(what string, close func() error) {
+	if err := close(); err != nil {
+		log.Printf("close %s: %v", what, err)
+	}
 }

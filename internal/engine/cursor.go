@@ -92,7 +92,7 @@ func newCursor(ctx context.Context, db *DB, plan *planner.Plan) (*Cursor, error)
 			return nil, err
 		}
 		if err := it.Open(); err != nil {
-			it.Close()
+			_ = it.Close() // the Open error is the one worth reporting
 			return nil, err
 		}
 		c.tuples = it
@@ -126,7 +126,7 @@ func newCursor(ctx context.Context, db *DB, plan *planner.Plan) (*Cursor, error)
 	// Open runs the aggregation (the operators are pipeline breakers); the
 	// context is checked every bucket/page, so cancellation aborts here.
 	if err := it.Open(); err != nil {
-		it.Close()
+		_ = it.Close() // the Open error is the one worth reporting
 		return nil, err
 	}
 	c.rows = it
@@ -159,7 +159,9 @@ func (c *Cursor) Next() ([]any, bool, error) {
 	if c.tuples != nil {
 		t, ok, err := c.tuples.Next()
 		if err != nil || !ok {
-			c.finish()
+			if cerr := c.finish(); err == nil {
+				err = cerr
+			}
 			return nil, false, err
 		}
 		out := make([]any, len(c.tupIdx))
@@ -170,7 +172,9 @@ func (c *Cursor) Next() ([]any, bool, error) {
 	}
 	r, ok, err := c.rows.Next()
 	if err != nil || !ok {
-		c.finish()
+		if cerr := c.finish(); err == nil {
+			err = cerr
+		}
 		return nil, false, err
 	}
 	out := make([]any, len(c.cols))
@@ -218,19 +222,24 @@ func tupleValue(t tuple.Tuple, j int) any {
 	}
 }
 
-// finish closes the iterator and releases the read lock exactly once.
-func (c *Cursor) finish() {
+// finish closes the iterator and releases the read lock exactly once,
+// returning the iterator's close error (if any).
+func (c *Cursor) finish() error {
 	if c.released {
-		return
+		return nil
 	}
 	c.released = true
+	var err error
 	if c.tuples != nil {
-		c.tuples.Close()
+		err = c.tuples.Close()
 	}
 	if c.rows != nil {
-		c.rows.Close()
+		if cerr := c.rows.Close(); err == nil {
+			err = cerr
+		}
 	}
 	c.db.mu.RUnlock()
+	return err
 }
 
 // Close releases the cursor's resources and the database read lock. Close
@@ -240,8 +249,7 @@ func (c *Cursor) Close() error {
 		return nil
 	}
 	c.closed = true
-	c.finish()
-	return nil
+	return c.finish()
 }
 
 // QueryContext parses, plans, and begins executing a SELECT, returning a

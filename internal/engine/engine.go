@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -125,7 +126,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		PrefetchWindow: opts.PrefetchWindow,
 	}
 	if err := db.loadCatalog(); err != nil {
-		lock.release()
+		if rerr := lock.release(); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
 		return nil, err
 	}
 	return db, nil

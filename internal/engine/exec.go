@@ -120,6 +120,9 @@ func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (
 	}
 	var deleted int64
 	for _, rid := range rids {
+		if err := ctx.Err(); err != nil {
+			return deleted, err
+		}
 		old, err := t.Heap.Delete(rid)
 		if err != nil {
 			return deleted, err

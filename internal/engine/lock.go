@@ -38,9 +38,13 @@ func acquireDirLock(dir string) (*dirLock, error) {
 		return nil, fmt.Errorf("engine: lock %s: %w", path, err)
 	}
 	// Best effort: record the holder for humans inspecting the directory.
-	f.Truncate(0)
-	fmt.Fprintf(f, "%d\n", os.Getpid())
-	f.Sync()
+	// The PID note is advisory — the lock lives on the flock, not on the
+	// file's contents — so write failures are deliberately dropped.
+	if terr := f.Truncate(0); terr == nil {
+		if _, werr := fmt.Fprintf(f, "%d\n", os.Getpid()); werr == nil {
+			_ = f.Sync()
+		}
+	}
 	return &dirLock{f: f}, nil
 }
 

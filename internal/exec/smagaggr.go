@@ -323,6 +323,9 @@ func (g *SMAGAggr) advanceFromBucketBatched(b int, batch *Batch, folder *groupFo
 	for p := first; p <= last; {
 		batch.reset()
 		for ; p <= last && batch.n+per <= capT; p++ {
+			if err := ctxErr(g.Ctx); err != nil {
+				return err
+			}
 			if pf.Claim(p) {
 				g.stats.PrefetchHits++
 			}

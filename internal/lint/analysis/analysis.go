@@ -1,0 +1,60 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer bundles a named check
+// with a Run function, a Pass hands the Run function one type-checked
+// package, and diagnostics are reported through the Pass.
+//
+// The build environment for this repository is offline (no module proxy,
+// empty module cache), so the real x/tools framework cannot be vendored;
+// this package keeps the same shape — Analyzer{Name, Doc, Run},
+// Pass.Reportf — so the analyzers under internal/lint would port to the
+// upstream framework by changing only imports.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in //lint:allow
+	// annotations. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of the invariant the check
+	// enforces; the first line is the summary.
+	Doc string
+	// Run applies the check to one package and reports findings through
+	// the pass. A non-nil error aborts the whole lint run (reserved for
+	// internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files holds the package's parsed sources (tests excluded).
+	Files []*ast.File
+	// Pkg is the package's type information.
+	Pkg *types.Package
+	// TypesInfo records types and object resolutions for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Set by the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

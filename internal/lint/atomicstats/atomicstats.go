@@ -1,0 +1,111 @@
+// Package atomicstats enforces atomicity hygiene on stats counters: a
+// struct field that is accessed through the sync/atomic functions
+// anywhere in a package must be accessed through them everywhere — a
+// plain read of a field other goroutines bump with atomic.AddInt64 is a
+// data race that -race only catches when both sides happen to fire.
+//
+// The engine's own counters use the typed atomic.Int64 wrappers, which
+// make mixed access unrepresentable; this check guards code that opts
+// for the function-based API on plain fields instead. Composite-literal
+// keys are exempt (initialization before the value is shared is the one
+// conventional plain access).
+package atomicstats
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/lintutil"
+)
+
+// Analyzer is the atomicstats check.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicstats",
+	Doc: "fields accessed via sync/atomic functions anywhere must never " +
+		"be read or written with a plain access elsewhere",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address feeds a sync/atomic call, plus the
+	// selector nodes inside those calls (which are the sanctioned uses).
+	atomicFields := make(map[*types.Var]ast.Node) // field -> one atomic site
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.TypesInfo, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := fieldOf(pass.TypesInfo, sel); f != nil {
+					atomicFields[f] = call
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a race.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if kv, ok := n.(*ast.KeyValueExpr); ok {
+				// Composite-literal initialization: skip the key, scan the value.
+				ast.Inspect(kv.Value, func(m ast.Node) bool { reportPlain(pass, m, atomicFields, sanctioned); return true })
+				return false
+			}
+			reportPlain(pass, n, atomicFields, sanctioned)
+			return true
+		})
+	}
+	return nil
+}
+
+// reportPlain reports n if it is a non-sanctioned selector of an atomic
+// field.
+func reportPlain(pass *analysis.Pass, n ast.Node, atomicFields map[*types.Var]ast.Node, sanctioned map[*ast.SelectorExpr]bool) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok || sanctioned[sel] {
+		return
+	}
+	f := fieldOf(pass.TypesInfo, sel)
+	if f == nil {
+		return
+	}
+	if site, ok := atomicFields[f]; ok {
+		pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed with sync/atomic at %s; mixed access is a data race",
+			f.Name(), pass.Fset.Position(site.Pos()))
+	}
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// function (AddInt64, LoadInt64, StoreUint32, SwapPointer, ...).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := lintutil.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || lintutil.RecvNamed(fn) != nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}

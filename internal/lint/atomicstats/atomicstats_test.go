@@ -1,0 +1,12 @@
+package atomicstats_test
+
+import (
+	"testing"
+
+	"sma/internal/lint/atomicstats"
+	"sma/internal/lint/linttest"
+)
+
+func TestAtomicstats(t *testing.T) {
+	linttest.Run(t, atomicstats.Analyzer)
+}

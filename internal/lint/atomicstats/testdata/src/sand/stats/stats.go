@@ -1,0 +1,50 @@
+// Package stats seeds atomicstats violations: counters bumped through
+// sync/atomic functions but also touched with plain loads and stores.
+package stats
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	plain  int64 // never accessed atomically; free to use directly
+}
+
+// bump is the hot-path atomic increment.
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// snapshot reads the counter the sanctioned way.
+func (c *counters) snapshot() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// badRead mixes a plain load with the atomic writers: a data race the
+// race detector only sees when both sides fire together.
+func (c *counters) badRead() int64 {
+	return c.hits // want `plain access to field hits`
+}
+
+// badWrite resets the counter non-atomically.
+func (c *counters) badWrite() {
+	c.hits = 0 // want `plain access to field hits`
+}
+
+// okPlain uses a field that is never atomic anywhere.
+func (c *counters) okPlain() int64 {
+	c.plain++
+	return c.plain
+}
+
+// okMisses only ever uses atomic accessors.
+func (c *counters) okMisses() int64 {
+	atomic.AddInt64(&c.misses, 1)
+	return atomic.LoadInt64(&c.misses)
+}
+
+// newCounters initializes via a composite literal — the conventional
+// pre-sharing plain write, which is exempt.
+func newCounters() *counters {
+	return &counters{hits: 0, misses: 0}
+}

@@ -1,0 +1,139 @@
+// Package ctxscan enforces the engine's cancellation discipline: any loop
+// in the query-execution layers that performs storage I/O — reading heap
+// pages, scanning buckets, appending or deleting records — must observe
+// query cancellation once per iteration, either directly (ctx.Err(),
+// <-ctx.Done()) or by calling into a function that takes the context.
+//
+// The invariant comes from the engine's locking design: queries and DML
+// hold the database read/write lock for their whole run, so a scan that
+// ignores its context pins the lock until it finishes the relation. Every
+// bucket/page loop checking ctx is what makes client disconnects and
+// server drains bounded-latency operations.
+package ctxscan
+
+import (
+	"go/ast"
+	"go/token"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/lintutil"
+)
+
+// Analyzer is the ctxscan check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxscan",
+	Doc: "loops over buckets/pages/batches in the execution layers must " +
+		"check ctx.Err()/ctx.Done() (or delegate to a context-taking " +
+		"callee) every iteration",
+	Run: run,
+}
+
+// scopeSuffixes are the package-path suffixes the check applies to.
+var scopeSuffixes = []string{"internal/exec", "internal/engine", "internal/parallel"}
+
+// ioMethods lists the storage-layer methods that touch pages: a loop
+// calling any of these is a loop the cancellation discipline covers.
+// Cheap metadata accessors (NumPages, BucketRange, Schema, ...) are
+// deliberately absent.
+var ioMethods = map[string]map[string]bool{
+	"HeapFile": {
+		"ReadPageInto": true, "OpenPage": true, "PageRecords": true,
+		"ScanBucket": true, "Scan": true, "Get": true, "Append": true,
+		"Update": true, "Delete": true, "NumRecords": true,
+	},
+	"BufferPool": {"FetchPage": true, "NewPage": true},
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopeSuffixes {
+		if lintutil.PkgHasSuffix(pass.Pkg, s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			recv, method, pos := firstIO(pass, body)
+			if recv == "" {
+				return true
+			}
+			if checksContext(pass, body) {
+				return true
+			}
+			pass.Reportf(pos, "loop performs storage I/O (%s.%s) without a per-iteration context check (ctx.Err, ctx.Done, or a context-taking callee)",
+				recv, method)
+			return true
+		})
+	}
+	return nil
+}
+
+// firstIO returns the receiver type and method name of the first storage
+// I/O call in the subtree, or "" when there is none.
+func firstIO(pass *analysis.Pass, body *ast.BlockStmt) (recv, method string, pos token.Pos) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if recv != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		named := lintutil.RecvNamed(fn)
+		if named == nil || named.Obj().Pkg() == nil {
+			return true
+		}
+		if !lintutil.PkgHasSuffix(named.Obj().Pkg(), "internal/storage") {
+			return true
+		}
+		if ioMethods[named.Obj().Name()][fn.Name()] {
+			recv, method, pos = named.Obj().Name(), fn.Name(), call.Pos()
+		}
+		return true
+	})
+	return recv, method, pos
+}
+
+// checksContext reports whether the subtree observes a context: a call to
+// ctx.Err or ctx.Done, or any call that receives a context.Context (the
+// callee owns cancellation from there on).
+func checksContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if name := sel.Sel.Name; name == "Err" || name == "Done" {
+				if tv, ok := pass.TypesInfo.Types[sel.X]; ok && lintutil.IsContext(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		if lintutil.HasContextParam(pass.TypesInfo, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package ctxscan_test
+
+import (
+	"testing"
+
+	"sma/internal/lint/ctxscan"
+	"sma/internal/lint/linttest"
+)
+
+func TestCtxscan(t *testing.T) {
+	linttest.Run(t, ctxscan.Analyzer)
+}

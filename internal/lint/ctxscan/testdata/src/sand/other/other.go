@@ -1,0 +1,16 @@
+// Package other is outside ctxscan's scope (not an execution-layer
+// path), so its unchecked page loop is deliberately not a finding: batch
+// tools and offline loaders may scan without a context.
+package other
+
+import "sand/internal/storage"
+
+func offlineScan(h *storage.HeapFile) error {
+	var buf []byte
+	for p := storage.PageID(0); int64(p) < h.NumPages(); p++ {
+		if _, _, err := h.ReadPageInto(p, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,384 @@
+// Package flow implements the structural path analysis shared by the
+// poolpair and rowsclose analyzers: a local variable acquired from some
+// resource-producing call must be released (or visibly hand off
+// ownership) on every path out of the function.
+//
+// The walker is syntactic — it follows the statement structure of the
+// function body rather than a full control-flow graph — and is tuned to
+// the shapes this codebase actually uses: straight-line acquire/release,
+// `defer release(v)`, the `v, err := acquire(); if err != nil { return }`
+// guard, lease-into-field, and handing the value to another function that
+// assumes ownership. Anything it cannot prove on all paths it reports; a
+// deliberate exception carries a //lint:allow annotation instead of
+// silencing the checker.
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/lintutil"
+)
+
+// Mode configures the walker for one resource discipline.
+type Mode struct {
+	// Kind names the resource in diagnostics ("pooled batch", "cursor").
+	Kind string
+	// IsAcquire reports whether a call produces a tracked resource (as its
+	// first result).
+	IsAcquire func(call *ast.CallExpr) bool
+	// IsRelease reports whether a call releases v — v's Close method, or v
+	// passed to a Put-style function.
+	IsRelease func(call *ast.CallExpr, v types.Object) bool
+	// CallEscapes treats passing v to any non-release call as an ownership
+	// hand-off (true for cursors, where e.g. Collect(rows) closes them;
+	// false for pooled batches, which callees only borrow).
+	CallEscapes bool
+	// ReportDouble enables double-release diagnostics (releases that are
+	// not idempotent, like sync.Pool.Put).
+	ReportDouble bool
+}
+
+// handled lattice: how thoroughly the paths reaching a point released v.
+const (
+	hNo = iota
+	hMaybe
+	hYes
+)
+
+// state carries the walk's per-path knowledge about one tracked variable.
+type state struct {
+	active     bool // the acquisition statement has executed
+	handled    int  // hNo/hMaybe/hYes: released, deferred, or escaped
+	putSeen    bool // a release definitely executed (double-put detection)
+	terminated bool // every path through here returned
+	exempt     bool // inside the `if err != nil` failure guard
+	loopDepth  int  // loops entered since the acquisition
+}
+
+// tracker checks one acquired variable through one function body.
+type tracker struct {
+	pass *analysis.Pass
+	mode Mode
+	v    types.Object
+	// errObj is the error assigned alongside v, for the guard exemption.
+	errObj types.Object
+	// acquire is the statement that created v.
+	acquire ast.Stmt
+}
+
+// Check finds every acquisition in body and verifies the release
+// discipline for each. Acquisitions assigned directly into a struct field
+// are accepted as lease-into-field escapes (the release lives in another
+// method, typically Close).
+func Check(pass *analysis.Pass, body *ast.BlockStmt, mode Mode) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X) // pool.Get().(*Batch)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !mode.IsAcquire(call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			// Field or index destination: lease-into-field, released
+			// elsewhere by convention (typically the owner's Close).
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "%s from %s is discarded without release", mode.Kind, callName(call))
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		tr := &tracker{pass: pass, mode: mode, v: obj, acquire: as}
+		if len(as.Lhs) > 1 {
+			if eid, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident); ok && eid.Name != "_" {
+				if eo := pass.TypesInfo.Defs[eid]; eo != nil {
+					tr.errObj = eo
+				} else {
+					tr.errObj = pass.TypesInfo.Uses[eid]
+				}
+			}
+		}
+		st := &state{}
+		tr.walkStmts(body.List, st)
+		if st.active && !st.terminated && st.handled == hNo && !st.exempt {
+			pass.Reportf(body.Rbrace, "%s %s acquired at %s is not released on the fall-through return path",
+				mode.Kind, obj.Name(), pass.Fset.Position(as.Pos()))
+		}
+		return true
+	})
+}
+
+// callName renders the called expression for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// walkStmts walks one statement list, mutating st in place.
+func (tr *tracker) walkStmts(list []ast.Stmt, st *state) {
+	for _, s := range list {
+		if st.terminated {
+			return
+		}
+		tr.walkStmt(s, st)
+	}
+}
+
+func (tr *tracker) walkStmt(s ast.Stmt, st *state) {
+	info := tr.pass.TypesInfo
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		if s == tr.acquire {
+			st.active = true
+			return
+		}
+		if !st.active {
+			return
+		}
+		// Ownership transfer: the bare variable assigned somewhere.
+		for i, rhs := range s.Rhs {
+			if !lintutil.IsIdentOf(info, rhs, tr.v) {
+				// A call on the RHS can still release or take ownership.
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					tr.checkCall(call, st)
+				}
+				continue
+			}
+			if i < len(s.Lhs) {
+				st.handled = hYes // stored: field, slot, or a new alias owns it
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && st.active {
+			tr.checkCall(call, st)
+		}
+	case *ast.DeferStmt:
+		if !st.active {
+			return
+		}
+		if tr.mode.IsRelease(s.Call, tr.v) {
+			if tr.mode.ReportDouble && (st.putSeen || st.handled == hYes) {
+				tr.pass.Reportf(s.Pos(), "%s %s may be released twice", tr.mode.Kind, tr.v.Name())
+			}
+			st.handled = hYes
+			st.putSeen = true
+			return
+		}
+		if lintutil.Mentions(info, s.Call, tr.v) {
+			// e.g. defer func() { putBatch(b) }(): scan the deferred body.
+			if released := tr.callReleases(s.Call); released {
+				st.handled = hYes
+				st.putSeen = true
+				return
+			}
+			if tr.mode.CallEscapes {
+				for _, arg := range s.Call.Args {
+					if lintutil.Mentions(info, arg, tr.v) {
+						st.handled = hYes
+					}
+				}
+			}
+		}
+	case *ast.GoStmt:
+		if st.active && lintutil.Mentions(info, s.Call, tr.v) {
+			st.handled = hYes // the goroutine owns it now
+		}
+	case *ast.SendStmt:
+		if st.active && lintutil.Mentions(info, s.Value, tr.v) {
+			st.handled = hYes
+		}
+	case *ast.ReturnStmt:
+		if st.active {
+			for _, res := range s.Results {
+				if lintutil.Mentions(info, res, tr.v) {
+					st.handled = hYes
+				}
+			}
+			if st.handled == hNo && !st.exempt {
+				tr.pass.Reportf(s.Pos(), "%s %s acquired at %s is not released on this return path",
+					tr.mode.Kind, tr.v.Name(), tr.pass.Fset.Position(tr.acquire.Pos()))
+			}
+		}
+		st.terminated = true
+	case *ast.IfStmt:
+		tr.walkIf(s, st)
+	case *ast.ForStmt:
+		tr.walkLoop(s.Body, st)
+	case *ast.RangeStmt:
+		tr.walkLoop(s.Body, st)
+	case *ast.SwitchStmt:
+		tr.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		tr.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		tr.walkCases(s.Body, st)
+	case *ast.BlockStmt:
+		tr.walkStmts(s.List, st)
+	case *ast.LabeledStmt:
+		tr.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as ending this path conservatively.
+		st.terminated = true
+	}
+}
+
+// checkCall handles a (possibly releasing) call while tracking is active.
+func (tr *tracker) checkCall(call *ast.CallExpr, st *state) {
+	if tr.mode.IsRelease(call, tr.v) {
+		if tr.mode.ReportDouble && (st.putSeen || st.handled == hYes) {
+			tr.pass.Reportf(call.Pos(), "%s %s may be released twice", tr.mode.Kind, tr.v.Name())
+		}
+		if tr.mode.ReportDouble && st.loopDepth > 0 {
+			tr.pass.Reportf(call.Pos(), "%s %s acquired outside this loop is released inside it (one Put per Get)",
+				tr.mode.Kind, tr.v.Name())
+		}
+		st.handled = hYes
+		st.putSeen = true
+		return
+	}
+	if !tr.mode.CallEscapes {
+		return
+	}
+	// Only v passed as an argument hands off ownership; a method call on v
+	// itself (rows.Next(), cur.Plan()) is ordinary use.
+	for _, arg := range call.Args {
+		if lintutil.Mentions(tr.pass.TypesInfo, arg, tr.v) {
+			st.handled = hYes
+		}
+	}
+}
+
+// callReleases reports whether a deferred function literal releases v.
+func (tr *tracker) callReleases(call *ast.CallExpr) bool {
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	released := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok && tr.mode.IsRelease(c, tr.v) {
+			released = true
+		}
+		return !released
+	})
+	return released
+}
+
+// walkIf evaluates both arms and merges their fall-through states.
+func (tr *tracker) walkIf(s *ast.IfStmt, st *state) {
+	if s.Init != nil {
+		tr.walkStmt(s.Init, st)
+	}
+	thenSt := *st
+	if st.active && tr.isErrGuard(s.Cond) {
+		thenSt.exempt = true
+	}
+	tr.walkStmts(s.Body.List, &thenSt)
+
+	elseSt := *st
+	if s.Else != nil {
+		tr.walkStmt(s.Else, &elseSt)
+	}
+	merge(st, &thenSt, &elseSt)
+}
+
+// walkLoop treats a loop body as a maybe-executed branch.
+func (tr *tracker) walkLoop(body *ast.BlockStmt, st *state) {
+	loopSt := *st
+	loopSt.terminated = false
+	if st.active {
+		loopSt.loopDepth++
+	}
+	tr.walkStmts(body.List, &loopSt)
+	loopSt.loopDepth = st.loopDepth
+	loopSt.terminated = false // loops fall through (break/exhaustion)
+	skipped := *st
+	merge(st, &loopSt, &skipped)
+}
+
+// walkCases merges all case bodies of a switch/select plus the no-case
+// fall-through.
+func (tr *tracker) walkCases(body *ast.BlockStmt, st *state) {
+	merged := *st // path taking no case
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				tr.walkStmt(c.Comm, st)
+			}
+			stmts = c.Body
+		}
+		caseSt := *st
+		tr.walkStmts(stmts, &caseSt)
+		m := merged
+		merge(&merged, &caseSt, &m)
+	}
+	*st = merged
+}
+
+// isErrGuard recognizes `err != nil` over the error assigned with v.
+func (tr *tracker) isErrGuard(cond ast.Expr) bool {
+	if tr.errObj == nil {
+		return false
+	}
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op.String() != "!=" {
+		return false
+	}
+	return lintutil.IsIdentOf(tr.pass.TypesInfo, be.X, tr.errObj) ||
+		lintutil.IsIdentOf(tr.pass.TypesInfo, be.Y, tr.errObj)
+}
+
+// merge folds two branch outcomes into st.
+func merge(st, a, b *state) {
+	switch {
+	case a.terminated && b.terminated:
+		*st = *a
+		st.terminated = true
+		return
+	case a.terminated:
+		*st = *b
+		return
+	case b.terminated:
+		*st = *a
+		return
+	}
+	st.active = a.active || b.active
+	st.terminated = false
+	st.putSeen = a.putSeen || b.putSeen
+	switch {
+	case a.handled == hYes && b.handled == hYes:
+		st.handled = hYes
+	case a.handled != hNo || b.handled != hNo:
+		st.handled = hMaybe
+	default:
+		st.handled = hNo
+	}
+	st.exempt = a.exempt && b.exempt
+}

@@ -1,0 +1,196 @@
+// Package lint is the smalint driver: it loads packages, runs the
+// project's analyzers over them, and applies the //lint:allow suppression
+// annotations.
+//
+// Suppression grammar, one annotation per comment:
+//
+//	//lint:allow <check> <reason...>
+//
+// The annotation suppresses findings of <check> reported on the same line
+// or on the line directly below (so it can ride as a trailing comment or
+// sit on its own line above the finding). A reason is mandatory — an
+// allow without one is itself a finding — as is a known check name, and
+// an allow that suppresses nothing is reported as stale so annotations
+// cannot outlive the code they excused.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/atomicstats"
+	"sma/internal/lint/ctxscan"
+	"sma/internal/lint/load"
+	"sma/internal/lint/lockorder"
+	"sma/internal/lint/poolpair"
+	"sma/internal/lint/rowsclose"
+)
+
+// allowPrefix introduces a suppression annotation.
+const allowPrefix = "//lint:allow"
+
+// Analyzers returns the full smalint suite.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxscan.Analyzer,
+		lockorder.Analyzer,
+		poolpair.Analyzer,
+		atomicstats.Analyzer,
+		rowsclose.Analyzer,
+	}
+}
+
+// Finding is one diagnostic that survived suppression.
+type Finding struct {
+	// Check names the analyzer ("ctxscan"), or "lint" for annotation
+	// problems (missing reason, unknown check, stale allow).
+	Check   string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Check, f.Message)
+}
+
+// Run lints the packages matching patterns in module directory dir with
+// the full analyzer suite and returns the surviving findings, sorted by
+// position. The error is reserved for load/internal failures.
+func Run(dir string, patterns ...string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := load.Load(fset, dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var target []*load.Package
+	for _, p := range pkgs {
+		if !p.Standard && !p.DepOnly {
+			target = append(target, p)
+		}
+	}
+	return runOn(fset, target)
+}
+
+// runOn runs the suite over already-loaded packages.
+func runOn(fset *token.FileSet, pkgs []*load.Package) ([]Finding, error) {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var findings []Finding
+	var allows []*allow
+	seen := make(map[string]bool) // dedup (pos|check|msg)
+	for _, p := range pkgs {
+		for _, a := range Analyzers() {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     p.Syntax,
+				Pkg:       p.Types,
+				TypesInfo: p.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				f := Finding{Check: a.Name, Pos: fset.Position(d.Pos), Message: d.Message}
+				key := f.String()
+				if !seen[key] {
+					seen[key] = true
+					findings = append(findings, f)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: analyzer %s on %s: %v", a.Name, p.PkgPath, err)
+			}
+		}
+		for _, f := range p.Syntax {
+			anns, problems := parseAllows(fset, f, known)
+			allows = append(allows, anns...)
+			findings = append(findings, problems...)
+		}
+	}
+	findings = applyAllows(allows, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// allow is one parsed //lint:allow annotation.
+type allow struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// parseAllows extracts the well-formed annotations from one file and
+// reports the malformed ones as findings.
+func parseAllows(fset *token.FileSet, f *ast.File, known map[string]bool) ([]*allow, []Finding) {
+	var anns []*allow
+	var problems []Finding
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, allowPrefix)
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				problems = append(problems, Finding{Check: "lint", Pos: pos,
+					Message: "lint:allow needs a check name and a reason"})
+				continue
+			}
+			check := fields[0]
+			if !known[check] {
+				problems = append(problems, Finding{Check: "lint", Pos: pos,
+					Message: fmt.Sprintf("lint:allow names unknown check %q", check)})
+				continue
+			}
+			reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), check))
+			if reason == "" {
+				problems = append(problems, Finding{Check: "lint", Pos: pos,
+					Message: fmt.Sprintf("lint:allow %s needs a reason", check)})
+				continue
+			}
+			anns = append(anns, &allow{check: check, reason: reason, pos: pos})
+		}
+	}
+	return anns, problems
+}
+
+// applyAllows drops findings covered by an annotation and reports stale
+// annotations that cover nothing.
+func applyAllows(allows []*allow, findings []Finding) []Finding {
+	var kept []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, a := range allows {
+			if a.check == f.Check && a.pos.Filename == f.Pos.Filename &&
+				(a.pos.Line == f.Pos.Line || a.pos.Line == f.Pos.Line-1) {
+				a.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, a := range allows {
+		if !a.used {
+			kept = append(kept, Finding{Check: "lint", Pos: a.pos,
+				Message: fmt.Sprintf("stale lint:allow %s: no %s finding on this or the next line", a.check, a.check)})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one source string with comments.
+func parseSrc(t *testing.T, src string) (*token.FileSet, *allowFile) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	anns, problems := parseAllows(fset, f, known)
+	return fset, &allowFile{anns: anns, problems: problems}
+}
+
+type allowFile struct {
+	anns     []*allow
+	problems []Finding
+}
+
+func TestAllowSuppressesFindingOnSameLine(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+func f() {
+	g() //lint:allow ctxscan bounded scan, at most one bucket
+}
+func g() {}
+`)
+	if len(af.problems) != 0 {
+		t.Fatalf("unexpected problems: %v", af.problems)
+	}
+	findings := []Finding{{
+		Check:   "ctxscan",
+		Pos:     token.Position{Filename: "x.go", Line: 4, Column: 2},
+		Message: "loop performs storage I/O without a per-iteration context check",
+	}}
+	kept := applyAllows(af.anns, findings)
+	if len(kept) != 0 {
+		t.Fatalf("finding not suppressed: %v", kept)
+	}
+}
+
+func TestAllowSuppressesFindingOnNextLine(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+func f() {
+	//lint:allow poolpair batch is owned by the arena, freed in bulk
+	g()
+}
+func g() {}
+`)
+	findings := []Finding{{
+		Check:   "poolpair",
+		Pos:     token.Position{Filename: "x.go", Line: 5, Column: 2},
+		Message: "pooled object b is not released on this return path",
+	}}
+	kept := applyAllows(af.anns, findings)
+	if len(kept) != 0 {
+		t.Fatalf("finding not suppressed: %v", kept)
+	}
+}
+
+func TestAllowDoesNotSuppressOtherChecks(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+func f() {
+	//lint:allow poolpair reason here
+	g()
+}
+func g() {}
+`)
+	findings := []Finding{{
+		Check:   "rowsclose",
+		Pos:     token.Position{Filename: "x.go", Line: 5, Column: 2},
+		Message: "cursor rows is not released on this return path",
+	}}
+	kept := applyAllows(af.anns, findings)
+	// The rowsclose finding survives, and the poolpair allow is stale.
+	if len(kept) != 2 {
+		t.Fatalf("want finding + stale allow, got: %v", kept)
+	}
+	foundStale := false
+	for _, f := range kept {
+		if f.Check == "lint" && strings.Contains(f.Message, "stale lint:allow poolpair") {
+			foundStale = true
+		}
+	}
+	if !foundStale {
+		t.Fatalf("missing stale-allow report: %v", kept)
+	}
+}
+
+func TestAllowWithoutReasonFails(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+//lint:allow ctxscan
+func f() {}
+`)
+	if len(af.anns) != 0 {
+		t.Fatalf("reasonless allow accepted: %+v", af.anns[0])
+	}
+	if len(af.problems) != 1 || !strings.Contains(af.problems[0].Message, "needs a reason") {
+		t.Fatalf("want needs-a-reason problem, got: %v", af.problems)
+	}
+}
+
+func TestAllowUnknownCheckFails(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+//lint:allow nosuchcheck because reasons
+func f() {}
+`)
+	if len(af.anns) != 0 {
+		t.Fatalf("unknown-check allow accepted: %+v", af.anns[0])
+	}
+	if len(af.problems) != 1 || !strings.Contains(af.problems[0].Message, `unknown check "nosuchcheck"`) {
+		t.Fatalf("want unknown-check problem, got: %v", af.problems)
+	}
+}
+
+func TestStaleAllowReported(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+//lint:allow ctxscan this line is perfectly fine
+func f() {}
+`)
+	if len(af.problems) != 0 {
+		t.Fatalf("unexpected problems: %v", af.problems)
+	}
+	kept := applyAllows(af.anns, nil)
+	if len(kept) != 1 || !strings.Contains(kept[0].Message, "stale lint:allow ctxscan") {
+		t.Fatalf("want stale-allow report, got: %v", kept)
+	}
+}
+
+func TestAllowNeedsCheckName(t *testing.T) {
+	_, af := parseSrc(t, `package p
+
+//lint:allow
+func f() {}
+`)
+	if len(af.problems) != 1 || !strings.Contains(af.problems[0].Message, "needs a check name") {
+		t.Fatalf("want needs-check-name problem, got: %v", af.problems)
+	}
+}
+
+// TestRepoIsClean runs the full suite over the repository — the same gate
+// CI applies with `go run ./cmd/smalint ./...`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	findings, err := Run("../..", "./...")
+	if err != nil {
+		t.Fatalf("lint run failed: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

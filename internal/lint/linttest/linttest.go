@@ -1,0 +1,116 @@
+// Package linttest is the golden-file test harness for the smalint
+// analyzers, mirroring golang.org/x/tools/go/analysis/analysistest: an
+// analyzer's testdata/src directory holds small packages whose sources
+// carry `// want "regexp"` comments on the lines where diagnostics are
+// expected. The harness loads the tree, runs the analyzer, and fails the
+// test on any unexpected or missing diagnostic.
+package linttest
+
+import (
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/load"
+)
+
+// wantRe matches one quoted expectation after a `// want` marker —
+// double-quoted or backquoted, as in upstream analysistest.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+// Run loads testdata/src (relative to the test's working directory — the
+// analyzer package directory), runs a on the packages named by pkgPaths
+// (all loaded packages when empty), and compares diagnostics against the
+// `// want` expectations in the sources.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := load.LoadTestTree(fset, ".", "testdata/src")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	want := collectWants(t, fset, pkgs)
+
+	requested := make(map[string]bool, len(pkgPaths))
+	for _, p := range pkgPaths {
+		requested[p] = true
+	}
+	for _, p := range pkgs {
+		if len(requested) > 0 && !requested[p.PkgPath] {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     p.Syntax,
+			Pkg:       p.Types,
+			TypesInfo: p.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			key := lineKey{file: pos.Filename, line: pos.Line}
+			for _, w := range want[key] {
+				if !w.matched && w.re.MatchString(d.Message) {
+					w.matched = true
+					return
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analyzer %s on %s: %v", a.Name, p.PkgPath, err)
+		}
+	}
+	for key, ws := range want {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses the `// want "..."` expectations of every file.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*load.Package) map[lineKey][]*wantEntry {
+	t.Helper()
+	want := make(map[lineKey][]*wantEntry)
+	for _, p := range pkgs {
+		for _, f := range p.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "want ")
+					if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, q := range wantRe.FindAllString(c.Text[idx:], -1) {
+						lit, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want literal %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(lit)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+						}
+						key := lineKey{file: pos.Filename, line: pos.Line}
+						want[key] = append(want[key], &wantEntry{re: re})
+					}
+				}
+			}
+		}
+	}
+	return want
+}

@@ -1,0 +1,121 @@
+package load
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// LoadTestTree loads the analyzer-test packages rooted at srcRoot (a
+// testdata/src directory in the GOPATH-like layout the upstream
+// analysistest package uses): every directory below srcRoot containing .go
+// files becomes one package whose import path is its path relative to
+// srcRoot. Imports between those packages resolve within the tree; any
+// other import (the standard library) is loaded for real via Load in
+// moduleDir. This lets golden tests declare small stand-in packages whose
+// import paths end in the suffixes the path-scoped analyzers key on
+// (e.g. ".../internal/storage") without touching the real engine.
+func LoadTestTree(fset *token.FileSet, moduleDir, srcRoot string) ([]*Package, error) {
+	local := make(map[string]*Package)
+	imports := make(map[string][]string)
+	err := filepath.WalkDir(srcRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		names, files, err := ParseDir(fset, path)
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(srcRoot, path)
+		if err != nil {
+			return err
+		}
+		pkgPath := filepath.ToSlash(rel)
+		local[pkgPath] = &Package{PkgPath: pkgPath, Dir: path, GoFiles: names, Syntax: files}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ip, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					return err
+				}
+				imports[pkgPath] = append(imports[pkgPath], ip)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(local) == 0 {
+		return nil, fmt.Errorf("load: no packages under %s", srcRoot)
+	}
+
+	// Load the external (standard-library) closure once, for real.
+	extSet := make(map[string]bool)
+	for _, ips := range imports {
+		for _, ip := range ips {
+			if local[ip] == nil {
+				extSet[ip] = true
+			}
+		}
+	}
+	var ext []string
+	for ip := range extSet {
+		ext = append(ext, ip)
+	}
+	sort.Strings(ext)
+	imp := &mapImporter{pkgs: make(map[string]*types.Package)}
+	if len(ext) > 0 {
+		loaded, err := Load(fset, moduleDir, ext...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range loaded {
+			imp.pkgs[p.PkgPath] = p.Types
+		}
+	}
+
+	// Type-check the local packages in dependency order (DFS).
+	var out []*Package
+	var visit func(path string, stack map[string]bool) error
+	visit = func(path string, stack map[string]bool) error {
+		p := local[path]
+		if p == nil || p.Types != nil {
+			return nil
+		}
+		if stack[path] {
+			return fmt.Errorf("load: import cycle through %s", path)
+		}
+		stack[path] = true
+		for _, ip := range imports[path] {
+			if err := visit(ip, stack); err != nil {
+				return err
+			}
+		}
+		delete(stack, path)
+		if err := checkPackage(fset, p, imp); err != nil {
+			return err
+		}
+		imp.pkgs[path] = p.Types
+		out = append(out, p)
+		return nil
+	}
+	var paths []string
+	for path := range local {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path, map[string]bool{}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"sma/internal/lint/linttest"
+	"sma/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, lockorder.Analyzer)
+}

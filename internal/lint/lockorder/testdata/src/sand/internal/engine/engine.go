@@ -1,0 +1,59 @@
+// Package engine seeds lockorder rule-3 violations: calling a
+// self-locking method while its mutex is already held (the engine's
+// locked/unlocked method-pair convention).
+package engine
+
+import "sync"
+
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]string
+}
+
+// Tables is the exported, self-locking variant.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tableNames()
+}
+
+// tableNames is the locked variant; callers hold db.mu.
+func (db *DB) tableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for name := range db.tables {
+		out = append(out, name)
+	}
+	return out
+}
+
+// snapshotBad calls the self-locking Tables with db.mu already held:
+// sync.RWMutex is not reentrant, so this deadlocks (or, read-inside-write,
+// deadlocks the writer against itself).
+func (db *DB) snapshotBad() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.Tables() // want `acquires DB.mu, which is already held`
+}
+
+// snapshotGood uses the locked variant under the lock.
+func (db *DB) snapshotGood() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.tableNames()
+}
+
+// reentryBad re-locks a held mutex directly.
+func (db *DB) reentryBad() {
+	db.mu.Lock()
+	db.mu.Lock() // want `acquired while already held`
+	db.mu.Unlock()
+	db.mu.Unlock()
+}
+
+// sequentialGood releases before the self-locking call.
+func (db *DB) sequentialGood() []string {
+	db.mu.Lock()
+	db.tables["x"] = "y"
+	db.mu.Unlock()
+	return db.Tables()
+}

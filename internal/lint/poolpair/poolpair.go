@@ -1,0 +1,189 @@
+// Package poolpair enforces the sync.Pool recycling discipline of the
+// batched executor: every pooled object obtained from a Get (directly or
+// through a lease function like getBatch) must reach exactly one Put —
+// directly, deferred, or through a release function like putBatch — or
+// visibly hand off ownership (returned, stored into a struct field for a
+// later Close, sent to a goroutine/channel) on every path out of the
+// function. It also requires the reset-at-Get convention: a function
+// taking an object straight from pool.Get must call its reset method
+// before the object is used, so a recycled batch can never leak stale
+// records into a new scan.
+package poolpair
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sma/internal/lint/analysis"
+	"sma/internal/lint/flow"
+	"sma/internal/lint/lintutil"
+)
+
+// Analyzer is the poolpair check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc: "every sync.Pool Get must reach exactly one Put (or a documented " +
+		"escape) on all return paths, and pooled objects must be reset at Get",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	acquirers, releasers := classify(pass)
+
+	isAcquire := func(call *ast.CallExpr) bool {
+		if isPoolMethod(pass.TypesInfo, call, "Get") {
+			return true
+		}
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		return fn != nil && acquirers[fn]
+	}
+	isRelease := func(call *ast.CallExpr, v types.Object) bool {
+		fn := lintutil.Callee(pass.TypesInfo, call)
+		put := isPoolMethod(pass.TypesInfo, call, "Put") || (fn != nil && releasers[fn])
+		if !put {
+			return false
+		}
+		for _, arg := range call.Args {
+			if lintutil.IsIdentOf(pass.TypesInfo, arg, v) {
+				return true
+			}
+		}
+		return false
+	}
+
+	mode := flow.Mode{
+		Kind:         "pooled object",
+		IsAcquire:    isAcquire,
+		IsRelease:    isRelease,
+		CallEscapes:  false, // callees only borrow a batch
+		ReportDouble: true,  // Put is not idempotent
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			flow.Check(pass, fd.Body, mode)
+			checkResetAtGet(pass, fd)
+		}
+	}
+	return nil
+}
+
+// classify finds the package's lease and release wrappers: a function
+// whose body calls pool.Get and returns a value is an acquirer; a
+// function whose body passes one of its parameters to pool.Put is a
+// releaser.
+func classify(pass *analysis.Pass) (acquirers, releasers map[*types.Func]bool) {
+	acquirers = make(map[*types.Func]bool)
+	releasers = make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isPoolMethod(pass.TypesInfo, call, "Get") && sig.Results().Len() > 0 {
+					acquirers[fn] = true
+				}
+				if isPoolMethod(pass.TypesInfo, call, "Put") {
+					for _, arg := range call.Args {
+						if paramOf(pass.TypesInfo, arg, sig) {
+							releasers[fn] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return acquirers, releasers
+}
+
+// paramOf reports whether expr is one of sig's parameters.
+func paramOf(info *types.Info, expr ast.Expr, sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if lintutil.IsIdentOf(info, expr, sig.Params().At(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isPoolMethod reports whether call invokes sync.Pool's name method.
+func isPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	fn := lintutil.Callee(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	recv := lintutil.RecvNamed(fn)
+	return recv != nil && recv.Obj().Pkg() != nil &&
+		recv.Obj().Pkg().Path() == "sync" && recv.Obj().Name() == "Pool"
+}
+
+// checkResetAtGet requires that a function assigning pool.Get's result to
+// a local also calls that value's reset/Reset method before returning.
+func checkResetAtGet(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		rhs := ast.Unparen(as.Rhs[0])
+		if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+			rhs = ast.Unparen(ta.X)
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isPoolMethod(pass.TypesInfo, call, "Get") {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		if !callsReset(pass.TypesInfo, fd.Body, obj) {
+			pass.Reportf(as.Pos(), "pooled object %s is taken from the pool without a reset/Reset call; stale state from the previous lease survives",
+				id.Name)
+		}
+		return true
+	})
+}
+
+// callsReset reports whether body contains v.reset() or v.Reset().
+func callsReset(info *types.Info, body *ast.BlockStmt, v types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if (sel.Sel.Name == "reset" || sel.Sel.Name == "Reset") &&
+			lintutil.IsIdentOf(info, sel.X, v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"sma/internal/lint/linttest"
+	"sma/internal/lint/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	linttest.Run(t, poolpair.Analyzer)
+}

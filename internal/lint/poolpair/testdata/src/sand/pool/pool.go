@@ -1,0 +1,116 @@
+// Package pool seeds poolpair violations around a getBatch/putBatch pair
+// like the batched executor's.
+package pool
+
+import "sync"
+
+type Batch struct {
+	data []byte
+	n    int
+}
+
+func (b *Batch) reset() {
+	b.data = b.data[:0]
+	b.n = 0
+}
+
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// getBatch is the lease function: Get, reset, hand out.
+func getBatch() *Batch {
+	b := batchPool.Get().(*Batch)
+	b.reset()
+	return b
+}
+
+// getStale violates the reset-at-Get convention: the previous lease's
+// records leak into the new one.
+func getStale() *Batch {
+	b := batchPool.Get().(*Batch) // want `without a reset/Reset call`
+	return b
+}
+
+// putBatch is the release function.
+func putBatch(b *Batch) {
+	batchPool.Put(b)
+}
+
+func use(b *Batch) {}
+
+func cond() bool { return false }
+
+// goodDefer releases on every path via defer.
+func goodDefer() {
+	b := getBatch()
+	defer putBatch(b)
+	use(b)
+}
+
+// goodAllPaths releases explicitly on both arms.
+func goodAllPaths() {
+	b := getBatch()
+	if cond() {
+		putBatch(b)
+		return
+	}
+	use(b)
+	putBatch(b)
+}
+
+// goodReturn hands the batch to the caller (an escape).
+func goodReturn() *Batch {
+	b := getBatch()
+	use(b)
+	return b
+}
+
+// holder leases into a struct field; the release lives in Close, so the
+// acquisition site is exempt.
+type holder struct{ batch *Batch }
+
+func (h *holder) open() {
+	h.batch = getBatch()
+}
+
+func (h *holder) close() {
+	putBatch(h.batch)
+	h.batch = nil
+}
+
+// leakOnEarlyReturn forgets the batch on the early-exit arm.
+func leakOnEarlyReturn() {
+	b := getBatch()
+	if cond() {
+		return // want `not released on this return path`
+	}
+	putBatch(b)
+}
+
+// leakFallThrough never releases at all.
+func leakFallThrough() {
+	b := getBatch()
+	use(b)
+} // want `not released on the fall-through return path`
+
+// doublePut releases the same batch twice; the second Put hands the pool
+// an object another goroutine may already own.
+func doublePut() {
+	b := getBatch()
+	putBatch(b)
+	putBatch(b) // want `released twice`
+}
+
+// putInLoop releases a batch acquired outside the loop on every
+// iteration: one Get, many Puts.
+func putInLoop(n int) {
+	b := getBatch()
+	for i := 0; i < n; i++ {
+		use(b)
+		putBatch(b) // want `released inside`
+	}
+}
+
+// discard drops the leased batch on the floor.
+func discard() {
+	_ = getBatch() // want `discarded without release`
+}

@@ -1,0 +1,12 @@
+package rowsclose_test
+
+import (
+	"testing"
+
+	"sma/internal/lint/linttest"
+	"sma/internal/lint/rowsclose"
+)
+
+func TestRowsclose(t *testing.T) {
+	linttest.Run(t, rowsclose.Analyzer)
+}

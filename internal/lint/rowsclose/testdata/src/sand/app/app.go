@@ -1,0 +1,102 @@
+// Package app seeds rowsclose violations around a database/sql-shaped
+// cursor API like the engine's QueryContext.
+package app
+
+import "context"
+
+type Rows struct{}
+
+func (r *Rows) Next() bool   { return false }
+func (r *Rows) Close() error { return nil }
+
+type Cursor struct{}
+
+func (c *Cursor) Next() ([]any, bool, error) { return nil, false, nil }
+func (c *Cursor) Close() error               { return nil }
+
+type DB struct{}
+
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Rows, error)    { return &Rows{}, nil }
+func (db *DB) CursorContext(ctx context.Context, sql string) (*Cursor, error) { return &Cursor{}, nil }
+
+// collect consumes and closes the rows (ownership transfer target).
+func collect(r *Rows) error {
+	defer r.Close()
+	for r.Next() {
+	}
+	return nil
+}
+
+// goodDefer closes via defer; the error-guard arm carries no cursor.
+func goodDefer(ctx context.Context, db *DB) error {
+	rows, err := db.QueryContext(ctx, "select")
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for rows.Next() {
+	}
+	return nil
+}
+
+// goodHandOff passes the rows to a function that owns them from there.
+func goodHandOff(ctx context.Context, db *DB) error {
+	rows, err := db.QueryContext(ctx, "select")
+	if err != nil {
+		return err
+	}
+	return collect(rows)
+}
+
+// goodReturn streams the cursor to the caller.
+func goodReturn(ctx context.Context, db *DB) (*Rows, error) {
+	rows, err := db.QueryContext(ctx, "select")
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// goodExplicit closes on every path without defer.
+func goodExplicit(ctx context.Context, db *DB) error {
+	cur, err := db.CursorContext(ctx, "select")
+	if err != nil {
+		return err
+	}
+	_, _, nerr := cur.Next()
+	if nerr != nil {
+		cur.Close()
+		return nerr
+	}
+	return cur.Close()
+}
+
+// leakNoClose iterates but never closes: the database read lock stays
+// held forever and all DML blocks behind it.
+func leakNoClose(ctx context.Context, db *DB) error {
+	rows, err := db.QueryContext(ctx, "select")
+	if err != nil {
+		return err
+	}
+	for rows.Next() {
+	}
+	return nil // want `not released on this return path`
+}
+
+// leakOnErrorFrame closes on success but forgets the cursor when the
+// later step fails — the server-handler error-frame bug shape.
+func leakOnErrorFrame(ctx context.Context, db *DB) error {
+	cur, err := db.CursorContext(ctx, "select")
+	if err != nil {
+		return err
+	}
+	if _, _, nerr := cur.Next(); nerr != nil {
+		return nerr // want `not released on this return path`
+	}
+	return cur.Close()
+}
+
+// leakDiscard drops the cursor entirely.
+func leakDiscard(ctx context.Context, db *DB) {
+	_, _ = db.QueryContext(ctx, "select") // want `discarded without release`
+}

@@ -156,7 +156,15 @@ func (p *Prefetcher) reader() {
 		if missed {
 			p.issued.Add(1)
 		}
-		p.bp.UnpinPage(id)
+		if err := p.bp.UnpinPage(id); err != nil {
+			// A failed unpin means the frame is gone or the pin count is
+			// off — an invariant breach, not an I/O error. Roll back the
+			// mark so the consumer does a (correct) demand fetch instead
+			// of claiming a page whose pin state is unknown.
+			p.mu.Lock()
+			delete(p.started, id)
+			p.mu.Unlock()
+		}
 	}
 }
 

@@ -18,13 +18,20 @@ type Result struct {
 // Collect drains a streaming cursor into a rendered Result and closes it.
 // Aggregates render with integral values trimmed ("4" not "4.0000"),
 // dates as "YYYY-MM-DD".
-func Collect(rows *Rows) (*Result, error) {
-	defer rows.Close()
-	res := &Result{Columns: rows.Columns(), Strategy: rows.Strategy()}
-	for rows.Next() {
-		out, err := rows.RowStrings()
+func Collect(rows *Rows) (res *Result, err error) {
+	defer func() {
+		if cerr := rows.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
-			return nil, err
+			res = nil
+		}
+	}()
+	res = &Result{Columns: rows.Columns(), Strategy: rows.Strategy()}
+	for rows.Next() {
+		out, rerr := rows.RowStrings()
+		if rerr != nil {
+			return nil, rerr
 		}
 		res.Rows = append(res.Rows, out)
 	}
