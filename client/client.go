@@ -62,6 +62,7 @@ type queryRequest struct {
 	DOP           int    `json:"dop,omitempty"`
 	BatchSize     *int   `json:"batch_size,omitempty"`
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+	Trace         bool   `json:"trace,omitempty"`
 }
 
 // QueryOption adjusts one Query or Exec request.
@@ -84,6 +85,13 @@ func WithTimeout(d time.Duration) QueryOption {
 	return func(q *queryRequest) { q.TimeoutMillis = d.Milliseconds() }
 }
 
+// WithTrace asks the server to record a per-operator execution trace;
+// the span tree arrives as a trace frame before the trailer and is
+// available from Rows.Trace once the stream ends.
+func WithTrace() QueryOption {
+	return func(q *queryRequest) { q.Trace = true }
+}
+
 // Stats mirrors the engine's scan statistics reported in the trailer.
 type Stats struct {
 	QualifyingBuckets    int `json:"qualifying_buckets"`
@@ -95,12 +103,33 @@ type Stats struct {
 	PrefetchHits         int `json:"prefetch_hits"`
 }
 
+// TraceNode mirrors one node of the server's trace frame: an operator
+// (or phase) of the executed pipeline with its wall time, counters, and
+// children. The qualify/disqualify/ambivalent counts use the paper's
+// §3.1 bucket grading terminology.
+type TraceNode struct {
+	Name            string       `json:"name"`
+	Note            string       `json:"note,omitempty"`
+	DurMicros       int64        `json:"dur_us"`
+	Rows            int64        `json:"rows,omitempty"`
+	Batches         int64        `json:"batches,omitempty"`
+	PagesRead       int64        `json:"pages_read,omitempty"`
+	PagesPrefetched int64        `json:"pages_prefetched,omitempty"`
+	PrefetchHits    int64        `json:"prefetch_hits,omitempty"`
+	Qualify         int64        `json:"qualify,omitempty"`
+	Disqualify      int64        `json:"disqualify,omitempty"`
+	Ambivalent      int64        `json:"ambivalent,omitempty"`
+	AllocBytes      int64        `json:"alloc_bytes,omitempty"`
+	Children        []*TraceNode `json:"children,omitempty"`
+}
+
 // wire frame mirrors of the server's NDJSON stream.
 type header struct {
 	Columns     []string `json:"columns"`
 	Types       []string `json:"types"`
 	Strategy    string   `json:"strategy"`
 	Parallelism int      `json:"parallelism"`
+	QueryID     string   `json:"query_id"`
 }
 
 type trailer struct {
@@ -110,10 +139,11 @@ type trailer struct {
 }
 
 type frame struct {
-	Header  *header  `json:"header,omitempty"`
-	Row     []string `json:"row,omitempty"`
-	Trailer *trailer `json:"trailer,omitempty"`
-	Error   string   `json:"error,omitempty"`
+	Header  *header    `json:"header,omitempty"`
+	Row     []string   `json:"row,omitempty"`
+	Trace   *TraceNode `json:"trace,omitempty"`
+	Trailer *trailer   `json:"trailer,omitempty"`
+	Error   string     `json:"error,omitempty"`
 }
 
 // Rows is a streaming query result in the style of database/sql: Next
@@ -121,13 +151,14 @@ type frame struct {
 // the query's cursor (and the database read lock) until the stream ends
 // or the connection closes, so close promptly.
 type Rows struct {
-	body io.ReadCloser
-	dec  *json.Decoder
-	hdr  header
-	row  []string
-	trl  *trailer
-	err  error
-	done bool
+	body  io.ReadCloser
+	dec   *json.Decoder
+	hdr   header
+	row   []string
+	trl   *trailer
+	trace *TraceNode
+	err   error
+	done  bool
 }
 
 // Columns returns the output column names in select-list order.
@@ -143,34 +174,42 @@ func (r *Rows) Strategy() string { return r.hdr.Strategy }
 // Parallelism is the degree of parallelism the plan ran with (1 = serial).
 func (r *Rows) Parallelism() int { return r.hdr.Parallelism }
 
+// QueryID is the engine-assigned query id ("" when the server's database
+// runs without observability); it matches the server's request log.
+func (r *Rows) QueryID() string { return r.hdr.QueryID }
+
 // Next advances to the next row, returning false at end of stream or on
 // error (check Err to tell them apart).
 func (r *Rows) Next() bool {
 	if r.done {
 		return false
 	}
-	var f frame
-	if err := r.dec.Decode(&f); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF // stream must end with trailer or error
+	for {
+		var f frame
+		if err := r.dec.Decode(&f); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF // stream must end with trailer or error
+			}
+			r.fail(err)
+			return false
 		}
-		r.fail(err)
-		return false
-	}
-	switch {
-	case f.Row != nil:
-		r.row = f.Row
-		return true
-	case f.Trailer != nil:
-		r.trl = f.Trailer
-		r.done = true
-		return false
-	case f.Error != "":
-		r.fail(fmt.Errorf("server: %s", f.Error))
-		return false
-	default:
-		r.fail(fmt.Errorf("client: unexpected frame in stream"))
-		return false
+		switch {
+		case f.Row != nil:
+			r.row = f.Row
+			return true
+		case f.Trace != nil:
+			r.trace = f.Trace // trailer follows
+		case f.Trailer != nil:
+			r.trl = f.Trailer
+			r.done = true
+			return false
+		case f.Error != "":
+			r.fail(fmt.Errorf("server: %s", f.Error))
+			return false
+		default:
+			r.fail(fmt.Errorf("client: unexpected frame in stream"))
+			return false
+		}
 	}
 }
 
@@ -189,6 +228,22 @@ func (r *Rows) Trailer() (rowCount int64, elapsed time.Duration, stats *Stats, o
 	}
 	return r.trl.RowCount, time.Duration(r.trl.ElapsedMicros) * time.Microsecond, r.trl.Stats, true
 }
+
+// Stats returns the typed scan statistics from the stream's trailer:
+// how the query classified the relation's buckets (qualify /
+// disqualify / ambivalent) and the pages it touched. ok is false until
+// Next has returned false without error, or when the plan tracks no
+// stats (pure projections on the row path).
+func (r *Rows) Stats() (Stats, bool) {
+	if r.trl == nil || r.trl.Stats == nil {
+		return Stats{}, false
+	}
+	return *r.trl.Stats, true
+}
+
+// Trace returns the query's span tree when the query was run with
+// WithTrace and the stream has ended; nil otherwise.
+func (r *Rows) Trace() *TraceNode { return r.trace }
 
 // Close releases the HTTP connection. Closing before the stream is
 // drained disconnects, which cancels the query server-side.

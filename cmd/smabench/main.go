@@ -5,6 +5,7 @@
 //
 //	smabench [-exp all|e1|e2|...|e10|pr4] [-sf 0.02] [-latency] [-delta 90]
 //	smabench -exp pr4 -out BENCH_pr4.json   # batch/prefetch trajectory
+//	smabench -exp obs -out BENCH_obs.json   # observability overhead (off/metrics/trace)
 //
 // Each experiment prints the measured rows next to the paper's published
 // numbers; EXPERIMENTS.md records a full paper-vs-measured comparison.
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
@@ -131,8 +132,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run("obs") && want == "obs" {
+		ok = true
+		if err := runObs(*sf, *seed, *delta, *out); err != nil {
+			fatal(err)
+		}
+	}
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, or serve)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, serve, or obs)", *exp))
 	}
 }
 

@@ -1,0 +1,179 @@
+package main
+
+// The obs experiment measures what the observability subsystem costs on
+// the paper's Query 1 (warm, SMA-covered, dop=1): the same query runs
+// with observability off (the WithoutObservability baseline), with the
+// observer on but tracing off (the default production configuration),
+// and with per-query tracing on. The JSON artifact (BENCH_obs.json)
+// records ns/op per configuration and the overhead percentages; the
+// acceptance bar is disabled-path overhead — observer on, tracing off —
+// within 2% of the baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"sma/internal/engine"
+	"sma/internal/obs"
+)
+
+// obsResult is one configuration's measurement.
+type obsResult struct {
+	Config   string  `json:"config"` // "off", "metrics", "trace"
+	Strategy string  `json:"strategy"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	Rows     int     `json:"rows"`
+	Checksum float64 `json:"checksum"`
+}
+
+// obsFile is the on-disk artifact format.
+type obsFile struct {
+	PR                  int         `json:"pr"`
+	SF                  float64     `json:"sf"`
+	Query               string      `json:"query"`
+	Iters               int         `json:"iters"`
+	Results             []obsResult `json:"results"`
+	DisabledOverheadPct float64     `json:"disabled_overhead_pct"` // metrics vs off
+	TraceOverheadPct    float64     `json:"trace_overhead_pct"`    // trace vs off
+	MaxDisabledPct      float64     `json:"max_disabled_pct"`      // acceptance bar
+	Pass                bool        `json:"pass"`
+}
+
+// runObs builds the Query-1 dataset once, measures the three
+// observability configurations on the warm SMA-covered Query 1, prints
+// the comparison, and writes the JSON artifact.
+func runObs(sf float64, seed int64, delta int, out string) error {
+	dir, err := os.MkdirTemp("", "sma-obs-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := pr4Load(dir, sf, seed); err != nil {
+		return err
+	}
+	query := pr4Queries(delta)["q1_sma"]
+
+	const iters = 9
+	file := obsFile{PR: 7, SF: sf, Query: "q1_sma", Iters: iters, MaxDisabledPct: 2.0}
+
+	configs := []struct {
+		name  string
+		obs   bool
+		trace bool
+	}{
+		{"off", false, false},
+		{"metrics", true, false},
+		{"trace", true, true},
+	}
+	nsBy := map[string]int64{}
+	for _, cfg := range configs {
+		opts := engine.Options{PoolPages: 16384}
+		if cfg.obs {
+			// A fresh observer per open: observers must not be shared
+			// across databases.
+			opts.Obs = obs.NewObserver(obs.Config{})
+		}
+		res, err := obsMeasure(dir, opts, query, cfg.trace, iters)
+		if err != nil {
+			return fmt.Errorf("obs %s: %w", cfg.name, err)
+		}
+		res.Config = cfg.name
+		file.Results = append(file.Results, res)
+		nsBy[cfg.name] = res.NsPerOp
+		fmt.Printf("%-8s %-14s %12.3fms  rows=%d\n",
+			cfg.name, res.Strategy, float64(res.NsPerOp)/1e6, res.Rows)
+	}
+
+	base := float64(nsBy["off"])
+	file.DisabledOverheadPct = (float64(nsBy["metrics"]) - base) / base * 100
+	file.TraceOverheadPct = (float64(nsBy["trace"]) - base) / base * 100
+	file.Pass = file.DisabledOverheadPct <= file.MaxDisabledPct
+	fmt.Printf("disabled-path overhead (metrics vs off): %+.2f%% (bar ≤ %.0f%%)  pass=%v\n",
+		file.DisabledOverheadPct, file.MaxDisabledPct, file.Pass)
+	fmt.Printf("tracing overhead (trace vs off): %+.2f%%\n", file.TraceOverheadPct)
+
+	if out != "" {
+		data, err := json.MarshalIndent(file, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	if !file.Pass {
+		return fmt.Errorf("obs: disabled-path overhead %.2f%% exceeds %.0f%%",
+			file.DisabledOverheadPct, file.MaxDisabledPct)
+	}
+	return nil
+}
+
+// obsMeasure reopens dir with opts and times the warm query at dop=1,
+// best of iters runs.
+func obsMeasure(dir string, opts engine.Options, query string, trace bool, iters int) (obsResult, error) {
+	db, err := engine.Open(dir, opts)
+	if err != nil {
+		return obsResult{}, err
+	}
+	defer closeOrWarn("database", db.Close)
+
+	run := func() (obsResult, time.Duration, error) {
+		var res obsResult
+		qopts := []engine.QueryOption{engine.WithDOP(1)}
+		if trace {
+			qopts = append(qopts, engine.WithTrace(true))
+		}
+		start := time.Now()
+		cur, err := db.QueryContext(context.Background(), query, qopts...)
+		if err != nil {
+			return res, 0, err
+		}
+		for {
+			vals, ok, err := cur.Next()
+			if err != nil {
+				_ = cur.Close()
+				return res, 0, err
+			}
+			if !ok {
+				break
+			}
+			res.Rows++
+			for _, v := range vals {
+				if f, ok := v.(float64); ok {
+					res.Checksum += f
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		if err := cur.Close(); err != nil {
+			return res, 0, err
+		}
+		res.Strategy = "?"
+		if p := cur.Plan(); p != nil {
+			res.Strategy = p.StrategyName()
+		}
+		return res, elapsed, nil
+	}
+
+	if _, _, err := run(); err != nil { // warm the pool
+		return obsResult{}, err
+	}
+	var best obsResult
+	bestNs := int64(1<<62 - 1)
+	for i := 0; i < iters; i++ {
+		res, elapsed, err := run()
+		if err != nil {
+			return obsResult{}, err
+		}
+		if elapsed.Nanoseconds() < bestNs {
+			bestNs = elapsed.Nanoseconds()
+			best = res
+		}
+	}
+	best.NsPerOp = bestNs
+	return best, nil
+}

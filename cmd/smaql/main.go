@@ -13,6 +13,9 @@
 //	smaql -dir ./db 'update EVENTS set VALUE = VALUE + 1 where KIND = ''A'''
 //	smaql -dir ./db 'delete from EVENTS where TS <= date ''2024-01-31'''
 //	smaql -dir ./db -explain '<query>'     # show the chosen plan only
+//	smaql -dir ./db 'explain <query>'            # same, through SQL
+//	smaql -dir ./db 'explain analyze <query>'    # execute and render the span tree
+//	smaql -dir ./db -stats '<query>'       # print scan statistics after the result
 //	smaql -dir ./db -dop 4 '<query>'       # run aggregations on 4 partition workers
 //	echo '<query>' | smaql -dir ./db -
 package main
@@ -33,6 +36,7 @@ import (
 func main() {
 	dir := flag.String("dir", "", "database directory (required)")
 	explain := flag.Bool("explain", false, "print the plan instead of executing")
+	stats := flag.Bool("stats", false, "print the query's scan statistics (bucket grading, pages, batches, prefetch) after the result")
 	dop := flag.Int("dop", 0, "degree of intra-query parallelism (0 = serial; buckets are partitioned across this many workers)")
 	batch := flag.Bool("batch", true, "vectorized batch execution (false = legacy row-at-a-time iterators, for A/B runs)")
 	batchSize := flag.Int("batchsize", 0, "tuples per batch (0 = default 1024)")
@@ -81,7 +85,9 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	start := time.Now()
-	if !strings.HasPrefix(strings.ToLower(strings.TrimSpace(sql)), "select") {
+	lower := strings.ToLower(strings.TrimSpace(sql))
+	isQuery := strings.HasPrefix(lower, "select") || strings.HasPrefix(lower, "explain")
+	if !isQuery {
 		res, err := db.ExecContext(ctx, sql)
 		if err != nil {
 			fatal(err)
@@ -102,6 +108,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if strings.HasPrefix(lower, "explain") {
+		// EXPLAIN [ANALYZE] streams plan text as one-column rows; print
+		// the lines raw instead of boxing them into a result table.
+		for rows.Next() {
+			vals, err := rows.RowStrings()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(vals[0])
+		}
+		if err := rows.Err(); err != nil {
+			fatal(err)
+		}
+		closeOrWarn("rows", rows.Close)
+		return
+	}
 	res, err := sma.Collect(rows)
 	if err != nil {
 		fatal(err)
@@ -109,6 +131,15 @@ func main() {
 	elapsed := time.Since(start)
 	fmt.Print(res.String())
 	fmt.Printf("(%d rows, %v, plan: %s)\n", len(res.Rows), elapsed.Round(time.Microsecond), res.Strategy)
+	if *stats {
+		if qs, ok := rows.Stats(); ok {
+			fmt.Printf("stats: buckets %d/%d/%d (qualify/disqualify/ambivalent), pages read %d, batches %d, prefetched %d (hits %d)\n",
+				qs.QualifyingBuckets, qs.DisqualifyingBuckets, qs.AmbivalentBuckets,
+				qs.PagesRead, qs.Batches, qs.PagesPrefetched, qs.PrefetchHits)
+		} else {
+			fmt.Println("stats: not tracked by this plan")
+		}
+	}
 }
 
 func fatal(err error) {

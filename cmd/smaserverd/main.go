@@ -7,6 +7,13 @@
 //	smaserverd -dir ./db                          # serve on :7421
 //	smaserverd -dir ./db -addr 127.0.0.1:7421 -max-concurrency 16
 //	smaserverd -dir ./db -tls-cert cert.pem -tls-key key.pem
+//	smaserverd -dir ./db -log-level debug -slow-query 250ms
+//	smaserverd -dir ./db -debug-addr 127.0.0.1:7422   # pprof + runtime/metrics
+//
+// Structured logs (engine query log, slow-query log, server request log)
+// go to stderr as logfmt lines tagged with per-query ids. The debug
+// listener is separate from the serving address so pprof and the
+// runtime/metrics dump can stay on a private interface.
 //
 // The database directory is exclusively locked (LOCK sentinel) while the
 // daemon runs: a second smaserverd — or any embedded open — on the same
@@ -18,10 +25,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	rtmetrics "runtime/metrics"
 	"syscall"
 	"time"
 
@@ -41,6 +51,9 @@ func main() {
 	prefetch := flag.Int("prefetch", 0, "prefetch window in pages (0 = default 16, negative = off)")
 	tlsCert := flag.String("tls-cert", "", "TLS certificate file (serve HTTPS when set with -tls-key)")
 	tlsKey := flag.String("tls-key", "", "TLS key file")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold; queries at or above it log at warn with their SQL (0 disables)")
+	debugAddr := flag.String("debug-addr", "", "optional private listen address serving net/http/pprof and a runtime/metrics dump under /debug/")
 	flag.Parse()
 	if *dir == "" {
 		fatal(errors.New("-dir is required"))
@@ -48,8 +61,16 @@ func main() {
 	if (*tlsCert == "") != (*tlsKey == "") {
 		fatal(errors.New("-tls-cert and -tls-key must be set together"))
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("-log-level: %w", err))
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	var opts []sma.Option
+	opts := []sma.Option{
+		sma.WithLogger(logger.With("component", "engine")),
+		sma.WithSlowQueryLog(*slowQuery),
+	}
 	if *dop > 1 {
 		opts = append(opts, sma.WithParallelism(*dop))
 	}
@@ -70,8 +91,24 @@ func main() {
 	srv := server.New(db, server.Config{
 		MaxConcurrent: *maxConc,
 		QueueTimeout:  *queueTimeout,
+		Logger:        logger.With("component", "server"),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			db.Close()
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "smaserverd: debug endpoints on http://%s/debug/ (pprof, runtime)\n", dln.Addr())
+		go func() {
+			if err := (&http.Server{Handler: debugMux()}).Serve(dln); err != nil &&
+				!errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug server exited", "err", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -118,6 +155,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "smaserverd: bye")
+}
+
+// debugMux serves the pprof endpoints and a plain-text dump of every
+// scalar runtime/metrics sample. Mounted only behind -debug-addr, which
+// should stay on a private interface — profiles expose the process.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/runtime", handleRuntimeMetrics)
+	return mux
+}
+
+// handleRuntimeMetrics samples the runtime/metrics registry and writes
+// "name value" lines for the scalar kinds (histogram-kind metrics are
+// summarized by their sample count).
+func handleRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	descs := rtmetrics.All()
+	samples := make([]rtmetrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	rtmetrics.Read(samples)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case rtmetrics.KindUint64:
+			fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+		case rtmetrics.KindFloat64:
+			fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+		case rtmetrics.KindFloat64Histogram:
+			var count uint64
+			for _, c := range s.Value.Float64Histogram().Counts {
+				count += c
+			}
+			fmt.Fprintf(w, "%s histogram count=%d\n", s.Name, count)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -4,8 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"sma/internal/exec"
+	"sma/internal/obs"
+	"sma/internal/parser"
 	"sma/internal/planner"
 	"sma/internal/tuple"
 )
@@ -17,6 +20,7 @@ type QueryOption func(*queryConfig)
 type queryConfig struct {
 	dop   int
 	batch *int
+	trace bool
 }
 
 // WithDOP overrides the engine's default degree of intra-query parallelism
@@ -32,6 +36,15 @@ func WithDOP(n int) QueryOption {
 // the legacy row-at-a-time iterators. The prefetch window is unaffected.
 func WithBatchSize(n int) QueryOption {
 	return func(c *queryConfig) { c.batch = &n }
+}
+
+// WithTrace enables per-operator execution tracing for one query: the
+// cursor records a span tree over the real pipeline (parse → plan →
+// grade → execute → sort → fold → scan → prefetch) and exposes it via
+// TraceNode once the stream ends. Tracing works with or without an
+// Observer on the database.
+func WithTrace(on bool) QueryOption {
+	return func(c *queryConfig) { c.trace = on }
 }
 
 // ColInfo describes one output column of a streaming cursor.
@@ -64,6 +77,23 @@ type Cursor struct {
 	// Projection mode.
 	tuples exec.TupleIter
 	tupIdx []int // per select item: column index into the scan tuple
+
+	// Text mode (EXPLAIN): the cursor streams pre-rendered lines through
+	// a single "QUERY PLAN" column and holds no database lock.
+	text    bool
+	lines   []string
+	lineIdx int
+	noLock  bool
+
+	// Observability state, wired by queryContext. All nil-safe.
+	obs     *obs.Observer
+	trace   *obs.Trace
+	execSp  *obs.Span
+	node    *obs.TraceNode
+	sql     string
+	qid     string
+	start   time.Time
+	rowsOut int64
 
 	released bool
 	closed   bool
@@ -144,7 +174,22 @@ func (c *Cursor) Plan() *planner.Plan { return c.plan }
 // for parallel plans — and whether the plan tracks any. For aggregation
 // queries the stats are complete as soon as the cursor exists; for
 // projections they are complete when the stream ends.
-func (c *Cursor) Stats() (exec.ScanStats, bool) { return c.plan.ScanStats() }
+func (c *Cursor) Stats() (exec.ScanStats, bool) {
+	if c.plan == nil {
+		return exec.ScanStats{}, false
+	}
+	return c.plan.ScanStats()
+}
+
+// TraceNode returns the finished execution trace of the query. It is
+// available once the stream has ended (exhaustion, error, or Close) and
+// nil when the query was not traced (see WithTrace). A cancelled or
+// failed query yields a well-formed partial trace.
+func (c *Cursor) TraceNode() *obs.TraceNode { return c.node }
+
+// QueryID returns the query's observability id ("" when the database has
+// no observer and the context carried none).
+func (c *Cursor) QueryID() string { return c.qid }
 
 // Next returns the next result row as typed values (see ColInfo), or
 // ok=false at end of stream or on error. The returned slice is reused
@@ -155,6 +200,14 @@ func (c *Cursor) Stats() (exec.ScanStats, bool) { return c.plan.ScanStats() }
 func (c *Cursor) Next() ([]any, bool, error) {
 	if c.released {
 		return nil, false, nil
+	}
+	if c.text {
+		if c.lineIdx >= len(c.lines) {
+			return nil, false, c.finish()
+		}
+		line := c.lines[c.lineIdx]
+		c.lineIdx++
+		return []any{line}, true, nil
 	}
 	if c.tuples != nil {
 		t, ok, err := c.tuples.Next()
@@ -168,6 +221,7 @@ func (c *Cursor) Next() ([]any, bool, error) {
 		for i, j := range c.tupIdx {
 			out[i] = tupleValue(t, j)
 		}
+		c.rowsOut++
 		return out, true, nil
 	}
 	r, ok, err := c.rows.Next()
@@ -203,6 +257,7 @@ func (c *Cursor) Next() ([]any, bool, error) {
 			aggIdx++
 		}
 	}
+	c.rowsOut++
 	return out, true, nil
 }
 
@@ -223,7 +278,10 @@ func tupleValue(t tuple.Tuple, j int) any {
 }
 
 // finish closes the iterator and releases the read lock exactly once,
-// returning the iterator's close error (if any).
+// returning the iterator's close error (if any). It is also the single
+// point where a query's observability state settles: the execute span
+// ends, the trace finishes into its node tree, the engine metric
+// families absorb the final stats, and the query is logged.
 func (c *Cursor) finish() error {
 	if c.released {
 		return nil
@@ -238,8 +296,53 @@ func (c *Cursor) finish() error {
 			err = cerr
 		}
 	}
-	c.db.mu.RUnlock()
+	c.finishObs(err)
+	if !c.noLock {
+		c.db.mu.RUnlock()
+	}
 	return err
+}
+
+// finishObs settles the cursor's observability state; see finish.
+func (c *Cursor) finishObs(err error) {
+	c.execSp.End()
+	if n := c.trace.Finish(); n != nil {
+		c.node = n
+	}
+	o := c.obs
+	if o == nil {
+		return
+	}
+	dur := time.Since(c.start)
+	strat := c.plan.StrategyName()
+	em := o.Engine
+	em.Queries.With(strat).Inc()
+	em.QuerySeconds.With(strat).ObserveDuration(dur)
+	em.Rows.Add(c.rowsOut)
+	var q, d, a int64
+	if st, ok := c.plan.ScanStats(); ok {
+		em.PagesRead.Add(int64(st.PagesRead))
+		q, d, a = int64(st.Qualifying), int64(st.Disqualifying), int64(st.Ambivalent)
+		em.Buckets.With("qualify").Add(q)
+		em.Buckets.With("disqualify").Add(d)
+		em.Buckets.With("ambivalent").Add(a)
+		if graded := q + d + a; graded > 0 {
+			em.AmbivalentShare.Observe(float64(a) / float64(graded))
+		}
+	}
+	attrs := []any{
+		"qid", c.qid, "strategy", strat, "dur", dur, "rows", c.rowsOut,
+		"buckets", fmt.Sprintf("%d/%d/%d", q, d, a),
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err)
+	}
+	if o.Slow > 0 && dur >= o.Slow {
+		em.SlowQueries.Inc()
+		o.Logger().Warn("slow query", append(attrs, "sql", c.sql)...)
+		return
+	}
+	o.Logger().Debug("query", attrs...)
 }
 
 // Close releases the cursor's resources and the database read lock. Close
@@ -261,6 +364,14 @@ func (c *Cursor) Close() error {
 // subsequent Next) fail with the context's error, and under parallelism
 // the first failing worker cancels its siblings the same way.
 func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption) (*Cursor, error) {
+	if inner, analyze, isExplain := parser.SplitExplain(sql); isExplain {
+		return db.explainContext(ctx, inner, analyze, opts...)
+	}
+	return db.queryContext(ctx, sql, opts...)
+}
+
+// queryContext is QueryContext for a plain SELECT.
+func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption) (*Cursor, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -271,18 +382,34 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 	for _, o := range opts {
 		o(&cfg)
 	}
+	start := time.Now()
+	o := db.opts.Obs
+	var qid string
+	if o != nil {
+		// Prefer an id the serving layer already stamped on the context so
+		// engine and request logs correlate.
+		if qid = obs.QueryIDFrom(ctx); qid == "" {
+			qid = o.NextQueryID()
+		}
+	}
+	var tr *obs.Trace
+	if cfg.trace {
+		tr = obs.NewTrace(qid, sql)
+	}
 	db.mu.RLock()
 	ok := false
 	defer func() {
 		if !ok {
 			db.mu.RUnlock()
+			tr.Finish() // release pooled spans of a failed query
 		}
 	}()
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
-	plan, err := db.planLocked(sql)
+	plan, err := db.planTracedLocked(sql, tr)
 	if err != nil {
+		o.Logger().Warn("query rejected", "qid", qid, "err", err, "sql", sql)
 		return nil, err
 	}
 	if cfg.dop > 0 {
@@ -292,10 +419,67 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 		plan.Exec.RowMode = *cfg.batch < 0
 		plan.Exec.BatchSize = *cfg.batch
 	}
+	plan.Span = tr.Root().Child("execute")
 	cur, err := newCursor(ctx, db, plan)
+	if err != nil {
+		o.Logger().Warn("query failed", "qid", qid, "err", err, "sql", sql)
+		return nil, err
+	}
+	cur.obs, cur.trace, cur.execSp = o, tr, plan.Span
+	cur.sql, cur.qid, cur.start = sql, qid, start
+	ok = true
+	return cur, nil
+}
+
+// explainContext implements EXPLAIN and EXPLAIN ANALYZE. Plain EXPLAIN
+// plans the inner query and streams the plan description. EXPLAIN
+// ANALYZE runs the query to completion with tracing forced on and
+// streams the plan description followed by the rendered span tree with
+// per-operator timings and counters; the cursor's Stats and TraceNode
+// reflect the real execution.
+func (db *DB) explainContext(ctx context.Context, inner string, analyze bool, opts ...QueryOption) (*Cursor, error) {
+	if !analyze {
+		db.mu.RLock()
+		if err := db.checkOpen(); err != nil {
+			db.mu.RUnlock()
+			return nil, err
+		}
+		plan, err := db.planLocked(inner)
+		db.mu.RUnlock()
+		if err != nil {
+			return nil, err
+		}
+		return newTextCursor(db, plan, strings.Split(plan.Explain(), "\n"), nil), nil
+	}
+	cur, err := db.queryContext(ctx, inner, append(opts, WithTrace(true))...)
 	if err != nil {
 		return nil, err
 	}
-	ok = true
-	return cur, nil
+	for {
+		_, more, err := cur.Next()
+		if err != nil {
+			_ = cur.Close()
+			return nil, err
+		}
+		if !more {
+			break
+		}
+	}
+	node := cur.TraceNode()
+	lines := strings.Split(cur.plan.Explain(), "\n")
+	lines = append(lines, "")
+	lines = append(lines, strings.Split(strings.TrimRight(node.Render(), "\n"), "\n")...)
+	return newTextCursor(db, cur.plan, lines, node), nil
+}
+
+// newTextCursor builds a lock-free cursor streaming pre-rendered lines
+// through a single QUERY PLAN column.
+func newTextCursor(db *DB, plan *planner.Plan, lines []string, node *obs.TraceNode) *Cursor {
+	return &Cursor{
+		db:   db,
+		plan: plan,
+		cols: []ColInfo{{Name: "QUERY PLAN", Type: tuple.TChar}},
+		text: true, lines: lines, noLock: true,
+		node: node,
+	}
 }

@@ -16,6 +16,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -25,6 +26,7 @@ import (
 
 	"sma/internal/core"
 	"sma/internal/exec"
+	"sma/internal/obs"
 	"sma/internal/parser"
 	"sma/internal/planner"
 	"sma/internal/storage"
@@ -54,6 +56,13 @@ type Options struct {
 	// readahead per scan (default 16, derated per worker under
 	// parallelism). Negative values disable prefetch.
 	PrefetchWindow int
+	// Obs enables the observability subsystem: the unified metrics
+	// registry, structured engine logs with per-query ids, the slow-query
+	// log, and per-query tracing support (EXPLAIN ANALYZE). Nil disables
+	// all of it; the disabled path costs one pointer test per query. An
+	// Observer registers engine-wide metric families, so it must not be
+	// shared by two open databases.
+	Obs *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +134,8 @@ func Open(dir string, opts Options) (*DB, error) {
 		BatchSize:      opts.BatchSize,
 		PrefetchWindow: opts.PrefetchWindow,
 	}
+	db.pl.Obs = opts.Obs
+	db.registerPoolMetrics()
 	if err := db.loadCatalog(); err != nil {
 		if rerr := lock.release(); rerr != nil {
 			err = errors.Join(err, rerr)
@@ -136,6 +147,50 @@ func Open(dir string, opts Options) (*DB, error) {
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }
+
+// Observer returns the database's observer (nil when observability is
+// disabled). The serving layer uses it to share the query-id space and
+// the structured logger with the engine.
+func (db *DB) Observer() *obs.Observer { return db.opts.Obs }
+
+// WritePrometheus renders the engine-side metric families (engine,
+// storage, parallel, and buffer-pool) in Prometheus text exposition
+// format. With observability disabled it writes nothing.
+func (db *DB) WritePrometheus(w io.Writer) error {
+	if db.opts.Obs == nil {
+		return nil
+	}
+	return db.opts.Obs.Reg.WritePrometheus(w)
+}
+
+// registerPoolMetrics registers the database-wide buffer-pool counters
+// as callback families: they sample PoolStats (a lock-free fold over the
+// per-table atomic counters) at render time, replacing the serving
+// layer's hand-rendered exposition.
+func (db *DB) registerPoolMetrics() {
+	o := db.opts.Obs
+	if o == nil {
+		return
+	}
+	sample := func(f func(storage.PoolStats) int64) func() float64 {
+		return func() float64 { return float64(f(db.PoolStats())) }
+	}
+	o.Reg.CounterFunc("sma_pool_hits_total",
+		"Buffer pool requests satisfied without disk I/O.",
+		sample(func(s storage.PoolStats) int64 { return s.Hits }))
+	o.Reg.CounterFunc("sma_pool_misses_total",
+		"Buffer pool requests that required a physical read.",
+		sample(func(s storage.PoolStats) int64 { return s.Misses }))
+	o.Reg.CounterFunc("sma_pool_evictions_total",
+		"Buffer pool frames written back or recycled.",
+		sample(func(s storage.PoolStats) int64 { return s.Evictions }))
+	o.Reg.CounterFunc("sma_pool_prefetched_total",
+		"Physical reads issued by SMA-guided prefetchers.",
+		sample(func(s storage.PoolStats) int64 { return s.Prefetched }))
+	o.Reg.CounterFunc("sma_pool_prefetch_hits_total",
+		"Demand fetches that landed on a prefetched frame.",
+		sample(func(s storage.PoolStats) int64 { return s.PrefetchHits }))
+}
 
 // Close flushes and closes every table, persisting delete vectors and —
 // for tables whose SMAs were incrementally maintained this session — the
@@ -210,6 +265,9 @@ func (db *DB) openTable(name string, schema *tuple.Schema, bucketPages int) (*Ta
 		dm.SetReadLatency(db.opts.ReadLatency)
 	}
 	pool := storage.NewBufferPool(dm, db.opts.PoolPages)
+	if db.opts.Obs != nil {
+		pool.SetObs(db.opts.Obs.Storage)
+	}
 	heap, err := storage.NewHeapFile(pool, schema, bucketPages)
 	if err != nil {
 		dm.Close()
@@ -504,7 +562,16 @@ func (db *DB) Plan(sql string) (*planner.Plan, error) {
 
 // planLocked plans under a held lock.
 func (db *DB) planLocked(sql string) (*planner.Plan, error) {
+	return db.planTracedLocked(sql, nil)
+}
+
+// planTracedLocked is planLocked under a trace: parsing and planning get
+// their own spans off the trace root (grading is a child of the plan
+// span, see planner.PlanQueryTraced). A nil trace plans untraced.
+func (db *DB) planTracedLocked(sql string, tr *obs.Trace) (*planner.Plan, error) {
+	ps := tr.Root().Child("parse")
 	q, err := parser.ParseQuery(sql)
+	ps.End()
 	if err != nil {
 		return nil, err
 	}
@@ -517,7 +584,10 @@ func (db *DB) planLocked(sql string) (*planner.Plan, error) {
 			return nil, err
 		}
 	}
-	return db.pl.PlanQuery(q, t.Heap, t.SMAs())
+	plSp := tr.Root().Child("plan")
+	plan, err := db.pl.PlanQueryTraced(q, t.Heap, t.SMAs(), plSp)
+	plSp.End()
+	return plan, err
 }
 
 // Query parses, plans, executes and renders a SELECT. The read lock is

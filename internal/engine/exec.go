@@ -27,9 +27,20 @@ type ExecResult struct {
 // ExecContext runs a DDL or DML statement through the unified SQL
 // entrypoint: "define sma", "drop sma", "create table", "insert",
 // "update", and "delete" statements are dispatched to the corresponding
-// engine operation. SELECT statements are rejected — they stream through
-// QueryContext.
+// engine operation. SELECT and EXPLAIN statements are rejected — they
+// stream through QueryContext.
 func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) {
+	res, err := db.execContext(ctx, sql)
+	if o := db.opts.Obs; o != nil && err == nil {
+		o.Engine.Execs.With(res.Kind).Inc()
+		o.Logger().Debug("exec",
+			"kind", res.Kind, "table", res.Table, "rows", res.RowsAffected)
+	}
+	return res, err
+}
+
+// execContext implements ExecContext; the wrapper records metrics.
+func (db *DB) execContext(ctx context.Context, sql string) (*ExecResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -43,6 +54,8 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) 
 	switch s := st.(type) {
 	case *parser.SelectStmt:
 		return nil, fmt.Errorf("engine: SELECT statements stream; use QueryContext")
+	case *parser.ExplainStmt:
+		return nil, fmt.Errorf("engine: EXPLAIN statements stream; use QueryContext")
 	case *parser.DefineSMAStmt:
 		sma, err := db.DefineSMADef(s.Def)
 		if err != nil {

@@ -1,0 +1,411 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime/metrics"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanMetrics are the operator counters a span carries, matching the
+// exec layer's ScanStats plus row/batch/allocation accounting. The
+// qualify/disqualify/ambivalent fields use the paper's §3.1 bucket
+// grading terminology.
+type SpanMetrics struct {
+	Rows            int64
+	Batches         int64
+	PagesRead       int64
+	PagesPrefetched int64
+	PrefetchHits    int64
+	Qualify         int64
+	Disqualify      int64
+	Ambivalent      int64
+	AllocBytes      int64
+}
+
+// Span is one node of a per-query execution trace. Spans are pooled;
+// they exist only between Trace creation and Trace.Finish, which copies
+// the tree into exported TraceNodes and returns the records to the pool.
+//
+// Every method is safe on a nil receiver — a disabled trace hands out
+// nil spans, so instrumented code pays exactly one pointer test.
+//
+// A span's counters may only be touched by the goroutine that owns it;
+// concurrent workers get one child span each (Child is safe to call
+// concurrently for distinct children).
+type Span struct {
+	tr       *Trace
+	name     string
+	note     string
+	start    time.Time
+	dur      time.Duration
+	manual   bool // dur accumulated via AddTime; End keeps it
+	ended    bool
+	m        SpanMetrics
+	children []*Span
+}
+
+// spanPool recycles span records; spanGets/spanPuts balance-check it in
+// leak tests. Leases escape into the trace tree and are released
+// generation-wise by Trace.Finish.
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+var (
+	spanGets atomic.Int64
+	spanPuts atomic.Int64
+)
+
+// SpanPoolStats returns the cumulative Get/Put counts of the span pool;
+// tests assert they balance after Trace.Finish.
+func SpanPoolStats() (gets, puts int64) {
+	return spanGets.Load(), spanPuts.Load()
+}
+
+// reset clears a recycled span for its next lease.
+func (s *Span) reset(tr *Trace, name string) {
+	*s = Span{tr: tr, name: name, start: time.Now()}
+}
+
+// getSpan leases a reset span from the pool.
+func getSpan(tr *Trace, name string) *Span {
+	spanGets.Add(1)
+	s := spanPool.Get().(*Span)
+	s.reset(tr, name)
+	return s
+}
+
+// Trace is one query's span tree. A nil *Trace is the disabled state:
+// NewSpan and Root return nil spans and Finish returns nil.
+type Trace struct {
+	mu    sync.Mutex
+	root  *Span
+	qid   string
+	alloc uint64
+	node  *TraceNode // set once by Finish
+}
+
+// NewTrace starts a trace for one query; sql becomes the root span's
+// note. The root span is open until Finish.
+func NewTrace(qid, sql string) *Trace {
+	t := &Trace{qid: qid, alloc: heapAllocBytes()}
+	t.root = getSpan(t, "query")
+	t.root.note = strings.Join(strings.Fields(sql), " ")
+	return t
+}
+
+// QueryID returns the query id the trace was started with ("" on nil).
+func (t *Trace) QueryID() string {
+	if t == nil {
+		return ""
+	}
+	return t.qid
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Child starts a child span under s. Safe on a nil span (returns nil);
+// safe to call from concurrent goroutines.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := getSpan(s.tr, name)
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetNote attaches a short annotation rendered after the span name.
+func (s *Span) SetNote(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.note = fmt.Sprintf(format, args...)
+}
+
+// End closes the span, fixing its wall time (unless AddTime accumulated
+// it explicitly). Idempotent via the owning wrapper's discipline; safe on
+// a nil span.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	if !s.manual {
+		s.dur = time.Since(s.start)
+	}
+}
+
+// AddTime accumulates explicitly measured wall time; the span's duration
+// becomes the sum of AddTime calls instead of start-to-End. Iterator
+// wrappers use this so a span covers only the time spent inside its
+// operator's calls, not the time the operator sat idle in the pipeline.
+func (s *Span) AddTime(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.manual = true
+	s.dur += d
+}
+
+// AddRows adds to the span's row count.
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.m.Rows += n
+}
+
+// AddBatches adds to the span's batch count.
+func (s *Span) AddBatches(n int64) {
+	if s == nil {
+		return
+	}
+	s.m.Batches += n
+}
+
+// AddPages adds page I/O counters: demand reads, prefetcher reads, and
+// fetches that hit because readahead got there first.
+func (s *Span) AddPages(read, prefetched, hits int64) {
+	if s == nil {
+		return
+	}
+	s.m.PagesRead += read
+	s.m.PagesPrefetched += prefetched
+	s.m.PrefetchHits += hits
+}
+
+// AddGrades adds §3.1 bucket grading outcomes.
+func (s *Span) AddGrades(qualify, disqualify, ambivalent int64) {
+	if s == nil {
+		return
+	}
+	s.m.Qualify += qualify
+	s.m.Disqualify += disqualify
+	s.m.Ambivalent += ambivalent
+}
+
+// AddAlloc adds heap allocation bytes attributed to the span.
+func (s *Span) AddAlloc(n int64) {
+	if s == nil {
+		return
+	}
+	s.m.AllocBytes += n
+}
+
+// Metrics returns a copy of the span's counters (zero value on nil).
+func (s *Span) Metrics() SpanMetrics {
+	if s == nil {
+		return SpanMetrics{}
+	}
+	return s.m
+}
+
+// Finish closes the trace: it ends the root span, attributes the
+// process-wide heap allocation delta since NewTrace to the root, copies
+// the span tree into an exported TraceNode tree, and returns every span
+// to the pool. Finish is idempotent — subsequent calls return the same
+// node — and safe on a nil trace (returns nil). A trace abandoned
+// mid-query (cancellation, error) still finishes into a well-formed
+// partial tree: open spans report the wall time accumulated so far.
+func (t *Trace) Finish() *TraceNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.node != nil {
+		return t.node
+	}
+	t.root.End()
+	if now := heapAllocBytes(); now >= t.alloc {
+		t.root.m.AllocBytes += int64(now - t.alloc)
+	}
+	t.node = releaseSpan(t.root)
+	t.root = nil
+	return t.node
+}
+
+// Node returns the finished tree (nil before Finish or on a nil trace).
+func (t *Trace) Node() *TraceNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node
+}
+
+// releaseSpan converts a span subtree to TraceNodes, returning the spans
+// to the pool. An open span (End never ran) reports time.Since(start)
+// unless it accumulated time manually — that is what makes cancelled
+// queries produce well-formed partial traces.
+func releaseSpan(s *Span) *TraceNode {
+	dur := s.dur
+	if !s.ended && !s.manual {
+		dur = time.Since(s.start)
+	}
+	n := &TraceNode{
+		Name:            s.name,
+		Note:            s.note,
+		DurMicros:       dur.Microseconds(),
+		Rows:            s.m.Rows,
+		Batches:         s.m.Batches,
+		PagesRead:       s.m.PagesRead,
+		PagesPrefetched: s.m.PagesPrefetched,
+		PrefetchHits:    s.m.PrefetchHits,
+		Qualify:         s.m.Qualify,
+		Disqualify:      s.m.Disqualify,
+		Ambivalent:      s.m.Ambivalent,
+		AllocBytes:      s.m.AllocBytes,
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, releaseSpan(c))
+	}
+	*s = Span{}
+	spanPool.Put(s)
+	spanPuts.Add(1)
+	return n
+}
+
+// heapAllocBytes samples the process-wide cumulative heap allocation via
+// runtime/metrics (cheap; no stop-the-world).
+func heapAllocBytes() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// TraceNode is one exported node of a finished trace: the JSON shape the
+// wire protocol's trace frame carries and the tree EXPLAIN ANALYZE
+// renders. Counter fields are omitted from JSON when zero.
+type TraceNode struct {
+	Name            string       `json:"name"`
+	Note            string       `json:"note,omitempty"`
+	DurMicros       int64        `json:"dur_us"`
+	Rows            int64        `json:"rows,omitempty"`
+	Batches         int64        `json:"batches,omitempty"`
+	PagesRead       int64        `json:"pages_read,omitempty"`
+	PagesPrefetched int64        `json:"pages_prefetched,omitempty"`
+	PrefetchHits    int64        `json:"prefetch_hits,omitempty"`
+	Qualify         int64        `json:"qualify,omitempty"`
+	Disqualify      int64        `json:"disqualify,omitempty"`
+	Ambivalent      int64        `json:"ambivalent,omitempty"`
+	AllocBytes      int64        `json:"alloc_bytes,omitempty"`
+	Children        []*TraceNode `json:"children,omitempty"`
+}
+
+// Find returns the first node named name in a pre-order walk (self
+// included), or nil.
+func (n *TraceNode) Find(name string) *TraceNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+// MarshalJSON is the default encoding; the method exists so callers can
+// rely on the shape being stable (tested).
+func (n *TraceNode) MarshalJSON() ([]byte, error) {
+	type alias TraceNode
+	return json.Marshal((*alias)(n))
+}
+
+// Render draws the tree with box-drawing connectors, one line per span:
+// name [note], wall time, then the non-zero counters.
+func (n *TraceNode) Render() string {
+	var b strings.Builder
+	n.render(&b, "", "")
+	return b.String()
+}
+
+func (n *TraceNode) render(b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(n.Line())
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			c.render(b, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			c.render(b, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// Line renders one span as a single line (no tree connectors).
+func (n *TraceNode) Line() string {
+	var b strings.Builder
+	b.WriteString(n.Name)
+	if n.Note != "" {
+		fmt.Fprintf(&b, " [%s]", n.Note)
+	}
+	fmt.Fprintf(&b, "  %s", formatMicros(n.DurMicros))
+	if n.Rows > 0 {
+		fmt.Fprintf(&b, " rows=%d", n.Rows)
+	}
+	if n.Batches > 0 {
+		fmt.Fprintf(&b, " batches=%d", n.Batches)
+	}
+	if n.PagesRead > 0 {
+		fmt.Fprintf(&b, " pages=%d", n.PagesRead)
+	}
+	if n.PagesPrefetched > 0 {
+		fmt.Fprintf(&b, " prefetched=%d", n.PagesPrefetched)
+	}
+	if n.PrefetchHits > 0 {
+		fmt.Fprintf(&b, " prefetch_hits=%d", n.PrefetchHits)
+	}
+	if n.Qualify+n.Disqualify+n.Ambivalent > 0 {
+		fmt.Fprintf(&b, " buckets=%d/%d/%d(q/d/a)", n.Qualify, n.Disqualify, n.Ambivalent)
+	}
+	if n.AllocBytes > 0 {
+		fmt.Fprintf(&b, " alloc=%s", formatBytes(n.AllocBytes))
+	}
+	return b.String()
+}
+
+// formatMicros renders a duration in human units with short precision.
+func formatMicros(us int64) string {
+	d := time.Duration(us) * time.Microsecond
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(us)/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// formatBytes renders a byte count in human units.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTraceTree builds a small tree and checks structure, counters, and
+// pool balance.
+func TestTraceTree(t *testing.T) {
+	g0, p0 := SpanPoolStats()
+	tr := NewTrace("q1", "select  count(*)\nfrom T")
+	root := tr.Root()
+	if root == nil {
+		t.Fatal("nil root on live trace")
+	}
+	parse := root.Child("parse")
+	parse.End()
+	ex := root.Child("execute")
+	scan := ex.Child("scan")
+	scan.AddPages(20, 18, 17)
+	scan.AddGrades(12, 80, 8)
+	scan.AddBatches(3)
+	scan.AddTime(5 * time.Millisecond)
+	scan.End()
+	ex.AddRows(4)
+	ex.End()
+
+	node := tr.Finish()
+	if node == nil {
+		t.Fatal("Finish returned nil")
+	}
+	if again := tr.Finish(); again != node {
+		t.Fatal("Finish not idempotent")
+	}
+	if node.Note != "select count(*) from T" {
+		t.Fatalf("root note = %q (sql should be whitespace-normalized)", node.Note)
+	}
+	sn := node.Find("scan")
+	if sn == nil {
+		t.Fatal("scan span missing")
+	}
+	if sn.PagesRead != 20 || sn.PrefetchHits != 17 || sn.Qualify != 12 || sn.Ambivalent != 8 {
+		t.Fatalf("scan counters wrong: %+v", sn)
+	}
+	if sn.DurMicros != 5000 {
+		t.Fatalf("AddTime not honored: %d µs", sn.DurMicros)
+	}
+	if node.Find("execute").Rows != 4 {
+		t.Fatal("rows not recorded")
+	}
+	g1, p1 := SpanPoolStats()
+	if gets, puts := g1-g0, p1-p0; gets != puts || gets != 4 {
+		t.Fatalf("span pool unbalanced: %d gets, %d puts", gets, puts)
+	}
+}
+
+// TestTraceNilSafety drives every API through nil receivers.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.Root() != nil || tr.Finish() != nil || tr.Node() != nil || tr.QueryID() != "" {
+		t.Fatal("nil trace not inert")
+	}
+	var s *Span
+	s.End()
+	s.AddRows(1)
+	s.AddBatches(1)
+	s.AddPages(1, 1, 1)
+	s.AddGrades(1, 1, 1)
+	s.AddAlloc(1)
+	s.AddTime(time.Second)
+	s.SetNote("x %d", 1)
+	if s.Child("c") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if (s.Metrics() != SpanMetrics{}) {
+		t.Fatal("nil span has metrics")
+	}
+}
+
+// TestTracePartialFinish simulates a cancelled query: spans left open
+// still finish into a well-formed tree.
+func TestTracePartialFinish(t *testing.T) {
+	g0, p0 := SpanPoolStats()
+	tr := NewTrace("q2", "select 1")
+	ex := tr.Root().Child("execute")
+	_ = ex.Child("scan") // never ended: mid-scan cancel
+	time.Sleep(2 * time.Millisecond)
+	node := tr.Finish()
+	sn := node.Find("scan")
+	if sn == nil {
+		t.Fatal("open span dropped from partial trace")
+	}
+	if sn.DurMicros <= 0 {
+		t.Fatal("open span reports no wall time")
+	}
+	g1, p1 := SpanPoolStats()
+	if g1-g0 != p1-p0 {
+		t.Fatalf("span pool leak on partial finish: %d gets, %d puts", g1-g0, p1-p0)
+	}
+}
+
+// TestTraceConcurrentChildren has workers attach children in parallel,
+// like the parallel aggregation stage does.
+func TestTraceConcurrentChildren(t *testing.T) {
+	tr := NewTrace("q3", "select 1")
+	par := tr.Root().Child("parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sp := par.Child("worker")
+			sp.AddRows(int64(w))
+			sp.End()
+		}(w)
+	}
+	wg.Wait()
+	par.End()
+	node := tr.Finish()
+	pn := node.Find("parallel")
+	if len(pn.Children) != 8 {
+		t.Fatalf("got %d worker spans, want 8", len(pn.Children))
+	}
+}
+
+// TestTraceRenderAndJSON checks the rendered tree shape and the JSON
+// field names the wire protocol relies on.
+func TestTraceRenderAndJSON(t *testing.T) {
+	tr := NewTrace("q4", "select count(*) from T")
+	ex := tr.Root().Child("execute")
+	sc := ex.Child("scan")
+	sc.AddPages(7, 0, 0)
+	sc.End()
+	ex.End()
+	node := tr.Finish()
+
+	out := node.Render()
+	if !strings.Contains(out, "└─ execute") || !strings.Contains(out, "   └─ scan") {
+		t.Fatalf("render missing tree connectors:\n%s", out)
+	}
+	if !strings.Contains(out, "pages=7") {
+		t.Fatalf("render missing counters:\n%s", out)
+	}
+
+	data, err := json.Marshal(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"query"`, `"dur_us"`, `"pages_read":7`, `"children"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("JSON missing %s: %s", want, data)
+		}
+	}
+	var back TraceNode
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Find("scan").PagesRead != 7 {
+		t.Fatal("JSON round trip lost counters")
+	}
+}
+
+// TestObserverBasics exercises ids, context propagation, and the
+// registered families.
+func TestObserverBasics(t *testing.T) {
+	o := NewObserver(Config{})
+	if id := o.NextQueryID(); id != "q1" {
+		t.Fatalf("first id %q", id)
+	}
+	if id := o.NextQueryID(); id != "q2" {
+		t.Fatalf("second id %q", id)
+	}
+	ctx := WithQueryID(context.Background(), "q9")
+	if got := QueryIDFrom(ctx); got != "q9" {
+		t.Fatalf("ctx id %q", got)
+	}
+	if QueryIDFrom(context.Background()) != "" {
+		t.Fatal("background ctx has an id")
+	}
+	o.Engine.Queries.With("SMA_GAggr").Inc()
+	o.Engine.QuerySeconds.With("SMA_GAggr").Observe(0.01)
+	o.Storage.ReadSeconds.Observe(0.001)
+	o.Parallel.PartitionSkew.Observe(1.2)
+	var b strings.Builder
+	if err := o.Reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition([]byte(b.String())); err != nil {
+		t.Fatalf("observer registry exposition invalid: %v", err)
+	}
+	// Nil observer is inert.
+	var nilO *Observer
+	if nilO.NextQueryID() != "" {
+		t.Fatal("nil observer minted an id")
+	}
+	if nilO.Logger() == nil {
+		t.Fatal("nil observer logger is nil")
+	}
+	nilO.Logger().Info("dropped")
+}

@@ -2,9 +2,11 @@ package parallel
 
 import (
 	"context"
+	"time"
 
 	"sma/internal/core"
 	"sma/internal/exec"
+	"sma/internal/obs"
 	"sma/internal/pred"
 	"sma/internal/storage"
 )
@@ -66,9 +68,21 @@ type Agg struct {
 	// crowd the shared buffer pool.
 	Exec exec.ExecOptions
 
+	// Span, when set, is the merge-stage span of a traced query; Open
+	// hangs one child per worker partition off it, carrying the worker's
+	// busy time and scan counters. Metrics, when set, receives one
+	// partition-skew and per-worker utilization observation per run;
+	// the two are independent so metrics flow with tracing off.
+	Span    *obs.Span
+	Metrics *obs.ParallelMetrics
+
 	out   []exec.Row
 	pos   int
 	stats exec.ScanStats
+
+	// Dispatch-phase observability state, reset per Open.
+	busy      []time.Duration // per-worker time inside the pipeline
+	partPages []int64         // per-partition page counts at dispatch
 }
 
 // Open grades the buckets, dispatches the partitions to the worker pool,
@@ -77,10 +91,12 @@ type Agg struct {
 func (a *Agg) Open() error {
 	a.out, a.pos = nil, 0
 	a.stats = exec.ScanStats{}
+	a.busy, a.partPages = nil, nil
 
 	var partials []map[core.GroupKey]*exec.Partial
 	var workerStats []exec.ScanStats
 	var err error
+	start := time.Now()
 	if a.Mode == ModeScan {
 		partials, workerStats, err = a.runScan()
 	} else {
@@ -89,6 +105,7 @@ func (a *Agg) Open() error {
 	if err != nil {
 		return err
 	}
+	a.observe(time.Since(start))
 
 	// Merge stage: fold every worker's partial groups and stats together.
 	merged := make(map[core.GroupKey]*exec.Partial)
@@ -124,7 +141,17 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 	workerOpts := a.workerExecOptions(len(parts))
 	partials := make([]map[core.GroupKey]*exec.Partial, len(parts))
 	stats := make([]exec.ScanStats, len(parts))
+	a.partPages = make([]int64, len(parts))
+	for i := range parts {
+		a.partPages[i] = int64(len(parts[i].Buckets)) * int64(a.Heap.BucketPages)
+	}
+	spans := a.workerSpans(len(parts))
+	a.busy = make([]time.Duration, len(parts))
 	err := Run(a.Ctx, len(parts), func(ctx context.Context, i int) error {
+		defer func(t0 time.Time) {
+			a.busy[i] = time.Since(t0)
+			spans[i].AddTime(a.busy[i])
+		}(time.Now())
 		// Each worker evaluates private clones of the predicate and the
 		// aggregate expressions: Bind writes column indexes, which must
 		// not race across workers.
@@ -173,7 +200,59 @@ func (a *Agg) runBuckets() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats,
 	if err != nil {
 		return nil, nil, err
 	}
+	finishWorkerSpans(spans, stats)
 	return partials, stats, nil
+}
+
+// workerSpans attaches one child span per worker partition to the merge
+// span; with tracing off every element is nil and the workers' span
+// calls are no-ops.
+func (a *Agg) workerSpans(n int) []*obs.Span {
+	spans := make([]*obs.Span, n)
+	for i := range spans {
+		sp := a.Span.Child("worker")
+		sp.SetNote("w%d", i)
+		spans[i] = sp
+	}
+	return spans
+}
+
+// finishWorkerSpans copies each worker's final scan counters into its
+// span and ends it. Runs after the worker pool has joined, so the spans
+// and stats are quiescent.
+func finishWorkerSpans(spans []*obs.Span, stats []exec.ScanStats) {
+	for i, sp := range spans {
+		st := stats[i]
+		sp.AddPages(int64(st.PagesRead), int64(st.PagesPrefetched), int64(st.PrefetchHits))
+		sp.AddGrades(int64(st.Qualifying), int64(st.Disqualifying), int64(st.Ambivalent))
+		sp.AddBatches(int64(st.Batches))
+		sp.End()
+	}
+}
+
+// observe feeds the parallel metric families after a successful run:
+// partition skew as max-over-mean dispatched pages, and one utilization
+// sample per worker (busy time over the stage's wall time).
+func (a *Agg) observe(wall time.Duration) {
+	if a.Metrics == nil || len(a.busy) == 0 {
+		return
+	}
+	var sum, max int64
+	for _, p := range a.partPages {
+		sum += p
+		if p > max {
+			max = p
+		}
+	}
+	if sum > 0 {
+		mean := float64(sum) / float64(len(a.partPages))
+		a.Metrics.PartitionSkew.Observe(float64(max) / mean)
+	}
+	if wall > 0 {
+		for _, b := range a.busy {
+			a.Metrics.WorkerUtilization.Observe(float64(b) / float64(wall))
+		}
+	}
 }
 
 // workerExecOptions derates the query-level prefetch window for n
@@ -209,7 +288,17 @@ func (a *Agg) runScan() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats, er
 	workerOpts := a.workerExecOptions(len(ranges))
 	partials := make([]map[core.GroupKey]*exec.Partial, len(ranges))
 	stats := make([]exec.ScanStats, len(ranges))
+	a.partPages = make([]int64, len(ranges))
+	for i := range ranges {
+		a.partPages[i] = int64(ranges[i].Last-ranges[i].First) + 1
+	}
+	spans := a.workerSpans(len(ranges))
+	a.busy = make([]time.Duration, len(ranges))
 	err := Run(a.Ctx, len(ranges), func(ctx context.Context, i int) error {
+		defer func(t0 time.Time) {
+			a.busy[i] = time.Since(t0)
+			spans[i].AddTime(a.busy[i])
+		}(time.Now())
 		p := pred.Clone(a.Pred)
 		specs := exec.CloneSpecs(a.Specs)
 		if workerOpts.Batching() {
@@ -241,6 +330,7 @@ func (a *Agg) runScan() ([]map[core.GroupKey]*exec.Partial, []exec.ScanStats, er
 	if err != nil {
 		return nil, nil, err
 	}
+	finishWorkerSpans(spans, stats)
 	return partials, stats, nil
 }
 

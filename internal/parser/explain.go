@@ -1,0 +1,69 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ExplainStmt wraps a SELECT for plan inspection: "explain <select>"
+// describes the chosen plan, "explain analyze <select>" executes the
+// query with tracing on and renders the span tree with per-operator
+// timings and grading counts.
+type ExplainStmt struct {
+	Analyze bool
+	Query   *Query
+	// SQL is the inner SELECT text, re-parsed by the engine's query path.
+	SQL string
+}
+
+func (*ExplainStmt) isStatement() {}
+
+// SplitExplain reports whether sql is an EXPLAIN [ANALYZE] statement and
+// returns the inner statement text. It is purely lexical so the engine
+// can route EXPLAIN through the streaming query path before parsing the
+// inner SELECT.
+func SplitExplain(sql string) (inner string, analyze, ok bool) {
+	rest, found := cutKeyword(sql, "explain")
+	if !found {
+		return "", false, false
+	}
+	if r2, f2 := cutKeyword(rest, "analyze"); f2 {
+		return r2, true, true
+	}
+	return rest, false, true
+}
+
+// cutKeyword strips one leading keyword (case-insensitive, preceded by
+// optional whitespace, followed by a non-identifier byte) and returns
+// the remainder.
+func cutKeyword(s, kw string) (string, bool) {
+	t := strings.TrimLeft(s, " \t\r\n")
+	if len(t) < len(kw) || !strings.EqualFold(t[:len(kw)], kw) {
+		return s, false
+	}
+	rest := t[len(kw):]
+	if rest != "" && (isIdentByte(rest[0])) {
+		return s, false
+	}
+	return rest, true
+}
+
+// isIdentByte reports whether b could continue an identifier, meaning
+// the preceding keyword match was only a prefix.
+func isIdentByte(b byte) bool {
+	return b == '_' || ('0' <= b && b <= '9') ||
+		('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}
+
+// parseExplain parses "explain [analyze] <select>" for ParseStatement.
+func parseExplain(src string) (Statement, error) {
+	inner, analyze, ok := SplitExplain(src)
+	if !ok {
+		return nil, fmt.Errorf("parser: malformed EXPLAIN statement")
+	}
+	q, err := ParseQuery(inner)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainStmt{Analyze: analyze, Query: q, SQL: inner}, nil
+}

@@ -113,6 +113,8 @@ func ParseStatement(src string) (Statement, error) {
 			return nil, err
 		}
 		return &SelectStmt{Query: q}, nil
+	case p.isKeyword("explain"):
+		return parseExplain(src)
 	case p.isKeyword("define"):
 		def, err := ParseSMADef(src)
 		if err != nil {
@@ -130,7 +132,7 @@ func ParseStatement(src string) (Statement, error) {
 	case p.isKeyword("delete"):
 		return p.parseDelete()
 	default:
-		return nil, fmt.Errorf("parser: expected SELECT, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT, UPDATE or DELETE, found %q", p.peek().text)
+		return nil, fmt.Errorf("parser: expected SELECT, EXPLAIN, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT, UPDATE or DELETE, found %q", p.peek().text)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"sma/internal/core"
 	"sma/internal/exec"
 	"sma/internal/expr"
+	"sma/internal/obs"
 	"sma/internal/parallel"
 	"sma/internal/parser"
 	"sma/internal/pred"
@@ -102,6 +103,15 @@ type Plan struct {
 	SMAPages int64 // pages of SMA-files the plan reads
 	Reason   string
 
+	// Span, when set, is the parent execution span the iterator pipeline
+	// attaches its operator spans to (sort → fold → scan → prefetch, or
+	// the parallel stage with its per-worker children). A nil Span builds
+	// the exact untraced pipeline. Obs supplies the parallel-stage metric
+	// families; it is stamped from the planner and independent of Span,
+	// so metrics flow even when per-query tracing is off.
+	Span *obs.Span
+	Obs  *obs.Observer
+
 	// statsSrc is the stats-reporting operator of the most recently built
 	// iterator pipeline for this plan (see ScanStats).
 	statsSrc exec.StatsReporter
@@ -150,6 +160,9 @@ type Planner struct {
 	// Exec is the physical execution mode stamped onto every plan: batch
 	// vs row operators, batch size, prefetch window.
 	Exec exec.ExecOptions
+	// Obs, when set, is stamped onto every plan so the parallel executor
+	// can feed the skew/utilization metric families. Nil disables.
+	Obs *obs.Observer
 }
 
 // New creates a planner with the default cost model.
@@ -257,19 +270,39 @@ func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
 // PlanQuery builds the cheapest plan for q over heap with the given SMAs
 // and picks its degree of parallelism from the planner's configured DOP.
 func (pl *Planner) PlanQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
-	plan, err := pl.planQuery(q, heap, smas)
+	return pl.PlanQueryTraced(q, heap, smas, nil)
+}
+
+// PlanQueryTraced is PlanQuery with a tracing span: the bucket-grading
+// pass — the in-memory sweep over the SMA vectors that the paper's plan
+// generation hinges on — is timed as a "grade" child of sp. A nil sp
+// plans exactly like PlanQuery.
+func (pl *Planner) PlanQueryTraced(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA, sp *obs.Span) (*Plan, error) {
+	plan, err := pl.planQuery(q, heap, smas, sp)
 	if err != nil {
 		return nil, err
 	}
 	plan.DOP = pl.ChooseDOP(plan, pl.DOP)
 	plan.Exec = pl.Exec
+	plan.Obs = pl.Obs
 	return plan, nil
 }
 
+// gradeTraced runs the grading pass under a "grade" child span carrying
+// the outcome counts the cost model decides on.
+func gradeTraced(grader *core.Grader, w pred.Predicate, sp *obs.Span) []core.Grade {
+	gs := sp.Child("grade")
+	vec := grader.GradeAll(w)
+	c := core.CountGrades(vec)
+	gs.AddGrades(int64(c.Qualifying), int64(c.Disqualifying), int64(c.Ambivalent))
+	gs.End()
+	return vec
+}
+
 // planQuery picks the strategy; PlanQuery adds the degree of parallelism.
-func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
+func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA, sp *obs.Span) (*Plan, error) {
 	if q.IsProjection() {
-		return pl.planProjection(q, heap, smas)
+		return pl.planProjection(q, heap, smas, sp)
 	}
 	specs := q.AggSpecs()
 	plan := &Plan{Query: q, Heap: heap}
@@ -294,7 +327,7 @@ func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 	// Grade all buckets (an in-memory pass over the SMA vectors); the
 	// vector is kept for the parallel executor.
 	if q.Where != nil {
-		plan.gradeVec = grader.GradeAll(q.Where)
+		plan.gradeVec = gradeTraced(grader, q.Where, sp)
 		plan.Grades = core.CountGrades(plan.gradeVec)
 	} else {
 		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
@@ -372,7 +405,7 @@ func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 // planProjection plans a non-aggregating query: an SMA scan when the
 // selection SMAs prune enough buckets, else a sequential scan. Both shapes
 // stream tuples (see TupleIterator) instead of materializing rows.
-func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA) (*Plan, error) {
+func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas []*core.SMA, sp *obs.Span) (*Plan, error) {
 	schema := heap.Schema()
 	cols := q.ProjColumns(schema)
 	if len(cols) == 0 {
@@ -396,7 +429,7 @@ func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas 
 		return plan, nil
 	}
 	if q.Where != nil {
-		plan.gradeVec = grader.GradeAll(q.Where)
+		plan.gradeVec = gradeTraced(grader, q.Where, sp)
 		plan.Grades = core.CountGrades(plan.gradeVec)
 	} else {
 		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
@@ -452,8 +485,16 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 		return nil, fmt.Errorf("planner: projection plans stream tuples; use TupleIterator")
 	}
 	specs := p.Query.AggSpecs()
+
+	// Span tree, consumer-on-top like a plan tree: sort → fold (or the
+	// parallel merge stage) → scan → prefetch. With p.Span == nil every
+	// child is nil and TraceRowIter/TraceBatchIter return their input
+	// unchanged, so the disabled path builds the identical pipeline.
+	sortSp := p.Span.Child("sort")
 	var it exec.RowIter
 	if p.DOP > 1 {
+		mergeSp := sortSp.Child("merge")
+		mergeSp.SetNote("dop=%d", p.DOP)
 		op := &parallel.Agg{
 			Heap:      p.Heap,
 			Pred:      p.Query.Where,
@@ -464,6 +505,10 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 			DOP:       p.DOP,
 			Ctx:       ctx,
 			Exec:      p.Exec,
+			Span:      mergeSp,
+		}
+		if p.Obs != nil {
+			op.Metrics = p.Obs.Parallel
 		}
 		switch p.Strategy {
 		case StrategySMAGAggr:
@@ -476,51 +521,69 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 			op.Mode = parallel.ModeScan
 		}
 		p.statsSrc = op
-		it = op
+		it = exec.TraceRowIter(op, mergeSp)
 	} else {
+		foldSp := sortSp.Child("fold")
 		switch p.Strategy {
 		case StrategySMAGAggr:
+			foldSp.SetNote("sma_gaggr")
 			op := exec.NewSMAGAggr(p.Heap, p.Query.Where, specs, p.Query.GroupBy,
 				p.Grader, p.AggSMAs, p.CountSMA)
 			op.Ctx = ctx
 			op.Grades = p.serialGrades()
 			op.Opts = p.Exec
 			p.statsSrc = op
-			it = op
+			it = exec.TraceRowIter(op, foldSp)
 		case StrategySMAScan:
 			if p.Exec.Batching() {
+				scanSp := foldSp.Child("scan")
+				scanSp.SetNote("sma_scan batch")
 				scan := exec.NewBatchSMAScan(p.Heap, p.Query.Where, p.Grader, p.Exec)
 				scan.Ctx = ctx
 				scan.Grades = p.serialGrades()
 				p.statsSrc = scan
-				it = exec.NewBatchGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+				fold := exec.NewBatchGAggr(exec.TraceBatchIter(scan, scanSp),
+					p.Heap.Schema(), specs, p.Query.GroupBy)
+				it = exec.TraceRowIter(fold, foldSp)
 			} else {
+				scanSp := foldSp.Child("scan")
+				scanSp.SetNote("sma_scan")
 				scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
 				scan.Ctx = ctx
 				scan.Grades = p.serialGrades()
 				scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 				p.statsSrc = scan
-				it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+				fold := exec.NewGAggr(exec.TraceTupleIter(scan, scanSp),
+					p.Heap.Schema(), specs, p.Query.GroupBy)
+				it = exec.TraceRowIter(fold, foldSp)
 			}
 		default:
 			if p.Exec.Batching() {
+				scanSp := foldSp.Child("scan")
+				scanSp.SetNote("table_scan batch")
 				scan := exec.NewBatchTableScan(p.Heap, p.Query.Where, p.Exec)
 				scan.Ctx = ctx
 				p.statsSrc = scan
-				it = exec.NewBatchGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+				fold := exec.NewBatchGAggr(exec.TraceBatchIter(scan, scanSp),
+					p.Heap.Schema(), specs, p.Query.GroupBy)
+				it = exec.TraceRowIter(fold, foldSp)
 			} else {
+				scanSp := foldSp.Child("scan")
+				scanSp.SetNote("table_scan")
 				scan := exec.NewTableScan(p.Heap, p.Query.Where)
 				scan.Ctx = ctx
 				scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 				p.statsSrc = scan
-				it = exec.NewGAggr(scan, p.Heap.Schema(), specs, p.Query.GroupBy)
+				fold := exec.NewGAggr(exec.TraceTupleIter(scan, scanSp),
+					p.Heap.Schema(), specs, p.Query.GroupBy)
+				it = exec.TraceRowIter(fold, foldSp)
 			}
 		}
 	}
 	if len(p.Query.Having) > 0 {
 		it = exec.NewHavingFilter(it, p.Query.GroupBy, specs, p.Query.Having)
 	}
-	it = exec.NewSortRows(it)
+	it = exec.TraceRowIter(exec.NewSortRows(it), sortSp)
 	if p.Query.Limit >= 0 {
 		it = exec.NewLimitRows(it, p.Query.Limit)
 	}
@@ -534,20 +597,23 @@ func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
 	if !p.IsProjection() {
 		return nil, fmt.Errorf("planner: aggregation plans produce rows; use RowIterator")
 	}
+	scanSp := p.Span.Child("scan")
 	var it exec.TupleIter
 	if p.Strategy == StrategySMAScan {
+		scanSp.SetNote("sma_scan projection")
 		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
 		scan.Ctx = ctx
 		scan.Grades = p.serialGrades()
 		scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 		p.statsSrc = scan
-		it = scan
+		it = exec.TraceTupleIter(scan, scanSp)
 	} else {
+		scanSp.SetNote("table_scan projection")
 		scan := exec.NewTableScan(p.Heap, p.Query.Where)
 		scan.Ctx = ctx
 		scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 		p.statsSrc = scan
-		it = scan
+		it = exec.TraceTupleIter(scan, scanSp)
 	}
 	if p.Query.Limit >= 0 {
 		it = exec.NewLimitTuples(it, p.Query.Limit)

@@ -5,13 +5,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sma"
+	"sma/internal/obs"
 )
 
 // Config tunes a Server. The zero value picks sensible defaults.
@@ -28,6 +29,10 @@ type Config struct {
 	// FlushEveryRows is the row-frame interval between explicit flushes of
 	// a /query stream (the header and trailer always flush). Default 64.
 	FlushEveryRows int
+	// Logger receives the server's structured request log: one record per
+	// statement with its query id, route, status, duration, and row count.
+	// nil discards the records; metrics accumulate either way.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -52,29 +57,105 @@ type Server struct {
 	adm      *admission
 	sessions *sessionTable
 	m        metrics
+	log      *slog.Logger
+
+	// reg is the server-side metric registry: request totals, admission
+	// and session gauges, and per-route latency histograms. /metrics
+	// renders it followed by the database's engine-side registry.
+	reg        *obs.Registry
+	reqSeconds *obs.HistogramVec
 }
 
 // New wraps a database in a query server. The Server does not own the DB:
 // the caller closes it after Shutdown has drained the in-flight cursors.
 func New(db *sma.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		db:       db,
 		cfg:      cfg,
 		start:    time.Now(),
 		adm:      newAdmission(cfg.MaxConcurrent),
 		sessions: newSessionTable(),
+		log:      cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = obs.DiscardLogger()
+	}
+	s.registerMetrics()
+	return s
+}
+
+// registerMetrics builds the server registry. The request totals stay in
+// atomics (the /status snapshot reads them too) and are exported as
+// CounterFuncs; gauges sample the admission gate at render time.
+func (s *Server) registerMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+	fromAtomic := func(name, help string, v *atomic.Int64) {
+		r.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	fromAtomic("sma_queries_total", "Queries admitted for execution.", &s.m.queries)
+	fromAtomic("sma_execs_total", "DDL/DML statements admitted for execution.", &s.m.execs)
+	fromAtomic("sma_errors_total", "Statements that failed after admission.", &s.m.errors)
+	fromAtomic("sma_queries_cancelled_total", "Statements aborted by client disconnect or deadline.", &s.m.cancelled)
+	fromAtomic("sma_rows_streamed_total", "Result rows written to /query streams.", &s.m.rowsStreamed)
+	fromAtomic("sma_admission_timeouts_total", "Requests that timed out waiting for a slot.", &s.m.admissionTimeouts)
+	fromAtomic("sma_admission_rejected_total", "Requests rejected because the server was draining.", &s.m.admissionRejected)
+	r.GaugeFunc("sma_sessions_active", "Statements currently executing.", func() float64 {
+		active, _, _ := s.adm.snapshot()
+		return float64(active)
+	})
+	r.GaugeFunc("sma_sessions_queued", "Requests waiting for an execution slot.", func() float64 {
+		_, queued, _ := s.adm.snapshot()
+		return float64(queued)
+	})
+	r.GaugeFunc("sma_sessions_max", "Admission-control concurrency bound.", func() float64 {
+		return float64(s.cfg.MaxConcurrent)
+	})
+	r.GaugeFunc("sma_uptime_seconds", "Seconds since the server started.", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	s.reqSeconds = r.HistogramVec("sma_server_request_seconds",
+		"HTTP request latency by route.", obs.DefSecondsBuckets(), "route")
+	if !s.db.Observable() {
+		// The engine registry normally owns the buffer pool families; with
+		// observability disabled it renders nothing, so keep the pool
+		// picture available from the server's own registry.
+		poolFunc := func(name, help string, get func(sma.PoolStats) int64) {
+			r.CounterFunc(name, help, func() float64 { return float64(get(s.db.PoolStats())) })
+		}
+		poolFunc("sma_pool_hits_total", "Buffer pool hits across all tables.",
+			func(p sma.PoolStats) int64 { return p.Hits })
+		poolFunc("sma_pool_misses_total", "Buffer pool misses across all tables.",
+			func(p sma.PoolStats) int64 { return p.Misses })
+		poolFunc("sma_pool_evictions_total", "Buffer pool evictions across all tables.",
+			func(p sma.PoolStats) int64 { return p.Evictions })
+		poolFunc("sma_pool_prefetched_total", "Pages read ahead by the prefetchers.",
+			func(p sma.PoolStats) int64 { return p.Prefetched })
+		poolFunc("sma_pool_prefetch_hits_total", "Demand fetches served by prefetched frames.",
+			func(p sma.PoolStats) int64 { return p.PrefetchHits })
 	}
 }
 
-// Handler returns the server's route table.
+// Handler returns the server's route table. Every route is wrapped in
+// the per-route latency observer.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /query", s.handleQuery)
-	mux.HandleFunc("POST /exec", s.handleExec)
-	mux.HandleFunc("GET /status", s.handleStatus)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /query", s.timed("query", s.handleQuery))
+	mux.HandleFunc("POST /exec", s.timed("exec", s.handleExec))
+	mux.HandleFunc("GET /status", s.timed("status", s.handleStatus))
+	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
 	return mux
+}
+
+// timed observes a route's request latency into sma_server_request_seconds.
+func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reqSeconds.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.ObserveDuration(time.Since(start))
+	}
 }
 
 // Shutdown stops admitting new statements and blocks until every
@@ -165,19 +246,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.BatchSize != nil {
 		opts = append(opts, sma.WithQueryBatchSize(*req.BatchSize))
 	}
+	if req.Trace {
+		opts = append(opts, sma.WithQueryTrace())
+	}
+	start := time.Now()
 	rows, err := s.db.QueryContext(ctx, req.SQL, opts...)
 	if err != nil {
+		s.log.Warn("query rejected", "err", err)
 		s.writeError(w, statusFor(err), err)
 		return
 	}
 	defer rows.Close()
-	s.streamRows(ctx, w, rows)
+	count := s.streamRows(ctx, w, rows, req.Trace)
+	s.log.Debug("query", "qid", rows.QueryID(), "strategy", rows.Strategy(),
+		"dur", time.Since(start), "rows", count, "err", rows.Err())
 }
 
-// streamRows writes the NDJSON frame stream of one query. Once the header
-// frame is out the HTTP status is committed, so later failures travel as
-// in-band error frames.
-func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sma.Rows) {
+// streamRows writes the NDJSON frame stream of one query, returning the
+// row count for the request log. Once the header frame is out the HTTP
+// status is committed, so later failures travel as in-band error frames.
+func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sma.Rows, traced bool) int64 {
 	start := time.Now()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriter(w)
@@ -196,6 +284,7 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sm
 		Types:       make([]string, len(types)),
 		Strategy:    rows.Strategy(),
 		Parallelism: rows.Parallelism(),
+		QueryID:     rows.QueryID(),
 	}
 	for i, t := range types {
 		header.Types[i] = t.String()
@@ -209,7 +298,7 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sm
 		if err != nil {
 			s.m.rowsStreamed.Add(count)
 			s.streamError(bw, flush, err)
-			return
+			return count
 		}
 		enc.Encode(Frame{Row: vals})
 		count++
@@ -222,14 +311,19 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sm
 			if err := ctx.Err(); err != nil {
 				s.m.rowsStreamed.Add(count)
 				s.streamError(bw, flush, err)
-				return
+				return count
 			}
 		}
 	}
 	s.m.rowsStreamed.Add(count)
 	if err := rows.Err(); err != nil {
 		s.streamError(bw, flush, err)
-		return
+		return count
+	}
+	if traced {
+		if node := rows.Trace(); node != nil {
+			enc.Encode(Frame{Trace: node})
+		}
 	}
 	trailer := &QueryTrailer{RowCount: count, ElapsedMicros: time.Since(start).Microseconds()}
 	if qs, ok := rows.Stats(); ok {
@@ -245,6 +339,7 @@ func (s *Server) streamRows(ctx context.Context, w http.ResponseWriter, rows *sm
 	}
 	enc.Encode(Frame{Trailer: trailer})
 	flush()
+	return count
 }
 
 // streamError terminates a committed stream with an in-band error frame.
@@ -346,37 +441,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics renders the Prometheus text exposition format by hand —
-// a handful of counters and gauges do not justify a client library.
+// handleMetrics renders the server registry followed by the database's
+// engine-side registry (query strategies, grading outcomes, storage
+// latency, parallel skew — nothing with observability disabled). The
+// family name spaces are disjoint, so the concatenation is itself a
+// valid exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	t := s.m.totals()
-	active, queued, _ := s.adm.snapshot()
-	ps := s.db.PoolStats()
-	var b []byte
-	counter := func(name, help string, v int64) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	bw := bufio.NewWriter(w)
+	if err := s.reg.WritePrometheus(bw); err != nil {
+		return // client went away mid-write; nothing to answer
 	}
-	gauge := func(name, help string, v string) {
-		b = fmt.Appendf(b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name, v)
+	if err := s.db.WritePrometheus(bw); err != nil {
+		return
 	}
-	counter("sma_queries_total", "Queries admitted for execution.", t.Queries)
-	counter("sma_execs_total", "DDL/DML statements admitted for execution.", t.Execs)
-	counter("sma_errors_total", "Statements that failed after admission.", t.Errors)
-	counter("sma_queries_cancelled_total", "Statements aborted by client disconnect or deadline.", t.Cancelled)
-	counter("sma_rows_streamed_total", "Result rows written to /query streams.", t.RowsStreamed)
-	counter("sma_admission_timeouts_total", "Requests that timed out waiting for a slot.", t.AdmissionTimeouts)
-	counter("sma_admission_rejected_total", "Requests rejected because the server was draining.", t.AdmissionRejected)
-	gauge("sma_sessions_active", "Statements currently executing.", strconv.Itoa(active))
-	gauge("sma_sessions_queued", "Requests waiting for an execution slot.", strconv.Itoa(queued))
-	gauge("sma_sessions_max", "Admission-control concurrency bound.", strconv.Itoa(s.cfg.MaxConcurrent))
-	gauge("sma_uptime_seconds", "Seconds since the server started.", strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
-	counter("sma_pool_hits_total", "Buffer pool hits across all tables.", ps.Hits)
-	counter("sma_pool_misses_total", "Buffer pool misses across all tables.", ps.Misses)
-	counter("sma_pool_evictions_total", "Buffer pool evictions across all tables.", ps.Evictions)
-	counter("sma_pool_prefetched_total", "Pages read ahead by the prefetchers.", ps.Prefetched)
-	counter("sma_pool_prefetch_hits_total", "Demand fetches served by prefetched frames.", ps.PrefetchHits)
-	w.Write(b)
+	bw.Flush()
 }
 
 // writeJSON answers a JSON body with the given status.

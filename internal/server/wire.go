@@ -4,13 +4,15 @@
 //
 // Wire protocol (JSON over HTTP):
 //
-//	POST /query  {"sql": "...", "dop": 4, "batch_size": 1024, "timeout_ms": 5000}
+//	POST /query  {"sql": "...", "dop": 4, "batch_size": 1024, "timeout_ms": 5000, "trace": true}
 //	  → 200, Content-Type application/x-ndjson: one JSON frame per line —
-//	    first a header frame {"header": {columns, types, strategy, parallelism}},
-//	    then a row frame {"row": ["...", ...]} per result row (values are the
-//	    engine's rendered display strings, byte-identical to sma.Collect),
-//	    finally a trailer frame {"trailer": {row_count, elapsed_us, stats}}.
-//	    A failure mid-stream replaces the trailer with {"error": "..."}.
+//	    first a header frame {"header": {columns, types, strategy, parallelism,
+//	    query_id}}, then a row frame {"row": ["...", ...]} per result row
+//	    (values are the engine's rendered display strings, byte-identical to
+//	    sma.Collect), then — when "trace" was requested — a trace frame
+//	    {"trace": {...}} carrying the query's span tree, finally a trailer
+//	    frame {"trailer": {row_count, elapsed_us, stats}}. A failure
+//	    mid-stream replaces the trailer with {"error": "..."}.
 //	POST /exec   {"sql": "...", "timeout_ms": 5000}
 //	  → 200 {"kind", "table", "rows_affected", "sma"?, "elapsed_us"}
 //	GET  /status → catalog, pool, session, and admission snapshot
@@ -26,6 +28,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"sma"
 )
 
 // Request limits: a decoded request is rejected before execution when it
@@ -60,6 +64,9 @@ type QueryRequest struct {
 	// TimeoutMillis bounds execution; past it the query fails with 504 (or
 	// an in-stream error frame once streaming began). 0 means no deadline.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Trace asks the engine to record a per-operator execution trace; the
+	// finished span tree streams back as a trace frame before the trailer.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // ExecRequest is the body of POST /exec.
@@ -147,6 +154,10 @@ type QueryHeader struct {
 	Strategy string `json:"strategy"`
 	// Parallelism is the degree the plan executes with (1 = serial).
 	Parallelism int `json:"parallelism"`
+	// QueryID is the engine-assigned query id ("" when the database runs
+	// without observability); it matches the id in the server's request
+	// log and the engine's query log.
+	QueryID string `json:"query_id,omitempty"`
 }
 
 // WireQueryStats mirrors sma.QueryStats on the wire.
@@ -170,10 +181,11 @@ type QueryTrailer struct {
 // Frame is one NDJSON line of a /query response: exactly one field is
 // set. Error frames terminate the stream in place of the trailer.
 type Frame struct {
-	Header  *QueryHeader  `json:"header,omitempty"`
-	Row     []string      `json:"row,omitempty"`
-	Trailer *QueryTrailer `json:"trailer,omitempty"`
-	Error   string        `json:"error,omitempty"`
+	Header  *QueryHeader   `json:"header,omitempty"`
+	Row     []string       `json:"row,omitempty"`
+	Trace   *sma.TraceNode `json:"trace,omitempty"`
+	Trailer *QueryTrailer  `json:"trailer,omitempty"`
+	Error   string         `json:"error,omitempty"`
 }
 
 // SMAResult describes the SMA built by a "define sma" statement.

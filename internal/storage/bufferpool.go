@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"sma/internal/obs"
 )
 
 // Frame is a buffer-pool slot holding one page image.
@@ -78,6 +81,23 @@ type BufferPool struct {
 	evictions    atomic.Int64
 	prefetched   atomic.Int64
 	prefetchHits atomic.Int64
+
+	// Observability hooks, set once via SetObs before the pool sees
+	// concurrent traffic. Nil histograms are inert, so the disabled path
+	// costs one pointer test per physical read.
+	readLatency *obs.Histogram // physical read latency, demand + prefetch
+	prefetchOcc *obs.Histogram // prefetch window occupancy per consumed page
+}
+
+// SetObs wires the pool's storage metric families. Call it right after
+// NewBufferPool, before any fetch: the fields are read without
+// synchronization on the hot path.
+func (bp *BufferPool) SetObs(m *obs.StorageMetrics) {
+	if m == nil {
+		return
+	}
+	bp.readLatency = m.ReadSeconds
+	bp.prefetchOcc = m.PrefetchOccupancy
 }
 
 // NewBufferPool creates a pool of the given capacity (in pages) over disk.
@@ -150,7 +170,13 @@ func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 	}
 	bp.mu.Unlock()
 
-	err = bp.disk.ReadPage(id, fr.data[:])
+	if bp.readLatency != nil {
+		t0 := time.Now()
+		err = bp.disk.ReadPage(id, fr.data[:])
+		bp.readLatency.ObserveDuration(time.Since(t0))
+	} else {
+		err = bp.disk.ReadPage(id, fr.data[:])
+	}
 	bp.mu.Lock()
 	if err != nil {
 		// Discard the frame; waiters observe loadErr and give up their pins

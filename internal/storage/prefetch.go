@@ -176,8 +176,14 @@ func (p *Prefetcher) Advance() {
 	}
 	p.mu.Lock()
 	p.consumed++
+	occ := p.next - p.consumed
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	// Sample window occupancy — pages claimed ahead of consumption — once
+	// per consumed page. Nil histogram (observability off) is inert.
+	if occ >= 0 {
+		p.bp.prefetchOcc.Observe(float64(occ))
+	}
 }
 
 // Claim reports whether the prefetcher reached id before the consumer

@@ -92,6 +92,18 @@ func (r *Rows) Stats() (QueryStats, bool) {
 	}, true
 }
 
+// Trace returns the query's span tree when it was traced (WithQueryTrace
+// or EXPLAIN ANALYZE) and the stream has ended; nil otherwise. The tree
+// mirrors the executed pipeline — parse, plan/grade, execute with
+// sort/fold/scan (or merge with per-worker spans) — with per-span wall
+// time, rows, pages, and bucket grading counts.
+func (r *Rows) Trace() *TraceNode { return r.cur.TraceNode() }
+
+// QueryID returns the identifier the observability layer assigned this
+// query ("" with observability disabled). It tags the query's log
+// records and server-side request logs.
+func (r *Rows) QueryID() string { return r.cur.QueryID() }
+
 // Next advances to the next row, returning false at end of stream or on
 // error (check Err to tell them apart). When Next returns false the read
 // lock has been released.

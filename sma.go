@@ -32,30 +32,42 @@ package sma
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"time"
 
 	"sma/internal/engine"
+	"sma/internal/obs"
 )
 
+// openConfig collects Open options: the engine knobs plus the
+// observability configuration the Observer is built from.
+type openConfig struct {
+	eng    engine.Options
+	logger *slog.Logger
+	slow   time.Duration
+	noObs  bool
+}
+
 // Option configures an engine instance; pass options to Open.
-type Option func(*engine.Options)
+type Option func(*openConfig)
 
 // WithPoolPages sets the buffer pool capacity per table in pages
 // (default 2048 pages = 8 MB, the paper's intertransaction buffer size).
 func WithPoolPages(n int) Option {
-	return func(o *engine.Options) { o.PoolPages = n }
+	return func(o *openConfig) { o.eng.PoolPages = n }
 }
 
 // WithBucketPages sets the SMA bucket granularity for new tables in pages
 // (default 1 page, the paper's default).
 func WithBucketPages(n int) Option {
-	return func(o *engine.Options) { o.BucketPages = n }
+	return func(o *openConfig) { o.eng.BucketPages = n }
 }
 
 // WithReadLatency simulates per-page disk read latency; useful for
 // benchmarks that reproduce the paper's disk model.
 func WithReadLatency(d time.Duration) Option {
-	return func(o *engine.Options) { o.ReadLatency = d }
+	return func(o *openConfig) { o.eng.ReadLatency = d }
 }
 
 // WithBatchSize sets the tuples-per-batch target of the vectorized read
@@ -66,7 +78,7 @@ func WithReadLatency(d time.Duration) Option {
 // the legacy row-at-a-time iterators (the pre-batch execution engine,
 // kept as the projection-streaming substrate and for A/B comparison).
 func WithBatchSize(n int) Option {
-	return func(o *engine.Options) { o.BatchSize = n }
+	return func(o *openConfig) { o.eng.BatchSize = n }
 }
 
 // WithPrefetchWindow sets the number of pages of SMA-guided asynchronous
@@ -76,7 +88,7 @@ func WithBatchSize(n int) Option {
 // of the cursor and is derated per worker under parallelism. Passing a
 // negative n disables prefetch.
 func WithPrefetchWindow(n int) Option {
-	return func(o *engine.Options) { o.PrefetchWindow = n }
+	return func(o *openConfig) { o.eng.PrefetchWindow = n }
 }
 
 // WithParallelism sets the default degree of intra-query parallelism for
@@ -87,7 +99,33 @@ func WithPrefetchWindow(n int) Option {
 // serially (the default); runtime.NumCPU() is a good value for CPU-bound
 // workloads. Individual queries can override it with WithQueryParallelism.
 func WithParallelism(n int) Option {
-	return func(o *engine.Options) { o.Parallelism = n }
+	return func(o *openConfig) { o.eng.Parallelism = n }
+}
+
+// WithLogger attaches a structured logger: the engine logs every query
+// at Debug with its query id, strategy, duration, row count, and bucket
+// grading, and slow queries at Warn (see WithSlowQueryLog). Without a
+// logger the records are discarded but metrics still accumulate.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *openConfig) { o.logger = l }
+}
+
+// WithSlowQueryLog sets the slow-query threshold: queries whose total
+// wall time (parse to cursor close) reaches d are logged at Warn with
+// their full SQL and counted in sma_engine_slow_queries_total. 0 (the
+// default) disables the slow-query log.
+func WithSlowQueryLog(d time.Duration) Option {
+	return func(o *openConfig) { o.slow = d }
+}
+
+// WithoutObservability disables the observability subsystem entirely —
+// no metrics registry, no logs, no query ids. Tracing via EXPLAIN
+// ANALYZE or WithQueryTrace still works (it is per-query state). Meant
+// for embedders measuring the engine's bare overhead; the default
+// observer costs roughly one counter bump and one histogram observation
+// per query.
+func WithoutObservability() Option {
+	return func(o *openConfig) { o.noObs = true }
 }
 
 // QueryOption adjusts the execution of a single query; pass options to
@@ -98,6 +136,7 @@ type QueryOption func(*queryConfig)
 type queryConfig struct {
 	dop   int
 	batch *int
+	trace bool
 }
 
 // WithQueryParallelism overrides the database's degree of parallelism for
@@ -116,6 +155,18 @@ func WithQueryBatchSize(n int) QueryOption {
 	return func(c *queryConfig) { c.batch = &n }
 }
 
+// WithQueryTrace records a per-operator execution trace for one query:
+// a span tree over the real pipeline (parse → plan → grade → execute →
+// sort → fold → scan → prefetch, with one span per worker under
+// parallelism), each span carrying wall time, rows, pages, and the
+// paper's qualify/disqualify/ambivalent grading counts. The tree is
+// available from Rows.Trace once the stream ends. Tracing costs pooled
+// span records and a few time stamps per operator call; queries without
+// it pay one nil check.
+func WithQueryTrace() QueryOption {
+	return func(c *queryConfig) { c.trace = true }
+}
+
 // DB is an embedded warehouse instance rooted at a directory. A DB is safe
 // for concurrent use: queries hold a read lock while their cursor is open,
 // DDL and data modification take the write lock.
@@ -123,18 +174,42 @@ type DB struct {
 	eng *engine.DB
 }
 
-// Open opens (or initializes) a database directory.
+// Open opens (or initializes) a database directory. Observability is on
+// by default: the database carries a metrics registry (rendered by
+// WritePrometheus) and mints per-query ids; attach WithLogger for
+// structured logs or WithoutObservability to disable the subsystem.
 func Open(dir string, opts ...Option) (*DB, error) {
-	var o engine.Options
+	var cfg openConfig
 	for _, opt := range opts {
-		opt(&o)
+		opt(&cfg)
 	}
-	eng, err := engine.Open(dir, o)
+	if !cfg.noObs {
+		cfg.eng.Obs = obs.NewObserver(obs.Config{Logger: cfg.logger, SlowQuery: cfg.slow})
+	}
+	eng, err := engine.Open(dir, cfg.eng)
 	if err != nil {
 		return nil, err
 	}
 	return &DB{eng: eng}, nil
 }
+
+// WritePrometheus renders every engine-side metric family — queries by
+// strategy, grading outcomes, buffer pool activity, storage latency
+// histograms, parallel skew/utilization — in Prometheus text exposition
+// format. With observability disabled it writes nothing.
+func (db *DB) WritePrometheus(w io.Writer) error { return db.eng.WritePrometheus(w) }
+
+// Observable reports whether the observability subsystem is enabled
+// (false after WithoutObservability). Serving layers use it to decide
+// whether WritePrometheus contributes the engine metric families or
+// they must expose fallbacks of their own.
+func (db *DB) Observable() bool { return db.eng.Observer() != nil }
+
+// TraceNode is one rendered span of a query trace: an operator (or
+// phase) with its wall time, row/page/bucket counters, and children in
+// pipeline order. Rows.Trace returns the root after a traced query
+// finishes; TraceNode.Render prints the tree EXPLAIN ANALYZE style.
+type TraceNode = obs.TraceNode
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.eng.Dir() }
@@ -232,6 +307,9 @@ func (db *DB) QueryContext(ctx context.Context, query string, opts ...QueryOptio
 	}
 	if cfg.batch != nil {
 		eopts = append(eopts, engine.WithBatchSize(*cfg.batch))
+	}
+	if cfg.trace {
+		eopts = append(eopts, engine.WithTrace(true))
 	}
 	cur, err := db.eng.QueryContext(ctx, query, eopts...)
 	if err != nil {
