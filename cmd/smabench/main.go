@@ -6,6 +6,7 @@
 //	smabench [-exp all|e1|e2|...|e10|pr4] [-sf 0.02] [-latency] [-delta 90]
 //	smabench -exp pr4 -out BENCH_pr4.json   # batch/prefetch trajectory
 //	smabench -exp obs -out BENCH_obs.json   # observability overhead (off/metrics/trace)
+//	smabench -exp wal -out BENCH_wal.json   # group-commit throughput per sync policy
 //
 // Each experiment prints the measured rows next to the paper's published
 // numbers; EXPERIMENTS.md records a full paper-vs-measured comparison.
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs, wal")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
@@ -138,8 +139,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run("wal") && want == "wal" {
+		ok = true
+		if err := runWAL(*out); err != nil {
+			fatal(err)
+		}
+	}
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, serve, or obs)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, serve, obs, or wal)", *exp))
 	}
 }
 

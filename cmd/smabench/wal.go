@@ -1,0 +1,131 @@
+package main
+
+// The wal experiment measures redo-log commit throughput: single-row
+// INSERT statements from N concurrent clients under each sync policy.
+// Group commit is the point of the grouped rows — statements per fsync
+// should rise with the client count as concurrent commits share one
+// fsync — while the os/interval rows show what the fsync actually costs.
+// Writes a JSON artifact (BENCH_wal.json) for trajectory tracking.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"sma"
+)
+
+// walResult is one policy × clients measurement.
+type walResult struct {
+	Policy       string  `json:"policy"`
+	Clients      int     `json:"clients"`
+	Statements   int     `json:"statements"`
+	NsPerStmt    int64   `json:"ns_per_stmt"`
+	StmtsPerSec  float64 `json:"stmts_per_sec"`
+	Syncs        uint64  `json:"wal_syncs"`
+	GroupedWaits uint64  `json:"wal_grouped_waits"`
+	StmtsPerSync float64 `json:"stmts_per_sync"`
+}
+
+// walFile is the on-disk artifact format.
+type walFile struct {
+	PR           int         `json:"pr"`
+	OpsPerClient int         `json:"ops_per_client"`
+	Results      []walResult `json:"results"`
+}
+
+// walRun drives one configuration and reports its measurement.
+func walRun(policy sma.SyncPolicy, name string, clients, opsPerClient int) (walResult, error) {
+	dir, err := os.MkdirTemp("", "sma-wal-*")
+	if err != nil {
+		return walResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	db, err := sma.Open(dir, sma.WithSyncPolicy(policy), sma.WithoutObservability())
+	if err != nil {
+		return walResult{}, err
+	}
+	defer db.Close()
+	if _, err := db.Exec("create table T (D date, K char(1), V float64)"); err != nil {
+		return walResult{}, err
+	}
+
+	total := clients * opsPerClient
+	errs := make(chan error, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < opsPerClient; i++ {
+				sql := fmt.Sprintf("insert into T values (date '2024-01-%02d', '%c', %d.5)",
+					i%27+1, 'A'+c%5, i)
+				if _, err := db.Exec(sql); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return walResult{}, err
+	default:
+	}
+
+	ws := db.WALStats()
+	res := walResult{
+		Policy:       name,
+		Clients:      clients,
+		Statements:   total,
+		NsPerStmt:    elapsed.Nanoseconds() / int64(total),
+		StmtsPerSec:  float64(total) / elapsed.Seconds(),
+		Syncs:        ws.Syncs,
+		GroupedWaits: ws.GroupedWaits,
+	}
+	if ws.Syncs > 0 {
+		res.StmtsPerSync = float64(total) / float64(ws.Syncs)
+	}
+	return res, nil
+}
+
+// runWAL runs the policy × concurrency grid and writes the artifact.
+func runWAL(outPath string) error {
+	policies := []struct {
+		name   string
+		policy sma.SyncPolicy
+	}{
+		{"grouped", sma.SyncGrouped()},
+		{"os", sma.SyncOSOnly()},
+		{"interval-5ms", sma.SyncEvery(5 * time.Millisecond)},
+	}
+	const opsPerClient = 200
+	var results []walResult
+	fmt.Printf("%-14s %8s %10s %12s %10s %14s\n",
+		"policy", "clients", "stmts", "stmts/sec", "fsyncs", "stmts/fsync")
+	for _, p := range policies {
+		for _, clients := range []int{1, 4, 16} {
+			res, err := walRun(p.policy, p.name, clients, opsPerClient)
+			if err != nil {
+				return fmt.Errorf("wal %s/%d: %w", p.name, clients, err)
+			}
+			results = append(results, res)
+			fmt.Printf("%-14s %8d %10d %12.0f %10d %14.1f\n",
+				res.Policy, res.Clients, res.Statements, res.StmtsPerSec,
+				res.Syncs, res.StmtsPerSync)
+		}
+	}
+	if outPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(walFile{PR: 8, OpsPerClient: opsPerClient, Results: results}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(outPath, append(data, '\n'), 0o644)
+}

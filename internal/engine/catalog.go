@@ -150,7 +150,22 @@ func (db *DB) loadCatalog() error {
 		}
 		s, err := core.Load(db.smaDir(t.Name), def, t.Schema)
 		if err != nil {
-			return fmt.Errorf("engine: load sma %s: %w", sj.Name, err)
+			// SMA-files are derived data. A crash can catch them unsaved or
+			// half-written, and a zero-group SMA legitimately saves no files
+			// at all — none of which may leave the catalog unopenable.
+			// Rebuild from the heap (recovery re-rebuilds WAL-touched tables
+			// again after replay, so a pre-replay heap here is harmless).
+			if o := db.opts.Obs; o != nil {
+				o.Logger().Warn("sma load failed; rebuilding from heap",
+					"sma", sj.Name, "table", t.Name, "err", err)
+			}
+			s, err = core.Build(t.Heap, def)
+			if err != nil {
+				return fmt.Errorf("engine: rebuild sma %s: %w", sj.Name, err)
+			}
+			if err := s.Save(db.smaDir(t.Name)); err != nil {
+				return fmt.Errorf("engine: rebuild sma %s: %w", sj.Name, err)
+			}
 		}
 		t.smas[def.Name] = s
 	}

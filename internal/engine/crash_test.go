@@ -1,0 +1,352 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"sma/internal/storage"
+	"sma/internal/tuple"
+)
+
+// heapSnapshot renders a table's observable state — page count plus
+// every live tuple's position and bytes — so atomicity tests can assert
+// a failed statement left the table byte-identical.
+func heapSnapshot(t *testing.T, tbl *Table) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "pages=%d\n", tbl.Heap.NumPages())
+	err := tbl.Heap.Scan(func(tp tuple.Tuple, rid storage.RID) error {
+		fmt.Fprintf(&b, "%d.%d=%x\n", rid.Page, rid.Slot, tp.Data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func verifySMAs(t *testing.T, tbl *Table) {
+	t.Helper()
+	for _, s := range tbl.SMAs() {
+		if err := tbl.VerifySMA(s.Def.Name); err != nil {
+			t.Fatalf("VerifySMA(%s): %v", s.Def.Name, err)
+		}
+	}
+}
+
+// seedEvents creates the EVENTS table and loads n rows spread over a few
+// dates, with an SMA so every DML statement runs maintenance hooks.
+func seedEvents(t *testing.T, db *DB, n int) *Table {
+	t.Helper()
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx,
+		"create table EVENTS (TS date, KIND char(1), VALUE float64, PAD char(400))"); err != nil {
+		t.Fatal(err)
+	}
+	var vals []string
+	for i := 0; i < n; i++ {
+		vals = append(vals, fmt.Sprintf("(date '2024-01-%02d', '%c', %d.5, 'x')",
+			i%27+1, 'A'+i%3, i))
+	}
+	if _, err := db.ExecContext(ctx, "insert into EVENTS values "+strings.Join(vals, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx,
+		"define sma VSUM select sum(VALUE) from EVENTS group by KIND"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx,
+		"define sma TMIN select min(TS) from EVENTS"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := db.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestInsertAtomicBadRow: a multi-row INSERT whose later row fails
+// validation inserts nothing — the statement is all-or-nothing, not
+// prefix-applied.
+func TestInsertAtomicBadRow(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := seedEvents(t, db, 10)
+	before := heapSnapshot(t, tbl)
+
+	_, err = db.ExecContext(context.Background(),
+		"insert into EVENTS values (date '2024-02-01', 'A', 1.5, 'x'), (date '2024-02-02', 'B')")
+	if err == nil {
+		t.Fatal("short row accepted")
+	}
+	if got := heapSnapshot(t, tbl); got != before {
+		t.Fatal("failed INSERT modified the table")
+	}
+	verifySMAs(t, tbl)
+	// The table is fully usable afterwards.
+	if _, err := db.ExecContext(context.Background(),
+		"insert into EVENTS values (date '2024-02-01', 'A', 1.5, 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	verifySMAs(t, tbl)
+}
+
+// TestInsertAtomicMaintFault: an SMA maintenance failure mid-statement
+// rolls the heap back to the statement start and repairs the SMAs, so a
+// half-maintained statement is never visible.
+func TestInsertAtomicMaintFault(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := seedEvents(t, db, 10)
+	before := heapSnapshot(t, tbl)
+
+	boom := errors.New("sma maintenance fault")
+	calls := 0
+	tbl.maintFault = func() error {
+		calls++
+		if calls > 3 { // let a few rows hook, then fail mid-statement
+			return boom
+		}
+		return nil
+	}
+	_, err = db.ExecContext(context.Background(),
+		`insert into EVENTS values
+		 (date '2024-03-01', 'A', 1.5, 'x'), (date '2024-03-02', 'B', 2.5, 'x'),
+		 (date '2024-03-03', 'C', 3.5, 'x'), (date '2024-03-04', 'A', 4.5, 'x'),
+		 (date '2024-03-05', 'B', 5.5, 'x'), (date '2024-03-06', 'C', 6.5, 'x')`)
+	if !errors.Is(err, boom) {
+		t.Fatalf("insert: got %v, want injected fault", err)
+	}
+	if calls <= 3 {
+		t.Fatalf("fault fired too early (%d hook calls): rollback not exercised", calls)
+	}
+	tbl.maintFault = nil
+	if got := heapSnapshot(t, tbl); got != before {
+		t.Fatal("aborted INSERT left rows in the table")
+	}
+	verifySMAs(t, tbl)
+	if _, err := db.ExecContext(context.Background(),
+		"insert into EVENTS values (date '2024-03-07', 'A', 7.5, 'x')"); err != nil {
+		t.Fatalf("insert after aborted statement: %v", err)
+	}
+	verifySMAs(t, tbl)
+}
+
+// flakyCtx is a context whose Err starts reporting cancellation after a
+// fixed number of checks — it cancels a statement at a deterministic
+// point partway through its apply loop.
+type flakyCtx struct {
+	context.Context
+	calls, limit int
+}
+
+func (c *flakyCtx) Err() error {
+	c.calls++
+	if c.calls > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestUpdateAtomicCancellation: cancelling an UPDATE after some rows are
+// rewritten rolls every one of them back.
+func TestUpdateAtomicCancellation(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tbl := seedEvents(t, db, 60)
+	before := heapSnapshot(t, tbl)
+
+	// ~19 fat rows per page → 60 rows span 4 pages. The scan phase checks
+	// the context once per page, the apply phase once per row; limit 15
+	// cancels with roughly ten updates applied and pending rollback.
+	ctx := &flakyCtx{Context: context.Background(), limit: 15}
+	_, err = db.ExecContext(ctx, "update EVENTS set VALUE = VALUE + 1")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("update: got %v, want context.Canceled", err)
+	}
+	if got := heapSnapshot(t, tbl); got != before {
+		t.Fatal("cancelled UPDATE left rewritten rows behind")
+	}
+	verifySMAs(t, tbl)
+	if _, err := db.ExecContext(context.Background(),
+		"update EVENTS set VALUE = VALUE + 1 where KIND = 'A'"); err != nil {
+		t.Fatalf("update after cancelled statement: %v", err)
+	}
+	verifySMAs(t, tbl)
+}
+
+// TestCrashRecovery kills the engine without flushing and reopens: every
+// committed statement — inserts, updates, deletes — must be replayed
+// from the redo log, and the SMAs rebuilt to match.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := seedEvents(t, db, 40)
+	ctx := context.Background()
+	if _, err := db.ExecContext(ctx, "update EVENTS set VALUE = VALUE + 100 where KIND = 'B'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(ctx, "delete from EVENTS where KIND = 'C'"); err != nil {
+		t.Fatal(err)
+	}
+	want := heapSnapshot(t, tbl)
+	wantRows, err := tbl.NumRecords()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("select KIND, sum(VALUE) as S from EVENTS group by KIND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg := fmt.Sprint(res.Rows)
+
+	if err := db.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	db2, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatalf("Open after crash: %v", err)
+	}
+	defer db2.Close()
+	rs := db2.RecoveryStats()
+	if !rs.Performed || rs.WALMissing {
+		t.Fatalf("recovery stats = %+v, want a WAL replay", rs)
+	}
+	if rs.Statements == 0 || rs.Ops == 0 {
+		t.Fatalf("recovery replayed nothing: %+v", rs)
+	}
+	tbl2, err := db2.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heapSnapshot(t, tbl2); got != want {
+		t.Fatal("recovered table differs from pre-crash state")
+	}
+	if n, err := tbl2.NumRecords(); err != nil || n != wantRows {
+		t.Fatalf("recovered rows = %d (%v), want %d", n, err, wantRows)
+	}
+	verifySMAs(t, tbl2)
+	res2, err := db2.Query("select KIND, sum(VALUE) as S from EVENTS group by KIND")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(res2.Rows) != wantAgg {
+		t.Fatalf("aggregate after recovery = %v, want %v", res2.Rows, wantAgg)
+	}
+
+	// A clean Close hands the next Open a clean directory: no recovery.
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if db3.RecoveryStats().Performed {
+		t.Fatal("recovery ran after a clean shutdown")
+	}
+	tbl3, err := db3.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heapSnapshot(t, tbl3); got != want {
+		t.Fatal("clean reopen lost data")
+	}
+}
+
+// TestCrashRecoveryTornTail appends garbage after the committed log and
+// reopens: recovery must discard the torn tail and replay the committed
+// prefix exactly.
+func TestCrashRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := seedEvents(t, db, 20)
+	want := heapSnapshot(t, tbl)
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(db.walPath(), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("\x01torn half-written record")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	db2, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatalf("Open over torn tail: %v", err)
+	}
+	defer db2.Close()
+	rs := db2.RecoveryStats()
+	if !rs.Performed || rs.DiscardedBytes == 0 {
+		t.Fatalf("recovery stats = %+v, want discarded tail bytes", rs)
+	}
+	tbl2, err := db2.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heapSnapshot(t, tbl2); got != want {
+		t.Fatal("torn tail corrupted the committed prefix")
+	}
+	verifySMAs(t, tbl2)
+}
+
+// TestCrashAfterCheckpoint forces a checkpoint per statement and then
+// crashes: recovery over the truncated log must still land on exactly
+// the committed state (the checkpoint already flushed it).
+func TestCrashAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{BucketPages: 1, CheckpointBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := seedEvents(t, db, 20)
+	if _, err := db.ExecContext(context.Background(), "delete from EVENTS where KIND = 'A'"); err != nil {
+		t.Fatal(err)
+	}
+	want := heapSnapshot(t, tbl)
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{BucketPages: 1})
+	if err != nil {
+		t.Fatalf("Open after checkpointed crash: %v", err)
+	}
+	defer db2.Close()
+	if !db2.RecoveryStats().Performed {
+		t.Fatal("unclean directory skipped recovery")
+	}
+	tbl2, err := db2.Table("EVENTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := heapSnapshot(t, tbl2); got != want {
+		t.Fatal("recovery after checkpoint lost or duplicated statements")
+	}
+	verifySMAs(t, tbl2)
+}

@@ -14,52 +14,68 @@ import (
 // insertInto appends every VALUES row of the statement, maintaining the
 // table's SMAs through the O(1) OnAppend path. It holds the write lock for
 // the whole statement so concurrent (possibly parallel) readers never see a
-// half-applied multi-row insert; the context is checked before every row.
-// On error the rows already appended stay in the table and the returned
-// count reflects them.
-func (db *DB) insertInto(ctx context.Context, s *parser.InsertStmt) (int64, error) {
+// half-applied multi-row insert, and the statement is atomic: every row is
+// validated before the heap is touched, and any later error — I/O,
+// cancellation, a failed maintenance hook — rolls the table back to the
+// statement start, so either all rows land or none do. The returned
+// sequence is the statement's WAL commit; callers wait on it for
+// durability after releasing the lock.
+func (db *DB) insertInto(ctx context.Context, s *parser.InsertStmt) (int64, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.checkOpen(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	colIdx, err := insertColumnOrder(t.Schema, s.Columns)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var inserted int64
+	tuples := make([]tuple.Tuple, 0, len(s.Rows))
 	for rn, row := range s.Rows {
 		if err := ctx.Err(); err != nil {
-			return inserted, err
+			return 0, 0, err
 		}
 		if len(row) != len(colIdx) {
-			return inserted, fmt.Errorf("engine: row %d has %d values, table %s needs %d",
+			return 0, 0, fmt.Errorf("engine: row %d has %d values, table %s needs %d",
 				rn+1, len(row), t.Name, len(colIdx))
 		}
 		tp := tuple.NewTuple(t.Schema)
 		for i, lit := range row {
 			if err := setLiteral(tp, colIdx[i], lit); err != nil {
-				return inserted, fmt.Errorf("engine: row %d column %s: %w",
+				return 0, 0, fmt.Errorf("engine: row %d column %s: %w",
 					rn+1, t.Schema.Column(colIdx[i]).Name, err)
 			}
 		}
-		rid, err := t.Heap.Append(tp)
+		tuples = append(tuples, tp)
+	}
+	j, err := db.beginStmt(t)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, tp := range tuples {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, db.abortStmt(j, err)
+		}
+		rid, err := j.append(tp)
 		if err != nil {
-			return inserted, err
+			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
 		for _, sm := range t.smas {
-			if err := sm.OnAppend(t.Heap, tp, rid); err != nil {
-				return inserted, repairSMAs(t, err)
+			if err := j.maint(func() error { return sm.OnAppend(t.Heap, tp, rid) }); err != nil {
+				return 0, 0, db.abortStmt(j, err)
 			}
 		}
-		inserted++
 	}
-	return inserted, nil
+	seq, err := db.commitStmt(j)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(tuples)), seq, nil
 }
 
 // insertColumnOrder maps the statement's column list (or the schema order
@@ -173,13 +189,13 @@ func integralIn(v, lo, hiExcl float64) (int64, error) {
 }
 
 // repairSMAs restores consistency after a maintenance hook failed partway
-// through a statement: the heap already reflects the change but some SMAs
-// saw the event and others (the failed one, and any not yet visited in the
-// hook loop) did not, so every SMA of the table is rebuilt from the heap.
-// An SMA whose rebuild also fails is detached, so no later query plans
-// against a silently stale aggregate. The hook's error is returned either
-// way — the statement still fails, but the catalog never serves wrong
-// answers afterwards.
+// through a statement: the heap has been rolled back to the statement
+// start, but SMAs that saw hook events for the statement's earlier rows
+// are now ahead of it, so every SMA of the table is rebuilt from the
+// (restored) heap. An SMA whose rebuild also fails is detached, so no
+// later query plans against a silently stale aggregate. The hook's error
+// is returned either way — the statement still fails, but the catalog
+// never serves wrong answers afterwards.
 func repairSMAs(t *Table, hookErr error) error {
 	for name, sm := range t.smas {
 		rebuilt, err := core.Build(t.Heap, sm.Def)
@@ -213,25 +229,28 @@ type pendingUpdate struct {
 // The write lock is held for the whole statement. Matches are collected
 // before any tuple is modified, so an update can never re-qualify a row it
 // already rewrote (the Halloween problem); the context is checked at every
-// page boundary of the qualifying scan and before every write-back.
-// Numeric assignments into integer and date columns truncate toward zero.
-func (db *DB) updateWhere(ctx context.Context, s *parser.UpdateStmt) (int64, error) {
+// page boundary of the qualifying scan and before every write-back. The
+// statement is atomic: an error after the first write-back — including
+// cancellation and failed SMA maintenance — restores every rewritten
+// tuple's old image. Numeric assignments into integer and date columns
+// truncate toward zero.
+func (db *DB) updateWhere(ctx context.Context, s *parser.UpdateStmt) (int64, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.checkOpen(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t, err := db.table(s.Table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	apply, err := compileSets(t.Schema, s.Sets)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if s.Where != nil {
 		if err := s.Where.Bind(t.Schema); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	var pending []pendingUpdate
@@ -255,25 +274,31 @@ func (db *DB) updateWhere(ctx context.Context, s *parser.UpdateStmt) (int64, err
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var updated int64
+	j, err := db.beginStmt(t)
+	if err != nil {
+		return 0, 0, err
+	}
 	for _, pu := range pending {
 		if err := ctx.Err(); err != nil {
-			return updated, err
+			return 0, 0, db.abortStmt(j, err)
 		}
-		if err := t.Heap.Update(pu.rid, pu.new); err != nil {
-			return updated, err
+		if err := j.update(pu.rid, pu.old, pu.new); err != nil {
+			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
 		for _, sm := range t.smas {
-			if err := sm.OnUpdate(t.Heap, pu.old, pu.new, pu.rid); err != nil {
-				return updated, repairSMAs(t, err)
+			if err := j.maint(func() error { return sm.OnUpdate(t.Heap, pu.old, pu.new, pu.rid) }); err != nil {
+				return 0, 0, db.abortStmt(j, err)
 			}
 		}
-		updated++
 	}
-	return updated, nil
+	seq, err := db.commitStmt(j)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(pending)), seq, nil
 }
 
 // compileSets type-checks the SET clauses against the schema and returns a

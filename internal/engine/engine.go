@@ -31,6 +31,7 @@ import (
 	"sma/internal/planner"
 	"sma/internal/storage"
 	"sma/internal/tuple"
+	"sma/internal/wal"
 )
 
 // Options configures an engine instance.
@@ -63,6 +64,15 @@ type Options struct {
 	// Observer registers engine-wide metric families, so it must not be
 	// shared by two open databases.
 	Obs *obs.Observer
+	// SyncPolicy selects when committed statements reach stable storage.
+	// The zero value is the default: a group-committed fsync before every
+	// SQL statement returns (one fsync amortized over all concurrently-
+	// committing statements). See wal.SyncPolicy for the weaker modes.
+	SyncPolicy wal.SyncPolicy
+	// CheckpointBytes is the redo-log size that triggers a checkpoint
+	// (flush everything, truncate the log) at the next statement boundary
+	// (default 8 MB).
+	CheckpointBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +81,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BucketPages <= 0 {
 		o.BucketPages = 1
+	}
+	if o.CheckpointBytes <= 0 {
+		o.CheckpointBytes = 8 << 20
 	}
 	return o
 }
@@ -87,9 +100,13 @@ type Table struct {
 	pool *storage.BufferPool
 	smas map[string]*core.SMA
 	// smaDirty records that incremental maintenance has changed the
-	// in-memory SMA vectors since load, so Close must re-save them.
-	// Guarded by db.mu like the rest of the table state.
+	// in-memory SMA vectors since load, so the next checkpoint must
+	// re-save them. Guarded by db.mu like the rest of the table state.
 	smaDirty bool
+	// maintFault, when non-nil, is consulted before every SMA maintenance
+	// hook call; crash tests use it to fail maintenance at a precise
+	// point. Guarded by db.mu.
+	maintFault func() error
 }
 
 // markSMAsDirty flags the table's SMAs for re-save on Close. Called under
@@ -111,19 +128,33 @@ type DB struct {
 	tables map[string]*Table
 	pl     *planner.Planner
 	lock   *dirLock
+	wal    *wal.Log
 	closed bool
+	// failed poisons the database after a rollback or log append failed:
+	// the in-memory state may no longer match what recovery would
+	// reconstruct, so writes are refused until the directory is reopened.
+	failed error
+	// recovery records what Open's crash recovery did (zero when the
+	// previous shutdown was clean).
+	recovery RecoveryStats
 }
 
 // Open opens (or initializes) a database directory. Open takes an
 // exclusive advisory lock on the directory's LOCK sentinel and fails when
 // another live process (or another open DB in this one) already holds it,
 // so two engines can never maintain the same SMA-files concurrently.
+//
+// A non-empty sentinel means the previous session never completed a clean
+// Close; Open then replays the redo log's committed prefix into the heaps,
+// drops uncommitted page allocations, and rebuilds affected SMA vectors
+// before the database accepts work (see RecoveryStats). Open finishes by
+// starting a fresh log whose header records the now-durable page counts.
 func Open(dir string, opts Options) (*DB, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("engine: open %s: %w", dir, err)
 	}
-	lock, err := acquireDirLock(dir)
+	lock, wasUnclean, err := acquireDirLock(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -136,12 +167,29 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	db.pl.Obs = opts.Obs
 	db.registerPoolMetrics()
-	if err := db.loadCatalog(); err != nil {
+	fail := func(err error) (*DB, error) {
 		if rerr := lock.release(); rerr != nil {
 			err = errors.Join(err, rerr)
 		}
 		return nil, err
 	}
+	if err := db.loadCatalog(); err != nil {
+		return fail(err)
+	}
+	if wasUnclean {
+		if err := db.recoverLocked(); err != nil {
+			return fail(err)
+		}
+	}
+	w, err := wal.Create(db.walPath(), db.tableStatesLocked(), opts.SyncPolicy)
+	if err != nil {
+		return fail(err)
+	}
+	db.wal = w
+	for _, t := range db.tables {
+		t.pool.SetWriteBackHook(&walHook{log: w, table: t.Name})
+	}
+	db.registerWALMetrics()
 	return db, nil
 }
 
@@ -192,12 +240,14 @@ func (db *DB) registerPoolMetrics() {
 		sample(func(s storage.PoolStats) int64 { return s.PrefetchHits }))
 }
 
-// Close flushes and closes every table, persisting delete vectors and —
-// for tables whose SMAs were incrementally maintained this session — the
-// in-memory SMA vectors (without the re-save a reopened database would
-// grade and answer queries from stale SMA-files). Read-only sessions write
-// nothing. Close is idempotent: a second call is a no-op and returns nil.
-// Close blocks until open streaming cursors release their read locks.
+// Close checkpoints and closes every table: heap pages are flushed and
+// fsynced, delete vectors and incrementally-maintained SMA vectors are
+// saved, and the redo log is truncated. Only when every step succeeded is
+// the directory marked clean; any failure leaves the dirty marker in
+// place so the next Open replays the log instead of trusting partially-
+// written files. Close is idempotent: a second call is a no-op and
+// returns nil. Close blocks until open streaming cursors release their
+// read locks.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -206,29 +256,26 @@ func (db *DB) Close() error {
 	}
 	db.closed = true
 	var firstErr error
+	record := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db.failed != nil {
+		firstErr = fmt.Errorf("engine: closing failed database (reopen to recover): %w", db.failed)
+	} else if db.wal != nil {
+		record(db.checkpointLocked())
+	}
+	if db.wal != nil {
+		record(db.wal.Close())
+	}
 	for _, t := range db.tables {
-		if err := t.pool.FlushAll(); err != nil && firstErr == nil {
-			firstErr = err
-		}
-		if dv := t.Heap.DeleteVector(); dv != nil && dv.Len() > 0 {
-			if err := dv.Save(db.deletePath(t.Name)); err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if t.smaDirty {
-			for _, s := range t.smas {
-				if err := s.Save(db.smaDir(t.Name)); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
-		}
-		if err := t.disk.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		record(t.disk.Close())
 	}
-	if err := db.lock.release(); err != nil && firstErr == nil {
-		firstErr = err
+	if firstErr == nil {
+		record(db.lock.markClean())
 	}
+	record(db.lock.release())
 	return firstErr
 }
 
@@ -285,6 +332,9 @@ func (db *DB) openTable(name string, schema *tuple.Schema, bucketPages int) (*Ta
 	}
 	if dv.Len() > 0 {
 		heap.SetDeleteVector(dv)
+	}
+	if db.wal != nil {
+		pool.SetWriteBackHook(&walHook{log: db.wal, table: t.Name})
 	}
 	db.tables[t.Name] = t
 	return t, nil
@@ -348,68 +398,94 @@ func (db *DB) tableNames() []string {
 	return out
 }
 
-// Append adds a tuple and maintains every SMA of the table.
+// Append adds a tuple and maintains every SMA of the table. The append is
+// atomic — a failed maintenance hook rolls the heap back — and is redo-
+// logged but NOT waited on: the raw table API is the bulk-load path, so
+// durability comes from the sync policy's background machinery, an
+// explicit DB.Sync, or the Close checkpoint.
 func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if err := t.db.checkOpen(); err != nil {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
 		return storage.RID{}, err
 	}
-	rid, err := t.Heap.Append(tp)
+	j, err := db.beginStmt(t)
 	if err != nil {
-		return rid, err
+		return storage.RID{}, err
+	}
+	rid, err := j.append(tp)
+	if err != nil {
+		return storage.RID{}, db.abortStmt(j, err)
 	}
 	t.markSMAsDirty()
 	for _, s := range t.smas {
-		if err := s.OnAppend(t.Heap, tp, rid); err != nil {
-			return rid, repairSMAs(t, err)
+		if err := j.maint(func() error { return s.OnAppend(t.Heap, tp, rid) }); err != nil {
+			return storage.RID{}, db.abortStmt(j, err)
 		}
+	}
+	if _, err := db.commitStmt(j); err != nil {
+		return storage.RID{}, err
 	}
 	return rid, nil
 }
 
-// Update overwrites the record at rid and maintains every SMA.
+// Update overwrites the record at rid and maintains every SMA, with the
+// same atomicity and durability contract as Append.
 func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if err := t.db.checkOpen(); err != nil {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
 		return err
 	}
 	old, err := t.Heap.Get(rid)
 	if err != nil {
 		return err
 	}
-	if err := t.Heap.Update(rid, tp); err != nil {
-		return err
-	}
-	t.markSMAsDirty()
-	for _, s := range t.smas {
-		if err := s.OnUpdate(t.Heap, old, tp, rid); err != nil {
-			return repairSMAs(t, err)
-		}
-	}
-	return nil
-}
-
-// Delete marks the record at rid as deleted and maintains every SMA. The
-// delete vector is persisted on Close.
-func (t *Table) Delete(rid storage.RID) error {
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if err := t.db.checkOpen(); err != nil {
-		return err
-	}
-	old, err := t.Heap.Delete(rid)
+	j, err := db.beginStmt(t)
 	if err != nil {
 		return err
 	}
+	if err := j.update(rid, old, tp); err != nil {
+		return db.abortStmt(j, err)
+	}
 	t.markSMAsDirty()
 	for _, s := range t.smas {
-		if err := s.OnDelete(t.Heap, old, rid); err != nil {
-			return repairSMAs(t, err)
+		if err := j.maint(func() error { return s.OnUpdate(t.Heap, old, tp, rid) }); err != nil {
+			return db.abortStmt(j, err)
 		}
 	}
-	return nil
+	_, err = db.commitStmt(j)
+	return err
+}
+
+// Delete marks the record at rid as deleted and maintains every SMA, with
+// the same atomicity and durability contract as Append. The delete vector
+// is persisted at every checkpoint.
+func (t *Table) Delete(rid storage.RID) error {
+	db := t.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	j, err := db.beginStmt(t)
+	if err != nil {
+		return err
+	}
+	old, err := j.delete(rid)
+	if err != nil {
+		return db.abortStmt(j, err)
+	}
+	t.markSMAsDirty()
+	for _, s := range t.smas {
+		if err := j.maint(func() error { return s.OnDelete(t.Heap, old, rid) }); err != nil {
+			return db.abortStmt(j, err)
+		}
+	}
+	_, err = db.commitStmt(j)
+	return err
 }
 
 // Get reads the record at rid under the read lock. The returned tuple is

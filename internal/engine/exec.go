@@ -73,20 +73,32 @@ func (db *DB) execContext(ctx context.Context, sql string) (*ExecResult, error) 
 		}
 		return &ExecResult{Kind: "create table", Table: s.Table}, nil
 	case *parser.InsertStmt:
-		n, err := db.insertInto(ctx, s)
+		n, seq, err := db.insertInto(ctx, s)
 		if err != nil {
+			return nil, err
+		}
+		// The durability wait runs after insertInto released the write
+		// lock: a slow fsync never blocks readers, and concurrent
+		// statements share one group-committed fsync.
+		if err := db.waitDurable(seq); err != nil {
 			return nil, err
 		}
 		return &ExecResult{Kind: "insert", Table: s.Table, RowsAffected: n}, nil
 	case *parser.UpdateStmt:
-		n, err := db.updateWhere(ctx, s)
+		n, seq, err := db.updateWhere(ctx, s)
 		if err != nil {
+			return nil, err
+		}
+		if err := db.waitDurable(seq); err != nil {
 			return nil, err
 		}
 		return &ExecResult{Kind: "update", Table: s.Table, RowsAffected: n}, nil
 	case *parser.DeleteStmt:
-		n, err := db.deleteWhere(ctx, s.Table, s.Where)
+		n, seq, err := db.deleteWhere(ctx, s.Table, s.Where)
 		if err != nil {
+			return nil, err
+		}
+		if err := db.waitDurable(seq); err != nil {
 			return nil, err
 		}
 		return &ExecResult{Kind: "delete", Table: s.Table, RowsAffected: n}, nil
@@ -98,20 +110,22 @@ func (db *DB) execContext(ctx context.Context, sql string) (*ExecResult, error) 
 // deleteWhere removes every tuple matching the predicate (all tuples when
 // nil), maintaining the table's SMAs. It holds the write lock for the whole
 // operation; the context is checked at every page boundary of the
-// qualifying scan.
-func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (int64, error) {
+// qualifying scan. The statement is atomic: an error partway through —
+// cancellation, I/O, failed SMA maintenance — unmarks every tuple this
+// statement deleted.
+func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (int64, uint64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.checkOpen(); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	t, err := db.table(table)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	if p != nil {
 		if err := p.Bind(t.Schema); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	var rids []storage.RID
@@ -129,24 +143,30 @@ func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	var deleted int64
+	j, err := db.beginStmt(t)
+	if err != nil {
+		return 0, 0, err
+	}
 	for _, rid := range rids {
 		if err := ctx.Err(); err != nil {
-			return deleted, err
+			return 0, 0, db.abortStmt(j, err)
 		}
-		old, err := t.Heap.Delete(rid)
+		old, err := j.delete(rid)
 		if err != nil {
-			return deleted, err
+			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
 		for _, s := range t.smas {
-			if err := s.OnDelete(t.Heap, old, rid); err != nil {
-				return deleted, repairSMAs(t, err)
+			if err := j.maint(func() error { return s.OnDelete(t.Heap, old, rid) }); err != nil {
+				return 0, 0, db.abortStmt(j, err)
 			}
 		}
-		deleted++
 	}
-	return deleted, nil
+	seq, err := db.commitStmt(j)
+	if err != nil {
+		return 0, 0, err
+	}
+	return int64(len(rids)), seq, nil
 }

@@ -4,23 +4,11 @@ package engine
 
 import "os"
 
-// Without flock(2) the sentinel's mere existence is the lock: Open created
-// it with O_CREATE (not O_EXCL) for the Unix path, so on other platforms
-// approximate exclusivity with a marker byte check — a prior holder leaves
-// a non-empty sentinel and release truncates it. This is weaker than flock
-// (a crash leaves the directory locked until the sentinel is removed), but
-// the supported deployment targets are Unix.
-func flockFile(f *os.File) error {
-	st, err := f.Stat()
-	if err != nil {
-		return err
-	}
-	if st.Size() > 0 {
-		return errLocked
-	}
-	return nil
-}
-
-func funlockFile(f *os.File) error {
-	return f.Truncate(0)
+// platformLock approximates flock with the claim-file protocol: the
+// sentinel itself now carries the clean/dirty marker on every platform, so
+// exclusivity must live in a separate file whose O_EXCL creation is atomic
+// (the previous marker-byte scheme both raced — stat then write — and
+// would have collided with the marker protocol).
+func platformLock(dir string, _ *os.File) (func() error, error) {
+	return claimLock(dir)
 }

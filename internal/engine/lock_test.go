@@ -38,6 +38,70 @@ func TestDirLockExclusive(t *testing.T) {
 	}
 }
 
+// TestClaimLock exercises the portable O_CREATE|O_EXCL claim-file lock
+// directly — it backs platformLock on non-unix builds but must stay
+// correct everywhere, so the test compiles on all platforms.
+func TestClaimLock(t *testing.T) {
+	dir := t.TempDir()
+	release, err := claimLock(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := claimLock(dir); !errors.Is(err, errLocked) {
+		t.Fatalf("second claim: got %v, want errLocked", err)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+	// The claim file is gone, so the directory can be claimed again.
+	if _, err := os.Stat(filepath.Join(dir, LockFileName+".claim")); !os.IsNotExist(err) {
+		t.Fatalf("claim file still present after release: %v", err)
+	}
+	release2, err := claimLock(dir)
+	if err != nil {
+		t.Fatalf("re-claim after release: %v", err)
+	}
+	if err := release2(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUncleanMarker checks the sentinel-content protocol: while a
+// database is open the LOCK file is non-empty (dirty marker), and a
+// clean Close truncates it so the next Open skips recovery.
+func TestUncleanMarker(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, LockFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Fatal("open database has an empty LOCK sentinel (no dirty marker)")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = os.Stat(filepath.Join(dir, LockFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatal("clean Close left the dirty marker in place")
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.RecoveryStats().Performed {
+		t.Fatal("recovery ran after a clean shutdown")
+	}
+}
+
 // TestDirLockSurvivesFailedOpen ensures a failed Open (corrupt catalog)
 // releases the lock so a later Open is not wedged.
 func TestDirLockSurvivesFailedOpen(t *testing.T) {

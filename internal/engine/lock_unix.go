@@ -7,16 +7,14 @@ import (
 	"syscall"
 )
 
-// flockFile takes a non-blocking exclusive flock(2) on the sentinel.
-func flockFile(f *os.File) error {
+// platformLock takes a non-blocking exclusive flock(2) on the sentinel.
+func platformLock(_ string, f *os.File) (func() error, error) {
 	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
 	if err == syscall.EWOULDBLOCK || err == syscall.EAGAIN {
-		return errLocked
+		return nil, errLocked
 	}
-	return err
-}
-
-// funlockFile releases the flock (also implied by closing the file).
-func funlockFile(f *os.File) error {
-	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return syscall.Flock(int(f.Fd()), syscall.LOCK_UN) }, nil
 }

@@ -1,0 +1,519 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+
+	"sma/internal/core"
+	"sma/internal/storage"
+	"sma/internal/tuple"
+	"sma/internal/wal"
+)
+
+// WALFileName is the redo log kept in every database directory.
+const WALFileName = "wal"
+
+// walPath returns the redo-log path.
+func (db *DB) walPath() string { return filepath.Join(db.dir, WALFileName) }
+
+// walHook adapts one table's buffer-pool write-backs to the shared log:
+// before a dirty page is rewritten in place, its full pre-write image is
+// appended (torn-write protection) and the log is forced so the image is
+// on stable storage before the in-place write can tear.
+type walHook struct {
+	log   *wal.Log
+	table string
+}
+
+func (h *walHook) PageImage(id storage.PageID, data []byte) error {
+	return h.log.PageImage(h.table, int64(id), data)
+}
+
+func (h *walHook) Barrier() error { return h.log.SyncForWriteback() }
+
+// tableStatesLocked snapshots every table's on-disk page count, the
+// baseline a WAL checkpoint header records; callers hold db.mu.
+func (db *DB) tableStatesLocked() []wal.TableState {
+	states := make([]wal.TableState, 0, len(db.tables))
+	for _, name := range db.tableNames() {
+		states = append(states, wal.TableState{Name: name, Pages: db.tables[name].disk.NumPages()})
+	}
+	return states
+}
+
+// checkFailed rejects writes on a poisoned database: once a rollback or
+// log append has failed, the in-memory state can no longer be trusted to
+// match what a recovery would reconstruct, so further writes are refused
+// (queries still run; Close will leave the dirty marker so the next Open
+// replays the committed log). Callers hold db.mu.
+func (db *DB) checkFailed() error {
+	if db.failed != nil {
+		return fmt.Errorf("engine: database needs recovery (reopen it): %w", db.failed)
+	}
+	return nil
+}
+
+// updateUndo is one journaled UPDATE: the record position and its
+// pre-statement image.
+type updateUndo struct {
+	rid storage.RID
+	old tuple.Tuple
+}
+
+// stmtJournal tracks one statement's heap effects so a mid-statement
+// error can roll the table back to the statement start. Because the pool
+// runs under a statement barrier (no dirty frame reaches disk while the
+// journal is open), the on-disk file never sees uncommitted data and an
+// in-memory undo is sufficient — no undo logging.
+type stmtJournal struct {
+	t       *Table
+	tail    storage.TailState
+	updates []updateUndo
+	deletes []storage.RID
+	batch   *wal.Batch
+	// hooked records that at least one SMA maintenance hook ran for this
+	// statement: a rollback must then also rebuild the SMA vectors, which
+	// are ahead of the restored heap.
+	hooked bool
+}
+
+// beginStmt opens a statement scope on t: snapshots the heap's append
+// position, raises the pool's no-steal barrier, and starts a redo batch.
+// Callers hold db.mu and must finish with commitStmt or a rollback.
+func (db *DB) beginStmt(t *Table) (*stmtJournal, error) {
+	if err := db.checkFailed(); err != nil {
+		return nil, err
+	}
+	tail, err := t.Heap.Tail()
+	if err != nil {
+		return nil, err
+	}
+	t.pool.BeginBarrier()
+	return &stmtJournal{t: t, tail: tail, batch: db.wal.NewBatch()}, nil
+}
+
+// append adds a tuple through the journal, recording its redo image.
+func (j *stmtJournal) append(tp tuple.Tuple) (storage.RID, error) {
+	rid, err := j.t.Heap.Append(tp)
+	if err != nil {
+		return rid, err
+	}
+	j.batch.Insert(j.t.Name, int64(rid.Page), rid.Slot, tp.Data)
+	return rid, nil
+}
+
+// update overwrites rid through the journal, keeping the old image for
+// rollback and logging the new one for redo.
+func (j *stmtJournal) update(rid storage.RID, old, new tuple.Tuple) error {
+	if err := j.t.Heap.Update(rid, new); err != nil {
+		return err
+	}
+	j.updates = append(j.updates, updateUndo{rid: rid, old: old})
+	j.batch.Update(j.t.Name, int64(rid.Page), rid.Slot, new.Data)
+	return nil
+}
+
+// delete marks rid through the journal and returns the old image for the
+// SMA maintenance hooks.
+func (j *stmtJournal) delete(rid storage.RID) (tuple.Tuple, error) {
+	old, err := j.t.Heap.Delete(rid)
+	if err != nil {
+		return tuple.Tuple{}, err
+	}
+	j.deletes = append(j.deletes, rid)
+	j.batch.Delete(j.t.Name, int64(rid.Page), rid.Slot)
+	return old, nil
+}
+
+// rollbackStmt undoes the journal in reverse order — unmark deletes,
+// restore old update images via the exact-position applicator, roll the
+// append tail back — and drops the barrier. Rollback deliberately ignores
+// cancellation: it must run to completion or the table is left half-
+// applied, which is why a rollback that itself fails poisons the
+// database (the heap is in neither the before nor the after state, and
+// only a recovery replay of the committed log can fix it).
+func (db *DB) rollbackStmt(j *stmtJournal) error {
+	var firstErr error
+	for i := len(j.deletes) - 1; i >= 0; i-- {
+		j.t.Heap.Undelete(j.deletes[i])
+	}
+	for i := len(j.updates) - 1; i >= 0; i-- {
+		u := j.updates[i]
+		if err := j.t.Heap.ApplyAt(u.rid, u.old.Data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := j.t.Heap.RestoreTail(j.tail); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	j.t.pool.EndBarrier()
+	if firstErr != nil {
+		db.failed = fmt.Errorf("statement rollback failed: %w", firstErr)
+	}
+	return firstErr
+}
+
+// abortStmt rolls back after a mid-statement error. When any SMA
+// maintenance hook already ran, the vectors are ahead of the restored
+// heap and every SMA of the table is rebuilt from it (repairSMAs); a
+// statement that failed before its first hook leaves the vectors
+// untouched and skips the rebuild.
+func (db *DB) abortStmt(j *stmtJournal, err error) error {
+	if rerr := db.rollbackStmt(j); rerr != nil {
+		return errors.Join(err, rerr)
+	}
+	if j.hooked {
+		return repairSMAs(j.t, err)
+	}
+	return err
+}
+
+// commitStmt appends the statement's commit record, drops the barrier,
+// and checkpoints if the log has outgrown its threshold. It returns the
+// statement's WAL sequence (0 for an empty statement); callers that need
+// durability wait on it after releasing db.mu. A failed append rolls the
+// statement back and poisons the database — a log that refused records
+// cannot be trusted to cover later commits either.
+func (db *DB) commitStmt(j *stmtJournal) (uint64, error) {
+	seq, err := db.wal.Commit(j.batch)
+	if err != nil {
+		err = db.abortStmt(j, err)
+		db.failed = fmt.Errorf("wal append failed: %w", err)
+		return 0, err
+	}
+	j.t.pool.EndBarrier()
+	db.maybeCheckpointLocked()
+	return seq, nil
+}
+
+// waitDurable blocks until seq is on stable storage (per the sync
+// policy). Called WITHOUT db.mu so a slow fsync never blocks readers; the
+// group-commit leader amortizes one fsync over every waiter. ErrClosed
+// means Close or Crash won the race after our commit — both flush and
+// sync the log before closing it, so the statement is already durable.
+func (db *DB) waitDurable(seq uint64) error {
+	err := db.wal.WaitDurable(seq)
+	if errors.Is(err, wal.ErrClosed) {
+		return nil
+	}
+	return err
+}
+
+// maint runs one SMA maintenance callback through the journal. It marks
+// the statement as hooked (so an abort rebuilds the vectors, which may
+// now be ahead of a rolled-back heap) and first consults the test-only
+// fault hook (crash tests fail maintenance at a precise point to prove
+// statement atomicity). Callers hold db.mu.
+//
+// Hooks run interleaved with the heap mutations — apply row, hook row —
+// because the incremental maintenance contract requires the heap to
+// reflect exactly the rows hooked so far: a min/max hook that falls back
+// to a bucket rescan derives the bucket's aggregate from the heap, and
+// later incremental deltas double-apply if the rescan already saw their
+// rows.
+func (j *stmtJournal) maint(fn func() error) error {
+	j.hooked = true
+	if j.t.maintFault != nil {
+		if err := j.t.maintFault(); err != nil {
+			return err
+		}
+	}
+	return fn()
+}
+
+// maybeCheckpointLocked checkpoints when the log has outgrown
+// Options.CheckpointBytes. A failed checkpoint does not fail the
+// statement — its records are safely in the log — but is surfaced in the
+// structured log; the WAL keeps growing until a checkpoint succeeds.
+func (db *DB) maybeCheckpointLocked() {
+	if db.failed != nil || db.wal.Size() < db.opts.CheckpointBytes {
+		return
+	}
+	if err := db.checkpointLocked(); err != nil {
+		if o := db.opts.Obs; o != nil {
+			o.Logger().Warn("checkpoint failed", "err", err)
+		}
+	}
+}
+
+// checkpointLocked makes every table's durable structures current — heap
+// pages flushed and fsynced, delete vectors and dirty SMA vectors saved —
+// then truncates the log to a fresh header recording the page counts.
+// After it returns, recovery needs nothing from the old log. Callers
+// hold db.mu.
+func (db *DB) checkpointLocked() error {
+	for _, name := range db.tableNames() {
+		t := db.tables[name]
+		if err := t.pool.FlushAll(); err != nil {
+			return err
+		}
+		if dv := t.Heap.DeleteVector(); dv != nil {
+			if err := dv.Save(db.deletePath(t.Name)); err != nil {
+				return err
+			}
+		}
+		if t.smaDirty {
+			for _, s := range t.smas {
+				if err := s.Save(db.smaDir(t.Name)); err != nil {
+					return err
+				}
+			}
+			t.smaDirty = false
+		}
+	}
+	return db.wal.Checkpoint(db.tableStatesLocked())
+}
+
+// RecoveryStats reports what Open's crash recovery did.
+type RecoveryStats struct {
+	// Performed is true when the directory was shut down uncleanly and
+	// recovery ran (even if the log turned out to be empty).
+	Performed bool
+	// WALMissing is true when the unclean directory had no log at all
+	// (a crash before the first statement, or a pre-WAL directory); the
+	// SMA vectors were rebuilt from the heaps, which are the only truth.
+	WALMissing bool
+	// Statements and Ops count the committed work replayed from the log.
+	Statements int64
+	Ops        int64
+	// PageImages counts full-page images restored (torn-write repair).
+	PageImages int64
+	// DiscardedBytes is the length of the uncommitted log tail that was
+	// ignored (a statement that never committed, or a torn final write).
+	DiscardedBytes int64
+	// TruncatedPages counts heap pages dropped because no committed
+	// statement ever wrote them.
+	TruncatedPages int64
+	// SMAsRebuilt counts SMA vectors rebuilt from replayed heaps.
+	SMAsRebuilt int
+}
+
+// replayApplier applies redo records to the engine's heaps during Open.
+type replayApplier struct {
+	db      *DB
+	touched map[string]bool
+}
+
+func (a *replayApplier) ApplyOp(op wal.Op) error {
+	t, ok := a.db.tables[op.Table]
+	if !ok {
+		return fmt.Errorf("engine: wal references unknown table %q", op.Table)
+	}
+	a.touched[op.Table] = true
+	rid := storage.RID{Page: storage.PageID(op.Page), Slot: op.Slot}
+	if op.IsDelete() {
+		t.Heap.ApplyDelete(rid)
+		return nil
+	}
+	return t.Heap.ApplyAt(rid, op.Data)
+}
+
+func (a *replayApplier) ApplyPageImage(table string, page int64, data []byte) error {
+	t, ok := a.db.tables[table]
+	if !ok {
+		return fmt.Errorf("engine: wal references unknown table %q", table)
+	}
+	a.touched[table] = true
+	return t.Heap.RestorePage(storage.PageID(page), data)
+}
+
+// recoverLocked brings an uncleanly-shut-down directory back to the last
+// committed statement: replay the log's committed prefix into the heaps,
+// truncate pages no committed statement wrote, rebuild the SMA vectors of
+// every touched table from its recovered heap, and flush it all. Runs
+// inside Open before the fresh log is created; any error fails the Open
+// (the dirty marker stays, so the next Open retries).
+func (db *DB) recoverLocked() error {
+	rs := &db.recovery
+	rs.Performed = true
+	ap := &replayApplier{db: db, touched: make(map[string]bool)}
+	st, err := wal.Replay(db.walPath(), ap)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			rs.WALMissing = true
+			return db.rebuildAllSMAsLocked(rs)
+		}
+		return fmt.Errorf("engine: wal replay: %w", err)
+	}
+	rs.Statements = st.Statements
+	rs.Ops = st.Ops
+	rs.PageImages = st.PageImages
+	rs.DiscardedBytes = st.DiscardedBytes
+
+	// A page belongs to the committed state if the checkpoint header
+	// counted it or a committed record landed on it. Anything past that
+	// is an uncommitted allocation (the file grows eagerly on append) —
+	// drop it so the heap matches exactly what the oracle would hold.
+	base := make(map[string]int64, len(st.Header))
+	for _, s := range st.Header {
+		base[s.Name] = s.Pages
+	}
+	for name, t := range db.tables {
+		committed := base[name] // 0 for tables created after the header was written
+		if mp, ok := st.MaxPage[name]; ok && mp+1 > committed {
+			committed = mp + 1
+		}
+		if np := t.disk.NumPages(); np > committed {
+			if err := t.Heap.Truncate(committed); err != nil {
+				return err
+			}
+			rs.TruncatedPages += np - committed
+		}
+	}
+
+	for name := range ap.touched {
+		t := db.tables[name]
+		if err := rebuildSMAs(t); err != nil {
+			return err
+		}
+		rs.SMAsRebuilt += len(t.smas)
+		for _, s := range t.smas {
+			if err := s.Save(db.smaDir(t.Name)); err != nil {
+				return err
+			}
+		}
+		if err := t.pool.FlushAll(); err != nil {
+			return err
+		}
+		if dv := t.Heap.DeleteVector(); dv != nil {
+			if err := dv.Save(db.deletePath(t.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rebuildSMAs recomputes every SMA of t from its heap. Unlike repairSMAs
+// (which detaches what it cannot rebuild, keeping a live session
+// answering), a rebuild failure here is fatal — recovery must not open a
+// database with missing aggregates the catalog promises.
+func rebuildSMAs(t *Table) error {
+	for name, sm := range t.smas {
+		rebuilt, err := core.Build(t.Heap, sm.Def)
+		if err != nil {
+			return fmt.Errorf("engine: rebuild sma %s on %s: %w", name, t.Name, err)
+		}
+		t.smas[name] = rebuilt
+	}
+	return nil
+}
+
+// rebuildAllSMAsLocked handles the log-less unclean directory: with no
+// redo to replay, the heaps as found are the truth and every SMA vector
+// is recomputed from them (the saved SMA-files may predate appends the
+// crashed session flushed).
+func (db *DB) rebuildAllSMAsLocked(rs *RecoveryStats) error {
+	for _, name := range db.tableNames() {
+		t := db.tables[name]
+		if len(t.smas) == 0 {
+			continue
+		}
+		if err := rebuildSMAs(t); err != nil {
+			return err
+		}
+		rs.SMAsRebuilt += len(t.smas)
+		for _, s := range t.smas {
+			if err := s.Save(db.smaDir(t.Name)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RecoveryStats reports what recovery did when this database was opened
+// (the zero value when the previous shutdown was clean).
+func (db *DB) RecoveryStats() RecoveryStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recovery
+}
+
+// WALStats snapshots the redo log's activity counters.
+func (db *DB) WALStats() wal.Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.wal == nil {
+		return wal.Stats{}
+	}
+	return db.wal.Stats()
+}
+
+// Sync forces every record committed so far onto stable storage,
+// regardless of the sync policy (the manual durability point for OSOnly
+// and interval policies).
+func (db *DB) Sync() error {
+	db.mu.RLock()
+	w, closed := db.wal, db.closed
+	db.mu.RUnlock()
+	if closed || w == nil {
+		return fmt.Errorf("engine: database is closed")
+	}
+	return w.Sync()
+}
+
+// Crash abandons the database without checkpointing or marking the
+// directory clean — a simulated process kill for recovery tests. Dirty
+// buffer-pool frames are dropped (their committed effects live in the
+// log), the log is flushed and closed, and the directory lock is released
+// with the dirty marker in place so the next Open runs recovery.
+func (db *DB) Crash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, t := range db.tables {
+		if err := t.disk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := db.lock.release(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// registerWALMetrics registers the redo-log metric families, sampled
+// from the log's atomic counters at render time.
+func (db *DB) registerWALMetrics() {
+	o := db.opts.Obs
+	if o == nil || db.wal == nil {
+		return
+	}
+	w := db.wal
+	stat := func(f func(wal.Stats) uint64) func() float64 {
+		return func() float64 { return float64(f(w.Stats())) }
+	}
+	o.Reg.CounterFunc("sma_wal_commits_total",
+		"Statements committed to the write-ahead log.",
+		stat(func(s wal.Stats) uint64 { return s.Commits }))
+	o.Reg.CounterFunc("sma_wal_syncs_total",
+		"fsyncs issued on the write-ahead log.",
+		stat(func(s wal.Stats) uint64 { return s.Syncs }))
+	o.Reg.CounterFunc("sma_wal_grouped_waits_total",
+		"Durability waits satisfied by another statement's fsync (group commit).",
+		stat(func(s wal.Stats) uint64 { return s.GroupedWaits }))
+	o.Reg.CounterFunc("sma_wal_bytes_total",
+		"Bytes appended to the write-ahead log.",
+		stat(func(s wal.Stats) uint64 { return s.Bytes }))
+	o.Reg.CounterFunc("sma_wal_page_images_total",
+		"Full-page images logged before in-place page write-backs.",
+		stat(func(s wal.Stats) uint64 { return s.PageImages }))
+	o.Reg.CounterFunc("sma_wal_checkpoints_total",
+		"Write-ahead log checkpoints (truncations).",
+		stat(func(s wal.Stats) uint64 { return s.Checkpoints }))
+	o.Reg.GaugeFunc("sma_wal_size_bytes",
+		"Current write-ahead log file size.",
+		func() float64 { return float64(w.Size()) })
+}

@@ -438,6 +438,20 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		Prefetched:   ps.Prefetched,
 		PrefetchHits: ps.PrefetchHits,
 	}
+	ws, rs := s.db.WALStats(), s.db.RecoveryStats()
+	resp.WAL = WALStatus{
+		Policy:              ws.Policy,
+		SizeBytes:           ws.Size,
+		Commits:             ws.Commits,
+		Syncs:               ws.Syncs,
+		GroupedWaits:        ws.GroupedWaits,
+		PageImages:          ws.PageImages,
+		Checkpoints:         ws.Checkpoints,
+		Recovered:           rs.Performed,
+		RecoveredStatements: rs.Statements,
+		RecoveredOps:        rs.Ops,
+		SMAsRebuilt:         rs.SMAsRebuilt,
+	}
 	s.writeJSON(w, http.StatusOK, resp)
 }
 

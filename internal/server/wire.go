@@ -246,6 +246,23 @@ type PoolStatus struct {
 	PrefetchHits int64 `json:"prefetch_hits"`
 }
 
+// WALStatus reports redo-log and crash-recovery state in /status.
+type WALStatus struct {
+	Policy       string `json:"policy"`
+	SizeBytes    int64  `json:"size_bytes"`
+	Commits      uint64 `json:"commits"`
+	Syncs        uint64 `json:"syncs"`
+	GroupedWaits uint64 `json:"grouped_waits"`
+	PageImages   uint64 `json:"page_images"`
+	Checkpoints  uint64 `json:"checkpoints"`
+	// Recovered is true when the last Open replayed the redo log after an
+	// unclean shutdown; the replayed counts describe what it restored.
+	Recovered           bool  `json:"recovered"`
+	RecoveredStatements int64 `json:"recovered_statements,omitempty"`
+	RecoveredOps        int64 `json:"recovered_ops,omitempty"`
+	SMAsRebuilt         int   `json:"smas_rebuilt,omitempty"`
+}
+
 // SessionStatus describes one in-flight statement in /status.
 type SessionStatus struct {
 	ID            int64  `json:"id"`
@@ -279,6 +296,7 @@ type StatusResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Tables        []TableStatus   `json:"tables"`
 	Pool          PoolStatus      `json:"pool"`
+	WAL           WALStatus       `json:"wal"`
 	Admission     AdmissionStatus `json:"admission"`
 	Sessions      []SessionStatus `json:"sessions"`
 	Totals        TotalsStatus    `json:"totals"`

@@ -29,6 +29,13 @@ type Frame struct {
 	// that no demand fetch has claimed yet; the first demand hit counts as
 	// a prefetch hit and clears the mark.
 	prefetched bool
+
+	// epoch is the pool's statement epoch at the frame's last dirty
+	// unpin. Under a statement barrier, a dirty frame whose epoch matches
+	// the current epoch was (or may have been) dirtied by the in-flight
+	// statement and must not reach disk; older dirt is committed and may
+	// be written back (after its full-page image is logged).
+	epoch uint64
 }
 
 // ID returns the page id held by the frame.
@@ -48,6 +55,7 @@ type PoolStats struct {
 	Evictions    int64 // frames written back / recycled
 	Prefetched   int64 // physical reads issued by prefetchers
 	PrefetchHits int64 // demand fetches that landed on a prefetched frame
+	Overflows    int64 // frames allocated past capacity under a statement barrier
 }
 
 // Add folds another snapshot into s; engines use it to merge the per-table
@@ -58,6 +66,7 @@ func (s *PoolStats) Add(o PoolStats) {
 	s.Evictions += o.Evictions
 	s.Prefetched += o.Prefetched
 	s.PrefetchHits += o.PrefetchHits
+	s.Overflows += o.Overflows
 }
 
 // BufferPool caches pages of a single DiskManager with LRU replacement.
@@ -69,6 +78,16 @@ func (s *PoolStats) Add(o PoolStats) {
 // happen outside the pool lock so concurrent misses overlap their I/O;
 // activity counters are atomic so stat bumps and snapshots never contend
 // on the pool mutex.
+// WriteBackHook intercepts in-place rewrites of dirty pages. The engine
+// implements it over the WAL: PageImage logs a full image of the page,
+// Barrier forces logged images to stable storage. Together they make a
+// torn in-place write recoverable — the pre-write image is always on
+// disk before the write that could tear it begins.
+type WriteBackHook interface {
+	PageImage(id PageID, data []byte) error
+	Barrier() error
+}
+
 type BufferPool struct {
 	mu     sync.Mutex
 	disk   *DiskManager
@@ -76,11 +95,24 @@ type BufferPool struct {
 	frames map[PageID]*Frame
 	lru    *list.List // of PageID, front = most recently unpinned
 
+	// hook, when non-nil, runs before every dirty page write-back.
+	hook WriteBackHook
+	// barrier > 0 marks a statement in flight: eviction must not write
+	// back frames dirtied by the current statement, so uncommitted page
+	// images never reach disk (the no-steal policy that lets rollback
+	// stay purely in memory). Frames whose dirt predates the barrier hold
+	// only committed data and stay evictable.
+	barrier int
+	// epoch increments at every BeginBarrier; together with Frame.epoch
+	// it distinguishes current-statement dirt from committed dirt.
+	epoch uint64
+
 	hits         atomic.Int64
 	misses       atomic.Int64
 	evictions    atomic.Int64
 	prefetched   atomic.Int64
 	prefetchHits atomic.Int64
+	overflows    atomic.Int64
 
 	// Observability hooks, set once via SetObs before the pool sees
 	// concurrent traffic. Nil histograms are inert, so the disabled path
@@ -111,6 +143,106 @@ func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
 		frames: make(map[PageID]*Frame, capacity),
 		lru:    list.New(),
 	}
+}
+
+// SetWriteBackHook installs the dirty write-back interceptor. Call it
+// before the pool sees concurrent traffic.
+func (bp *BufferPool) SetWriteBackHook(h WriteBackHook) {
+	bp.mu.Lock()
+	bp.hook = h
+	bp.mu.Unlock()
+}
+
+// BeginBarrier enters no-steal mode: until the matching EndBarrier,
+// eviction skips frames dirtied under this barrier, so pages dirtied by
+// the current statement cannot reach disk before the statement commits.
+// Every mutation pins its frame and unpins it afterwards, which is where
+// the frame picks up the new epoch — so a frame dirtied after this call
+// always carries it. Do not FlushAll or DropAll while a barrier is up.
+func (bp *BufferPool) BeginBarrier() {
+	bp.mu.Lock()
+	bp.barrier++
+	bp.epoch++
+	bp.mu.Unlock()
+}
+
+// EndBarrier leaves no-steal mode. If the statement's working set
+// overflowed the pool, the excess frames are evicted here — their dirt
+// is now committed (or undone), so the normal image-then-write path
+// applies.
+func (bp *BufferPool) EndBarrier() {
+	bp.mu.Lock()
+	if bp.barrier > 0 {
+		bp.barrier--
+	}
+	if bp.barrier == 0 {
+		bp.trimLocked()
+	}
+	bp.mu.Unlock()
+}
+
+// trimLocked evicts LRU unpinned frames until the pool is back at
+// capacity, two-phase like flushLocked: all page images first, one
+// barrier, then the writes. Best effort — on any error the remaining
+// frames stay resident (still dirty), to be retried by later evictions,
+// FlushAll, or the next trim.
+func (bp *BufferPool) trimLocked() {
+	excess := len(bp.frames) - bp.cap
+	if excess <= 0 {
+		return
+	}
+	var victims []*list.Element
+	for e := bp.lru.Back(); e != nil && len(victims) < excess; e = e.Prev() {
+		victims = append(victims, e)
+	}
+	if bp.hook != nil {
+		logged := false
+		for _, e := range victims {
+			fr := bp.frames[e.Value.(PageID)]
+			if fr.dirty {
+				if bp.hook.PageImage(fr.id, fr.data[:]) != nil {
+					return
+				}
+				logged = true
+			}
+		}
+		if logged && bp.hook.Barrier() != nil {
+			return
+		}
+	}
+	for _, e := range victims {
+		fr := bp.frames[e.Value.(PageID)]
+		if fr.dirty {
+			if bp.disk.WritePage(fr.id, fr.data[:]) != nil {
+				return
+			}
+			fr.dirty = false
+		}
+		bp.lru.Remove(e)
+		delete(bp.frames, fr.id)
+		bp.evictions.Add(1)
+	}
+}
+
+// Discard drops page id from the pool without writing it back, losing
+// any dirty content. Rollback and recovery use it to forget pages that
+// are being truncated away. Discarding a pinned page is an error;
+// discarding a non-resident page is a no-op.
+func (bp *BufferPool) Discard(id PageID) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	fr, ok := bp.frames[id]
+	if !ok {
+		return nil
+	}
+	if fr.pins > 0 {
+		return fmt.Errorf("storage: discard of pinned page %d", id)
+	}
+	if fr.elem != nil {
+		bp.lru.Remove(fr.elem)
+	}
+	delete(bp.frames, id)
+	return nil
 }
 
 // Capacity returns the pool capacity in pages.
@@ -222,24 +354,52 @@ func (bp *BufferPool) pinLocked(fr *Frame) {
 }
 
 // victimLocked obtains a frame for page id (which must not be resident),
-// evicting the LRU unpinned page if the pool is full. The returned frame is
-// pinned and registered under id, with stale contents.
+// evicting the LRU unpinned page if the pool is full. While a statement
+// barrier is up, frames dirtied under the current epoch are not
+// candidates — writing back a page dirtied by an uncommitted statement
+// would leak its effects to disk. The returned frame is pinned and
+// registered under id, with stale contents.
 func (bp *BufferPool) victimLocked(id PageID) (*Frame, error) {
 	if len(bp.frames) >= bp.cap {
-		back := bp.lru.Back()
-		if back == nil {
+		var victim *Frame
+		var elem *list.Element
+		for e := bp.lru.Back(); e != nil; e = e.Prev() {
+			fr := bp.frames[e.Value.(PageID)]
+			if bp.barrier > 0 && fr.dirty && fr.epoch == bp.epoch {
+				continue
+			}
+			victim, elem = fr, e
+			break
+		}
+		if victim == nil {
+			if bp.barrier > 0 {
+				// Every candidate holds uncommitted dirt. The statement's
+				// working set must stay in memory, so grow past capacity;
+				// EndBarrier trims the pool back down once the dirt is
+				// committed (or rolled back).
+				bp.overflows.Add(1)
+				fr := &Frame{id: id, pins: 1}
+				bp.frames[id] = fr
+				return fr, nil
+			}
 			return nil, fmt.Errorf("storage: buffer pool exhausted: all %d frames pinned", bp.cap)
 		}
-		victimID := back.Value.(PageID)
-		victim := bp.frames[victimID]
 		if victim.dirty {
+			if bp.hook != nil {
+				if err := bp.hook.PageImage(victim.id, victim.data[:]); err != nil {
+					return nil, err
+				}
+				if err := bp.hook.Barrier(); err != nil {
+					return nil, err
+				}
+			}
 			if err := bp.disk.WritePage(victim.id, victim.data[:]); err != nil {
 				return nil, err
 			}
 			victim.dirty = false
 		}
-		bp.lru.Remove(back)
-		delete(bp.frames, victimID)
+		bp.lru.Remove(elem)
+		delete(bp.frames, victim.id)
 		bp.evictions.Add(1)
 		victim.id = id
 		victim.pins = 1
@@ -271,26 +431,63 @@ func (bp *BufferPool) UnpinPage(id PageID) error {
 	if fr.pins == 0 {
 		fr.elem = bp.lru.PushFront(id)
 	}
-	return nil
-}
-
-// FlushAll writes back every dirty resident page.
-func (bp *BufferPool) FlushAll() error {
-	bp.mu.Lock()
-	defer bp.mu.Unlock()
-	for _, fr := range bp.frames {
-		if fr.dirty {
-			if err := bp.disk.WritePage(fr.id, fr.data[:]); err != nil {
-				return err
-			}
-			fr.dirty = false
-		}
+	if fr.dirty {
+		// Every mutation happens while pinned, so stamping at unpin
+		// catches all pages the current statement may have dirtied (a
+		// page merely read under the barrier is stamped too — safe,
+		// just conservative).
+		fr.epoch = bp.epoch
 	}
 	return nil
 }
 
-// DropAll flushes dirty pages and then empties the pool, simulating a cold
-// buffer. It fails if any page is still pinned.
+// FlushAll writes back every dirty resident page and fsyncs the file.
+// With a write-back hook installed it is two-phase: all page images are
+// logged, one barrier makes them durable, then the pages are written —
+// amortizing the torn-write protection over the whole flush instead of
+// paying a log fsync per page.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.flushLocked(); err != nil {
+		return err
+	}
+	return bp.disk.Sync()
+}
+
+// flushLocked writes back every dirty frame under bp.mu, without the
+// trailing fsync.
+func (bp *BufferPool) flushLocked() error {
+	var dirty []*Frame
+	for _, fr := range bp.frames {
+		if fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	if len(dirty) == 0 {
+		return nil
+	}
+	if bp.hook != nil {
+		for _, fr := range dirty {
+			if err := bp.hook.PageImage(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+		}
+		if err := bp.hook.Barrier(); err != nil {
+			return err
+		}
+	}
+	for _, fr := range dirty {
+		if err := bp.disk.WritePage(fr.id, fr.data[:]); err != nil {
+			return err
+		}
+		fr.dirty = false
+	}
+	return nil
+}
+
+// DropAll flushes dirty pages (fsyncing the file) and then empties the
+// pool, simulating a cold buffer. It fails if any page is still pinned.
 func (bp *BufferPool) DropAll() error {
 	bp.mu.Lock()
 	defer bp.mu.Unlock()
@@ -298,11 +495,12 @@ func (bp *BufferPool) DropAll() error {
 		if fr.pins > 0 {
 			return fmt.Errorf("storage: DropAll with page %d still pinned", id)
 		}
-		if fr.dirty {
-			if err := bp.disk.WritePage(fr.id, fr.data[:]); err != nil {
-				return err
-			}
-		}
+	}
+	if err := bp.flushLocked(); err != nil {
+		return err
+	}
+	if err := bp.disk.Sync(); err != nil {
+		return err
 	}
 	bp.frames = make(map[PageID]*Frame, bp.cap)
 	bp.lru.Init()
@@ -319,6 +517,7 @@ func (bp *BufferPool) Stats() PoolStats {
 		Evictions:    bp.evictions.Load(),
 		Prefetched:   bp.prefetched.Load(),
 		PrefetchHits: bp.prefetchHits.Load(),
+		Overflows:    bp.overflows.Load(),
 	}
 }
 
@@ -329,6 +528,7 @@ func (bp *BufferPool) ResetStats() {
 	bp.evictions.Store(0)
 	bp.prefetched.Store(0)
 	bp.prefetchHits.Store(0)
+	bp.overflows.Store(0)
 }
 
 // Resident returns the number of pages currently cached.

@@ -52,7 +52,10 @@ func (dv *DeleteVector) isDeleted(rid RID, perPage int) bool {
 // deleteVectorMagic heads the on-disk encoding.
 var deleteVectorMagic = [4]byte{'S', 'D', 'E', 'L'}
 
-// Save writes the vector to path (sorted ordinals, little endian).
+// Save writes the vector to path (sorted ordinals, little endian). The
+// write goes through a fsynced temporary file renamed into place, so a
+// crash mid-save leaves either the old vector or the new one — never a
+// torn file.
 func (dv *DeleteVector) Save(path string) error {
 	ords := make([]int64, 0, len(dv.dead))
 	for o := range dv.dead {
@@ -65,7 +68,22 @@ func (dv *DeleteVector) Save(path string) error {
 	for _, o := range ords {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(o))
 	}
-	return os.WriteFile(path, buf, 0o644)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // LoadDeleteVector reads a vector saved by Save; a missing file yields an
@@ -113,6 +131,35 @@ func (h *HeapFile) Delete(rid RID) (old tuple.Tuple, err error) {
 		return tuple.Tuple{}, fmt.Errorf("storage: record %v is already deleted", rid)
 	}
 	return t, nil
+}
+
+// unmark clears rid's deletion mark; reports whether it was marked.
+func (dv *DeleteVector) unmark(rid RID, perPage int) bool {
+	o := ordinal(rid, perPage)
+	if _, ok := dv.dead[o]; !ok {
+		return false
+	}
+	delete(dv.dead, o)
+	return true
+}
+
+// Undelete clears the deletion mark on rid, reversing a Delete during
+// statement rollback. It reports whether the record was marked.
+func (h *HeapFile) Undelete(rid RID) bool {
+	if h.deletes == nil {
+		return false
+	}
+	return h.deletes.unmark(rid, h.perPage)
+}
+
+// ApplyDelete marks rid deleted without reading the old record — the
+// idempotent redo used by WAL replay (re-deleting an already-marked
+// record is a no-op, not an error).
+func (h *HeapFile) ApplyDelete(rid RID) {
+	if h.deletes == nil {
+		h.deletes = NewDeleteVector()
+	}
+	h.deletes.markDeleted(rid, h.perPage)
 }
 
 // isLive reports whether rid is not deleted.

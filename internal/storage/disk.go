@@ -45,7 +45,18 @@ type DiskManager struct {
 	seqReads  int64
 	randReads int64
 	writes    int64
+	syncs     int64
+
+	// fault, when non-nil, is consulted before every physical operation
+	// and can fail it. Crash tests use it to cut the disk out from under
+	// the engine at a precise point.
+	fault FaultFn
 }
+
+// FaultFn inspects an imminent disk operation ("read", "write", "sync",
+// "truncate", with the page id where meaningful, -1 otherwise) and may
+// veto it by returning an error.
+type FaultFn func(op string, page PageID) error
 
 // OpenDiskManager opens (creating if necessary) the page file at path.
 func OpenDiskManager(path string) (*DiskManager, error) {
@@ -80,6 +91,24 @@ func (d *DiskManager) SetSeekLatency(lat time.Duration) {
 	d.mu.Unlock()
 }
 
+// SetFault installs (or with nil removes) a fault-injection hook.
+func (d *DiskManager) SetFault(fn FaultFn) {
+	d.mu.Lock()
+	d.fault = fn
+	d.mu.Unlock()
+}
+
+// checkFault runs the installed hook, if any, for an imminent operation.
+func (d *DiskManager) checkFault(op string, page PageID) error {
+	d.mu.Lock()
+	fn := d.fault
+	d.mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(op, page)
+}
+
 // Path returns the underlying file path.
 func (d *DiskManager) Path() string { return d.path }
 
@@ -110,8 +139,14 @@ func (d *DiskManager) ReadPage(id PageID, buf []byte) error {
 	}
 	d.lastRead = id
 	d.reads++
+	fault := d.fault
 	d.mu.Unlock()
 
+	if fault != nil {
+		if err := fault("read", id); err != nil {
+			return err
+		}
+	}
 	if _, err := d.f.ReadAt(buf, int64(id)*PageSize); err != nil {
 		return fmt.Errorf("storage: read page %d of %s: %w", id, d.path, err)
 	}
@@ -151,6 +186,9 @@ func (d *DiskManager) SeqRandReads() (seq, random int64) {
 func (d *DiskManager) WritePage(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: WritePage buffer has %d bytes, want %d", len(buf), PageSize)
+	}
+	if err := d.checkFault("write", id); err != nil {
+		return err
 	}
 	d.mu.Lock()
 	if int64(id) < 0 || int64(id) > d.numPages {
@@ -198,7 +236,52 @@ func (d *DiskManager) ResetStats() {
 }
 
 // Sync flushes the file to stable storage.
-func (d *DiskManager) Sync() error { return d.f.Sync() }
+func (d *DiskManager) Sync() error {
+	if err := d.checkFault("sync", -1); err != nil {
+		return err
+	}
+	if err := d.f.Sync(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.syncs++
+	d.mu.Unlock()
+	return nil
+}
 
-// Close closes the underlying file.
-func (d *DiskManager) Close() error { return d.f.Close() }
+// Syncs returns the number of successful fsyncs issued so far.
+func (d *DiskManager) Syncs() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+// Truncate shrinks the file to the given page count. Recovery uses it
+// to drop pages allocated by statements that never committed.
+func (d *DiskManager) Truncate(pages int64) error {
+	if err := d.checkFault("truncate", PageID(pages)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if pages < 0 || pages > d.numPages {
+		return fmt.Errorf("storage: truncate to %d pages out of range [0,%d]", pages, d.numPages)
+	}
+	if err := d.f.Truncate(pages * PageSize); err != nil {
+		return fmt.Errorf("storage: truncate %s: %w", d.path, err)
+	}
+	d.numPages = pages
+	if int64(d.lastRead) >= pages {
+		d.lastRead = -1
+	}
+	return nil
+}
+
+// Close flushes and closes the underlying file.
+func (d *DiskManager) Close() error {
+	err := d.Sync()
+	if cerr := d.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -314,6 +314,146 @@ func (c *PageCursor) Close() error {
 	return c.h.pool.UnpinPage(c.page)
 }
 
+// TailState captures the append position of the heap — the page count
+// and the record count of the last page — so a statement can be rolled
+// back to exactly where it started.
+type TailState struct {
+	Pages     int64
+	LastCount int
+}
+
+// Tail snapshots the current append position.
+func (h *HeapFile) Tail() (TailState, error) {
+	np := h.NumPages()
+	ts := TailState{Pages: np}
+	if np > 0 {
+		fr, err := h.pool.FetchPage(PageID(np - 1))
+		if err != nil {
+			return TailState{}, err
+		}
+		ts.LastCount = pageCount(fr.Data())
+		if err := h.pool.UnpinPage(fr.ID()); err != nil {
+			return TailState{}, err
+		}
+	}
+	return ts, nil
+}
+
+// RestoreTail rolls the append position back to ts: pages allocated
+// since the snapshot are discarded from the pool and truncated from the
+// file, and the last surviving page's record count (and the bytes of
+// the revoked slots) is reset. Only valid while the statement's dirty
+// pages are still pooled — the statement barrier guarantees that.
+func (h *HeapFile) RestoreTail(ts TailState) error {
+	np := h.NumPages()
+	for p := ts.Pages; p < np; p++ {
+		if err := h.pool.Discard(PageID(p)); err != nil {
+			return err
+		}
+	}
+	if np > ts.Pages {
+		if err := h.pool.Disk().Truncate(ts.Pages); err != nil {
+			return err
+		}
+	}
+	if ts.Pages == 0 {
+		return nil
+	}
+	fr, err := h.pool.FetchPage(PageID(ts.Pages - 1))
+	if err != nil {
+		return err
+	}
+	data := fr.Data()
+	if n := pageCount(data); n > ts.LastCount {
+		rs := h.schema.RecordSize()
+		from := pageHeaderSize + ts.LastCount*rs
+		to := pageHeaderSize + n*rs
+		for i := from; i < to && i < len(data); i++ {
+			data[i] = 0
+		}
+		setPageCount(data, ts.LastCount)
+		fr.MarkDirty()
+	}
+	return h.pool.UnpinPage(fr.ID())
+}
+
+// ApplyAt places a record image at an exact position, allocating pages
+// as needed — the idempotent redo used by WAL replay for inserts and
+// updates. Replaying an op that already reached disk leaves the page
+// unchanged.
+func (h *HeapFile) ApplyAt(rid RID, data []byte) error {
+	rs := h.schema.RecordSize()
+	if len(data) != rs {
+		return fmt.Errorf("storage: ApplyAt image has %d bytes, want %d", len(data), rs)
+	}
+	if rid.Slot < 0 || rid.Slot >= h.perPage {
+		return fmt.Errorf("storage: ApplyAt slot %d out of range [0,%d)", rid.Slot, h.perPage)
+	}
+	for h.NumPages() <= int64(rid.Page) {
+		fr, err := h.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		fr.MarkDirty()
+		if err := h.pool.UnpinPage(fr.ID()); err != nil {
+			return err
+		}
+	}
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	pdata := fr.Data()
+	off := pageHeaderSize + rid.Slot*rs
+	copy(pdata[off:off+rs], data)
+	if n := pageCount(pdata); rid.Slot+1 > n {
+		setPageCount(pdata, rid.Slot+1)
+	}
+	fr.MarkDirty()
+	return h.pool.UnpinPage(fr.ID())
+}
+
+// RestorePage overwrites page id with a full image, allocating pages as
+// needed — the redo for WAL full-page-image records.
+func (h *HeapFile) RestorePage(id PageID, img []byte) error {
+	if len(img) != PageSize {
+		return fmt.Errorf("storage: RestorePage image has %d bytes, want %d", len(img), PageSize)
+	}
+	for h.NumPages() <= int64(id) {
+		fr, err := h.pool.NewPage()
+		if err != nil {
+			return err
+		}
+		fr.MarkDirty()
+		if err := h.pool.UnpinPage(fr.ID()); err != nil {
+			return err
+		}
+	}
+	fr, err := h.pool.FetchPage(id)
+	if err != nil {
+		return err
+	}
+	copy(fr.Data(), img)
+	fr.MarkDirty()
+	return h.pool.UnpinPage(fr.ID())
+}
+
+// Truncate drops every page at or beyond pages, discarding pooled
+// frames and shrinking the file. Recovery uses it to remove pages
+// allocated by statements that never committed.
+func (h *HeapFile) Truncate(pages int64) error {
+	np := h.NumPages()
+	for p := pages; p < np; p++ {
+		if err := h.pool.Discard(PageID(p)); err != nil {
+			return err
+		}
+	}
+	if np > pages {
+		return h.pool.Disk().Truncate(pages)
+	}
+	return nil
+}
+
 // Scan visits every record in the file in physical order.
 func (h *HeapFile) Scan(visit func(t tuple.Tuple, rid RID) error) error {
 	np := h.NumPages()

@@ -1,0 +1,222 @@
+// Package wal implements the engine's write-ahead redo log: an
+// append-only file of CRC-guarded records that makes DML statements
+// atomic and the heap/SMA pair crash-recoverable.
+//
+// The log holds three kinds of information:
+//
+//   - logical redo records (insert/update/delete), slot-precise and
+//     idempotent, grouped into statements that end with a commit record
+//     carrying the statement's operation count;
+//   - full-page images, appended before a dirty heap page is written
+//     back in place, so a torn page write can always be repaired from
+//     the log (the buffer pool never writes back pages dirtied by an
+//     uncommitted statement, so page images only ever contain committed
+//     data);
+//   - a checkpoint header recording each table's page count at the
+//     moment the log was last truncated, which recovery uses as the
+//     committed base state.
+//
+// Replay applies the longest well-formed prefix of complete, committed
+// statements and stops — never errors — at the first torn or corrupt
+// record, so a crash mid-append (or a bit flip in the tail) costs at
+// most the statements that had not finished committing. See Scanner for
+// the exact fail-closed rules.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record types. The zero value is deliberately invalid so a zeroed
+// (preallocated-but-unwritten) tail region never parses as a record.
+const (
+	recInsert    = byte(1) // table, rid, tuple image
+	recUpdate    = byte(2) // table, rid, new tuple image
+	recDelete    = byte(3) // table, rid
+	recCommit    = byte(4) // statement boundary: seq + op count
+	recPageImage = byte(5) // table, page id, full 4 KB page image
+)
+
+// maxBody bounds a record body: a full page image plus its framing. A
+// length field above this is treated as corruption, not an allocation
+// request — a flipped bit in the length must not make the scanner try
+// to read gigabytes.
+const maxBody = 8 << 10
+
+// headerMagic identifies a log file and its format version.
+var headerMagic = [6]byte{'S', 'W', 'A', 'L', '1', '\n'}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms this engine targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcChecksum is the record checksum: CRC-32C over the body.
+func crcChecksum(body []byte) uint32 { return crc32.Checksum(body, crcTable) }
+
+// TableState is one table's committed extent at checkpoint time: its
+// page count after every dirty page was flushed and fsynced. Recovery
+// truncates each table back to max(checkpoint pages, highest replayed
+// page + 1), discarding pages allocated by statements that never
+// committed.
+type TableState struct {
+	Name  string
+	Pages int64
+}
+
+// Op is one logical redo operation delivered to an Applier.
+type Op struct {
+	Type  byte // recInsert, recUpdate, or recDelete
+	Table string
+	Page  int64
+	Slot  int
+	Data  []byte // tuple image for insert/update; nil for delete
+}
+
+// IsInsert, IsUpdate, IsDelete name the op kind without exporting the
+// record-type bytes.
+func (o Op) IsInsert() bool { return o.Type == recInsert }
+func (o Op) IsUpdate() bool { return o.Type == recUpdate }
+func (o Op) IsDelete() bool { return o.Type == recDelete }
+
+// appendRecord frames body into dst: crc32c(body), length, body.
+func appendRecord(dst, body []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(body, crcTable))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(body)))
+	return append(dst, body...)
+}
+
+// appendOp encodes a logical redo record body into dst and frames it.
+func appendOp(dst []byte, typ byte, table string, page int64, slot int, data []byte) []byte {
+	body := make([]byte, 0, 1+1+len(table)+8+2+len(data))
+	body = append(body, typ, byte(len(table)))
+	body = append(body, table...)
+	body = binary.LittleEndian.AppendUint64(body, uint64(page))
+	body = binary.LittleEndian.AppendUint16(body, uint16(slot))
+	body = append(body, data...)
+	return appendRecord(dst, body)
+}
+
+// appendCommit encodes a statement-boundary record.
+func appendCommit(dst []byte, seq uint64, nOps int) []byte {
+	var body [13]byte
+	body[0] = recCommit
+	binary.LittleEndian.PutUint64(body[1:], seq)
+	binary.LittleEndian.PutUint32(body[9:], uint32(nOps))
+	return appendRecord(dst, body[:])
+}
+
+// appendPageImage encodes a full-page image record.
+func appendPageImage(dst []byte, table string, page int64, data []byte) []byte {
+	body := make([]byte, 0, 1+1+len(table)+8+len(data))
+	body = append(body, recPageImage, byte(len(table)))
+	body = append(body, table...)
+	body = binary.LittleEndian.AppendUint64(body, uint64(page))
+	body = append(body, data...)
+	return appendRecord(dst, body)
+}
+
+// encodeHeader renders the checkpoint header: magic, crc, length, then
+// the table states. The crc covers the state payload so a half-written
+// header (crash between truncate and write) reads as corrupt, not as an
+// empty checkpoint over the wrong base.
+func encodeHeader(states []TableState) []byte {
+	var payload []byte
+	payload = binary.LittleEndian.AppendUint32(payload, uint32(len(states)))
+	for _, st := range states {
+		payload = binary.LittleEndian.AppendUint16(payload, uint16(len(st.Name)))
+		payload = append(payload, st.Name...)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(st.Pages))
+	}
+	out := make([]byte, 0, len(headerMagic)+8+len(payload))
+	out = append(out, headerMagic[:]...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// decodeHeader parses the checkpoint header, returning the table states
+// and the offset of the first record. A corrupt header is a hard error:
+// without the checkpoint base, replay has nothing sound to build on.
+func decodeHeader(raw []byte) (states []TableState, off int64, err error) {
+	if len(raw) < len(headerMagic)+8 {
+		return nil, 0, fmt.Errorf("wal: short header (%d bytes)", len(raw))
+	}
+	if [6]byte(raw[:6]) != headerMagic {
+		return nil, 0, fmt.Errorf("wal: bad magic %q", raw[:6])
+	}
+	crc := binary.LittleEndian.Uint32(raw[6:])
+	plen := int(binary.LittleEndian.Uint32(raw[10:]))
+	if plen > maxBody || len(raw) < 14+plen {
+		return nil, 0, fmt.Errorf("wal: truncated header payload (%d bytes)", plen)
+	}
+	payload := raw[14 : 14+plen]
+	if crc32.Checksum(payload, crcTable) != crc {
+		return nil, 0, fmt.Errorf("wal: header checksum mismatch")
+	}
+	if len(payload) < 4 {
+		return nil, 0, fmt.Errorf("wal: header payload too short for state count")
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	payload = payload[4:]
+	for i := 0; i < n; i++ {
+		if len(payload) < 2 {
+			return nil, 0, fmt.Errorf("wal: truncated header state")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(payload))
+		if len(payload) < 2+nameLen+8 {
+			return nil, 0, fmt.Errorf("wal: truncated header state")
+		}
+		states = append(states, TableState{
+			Name:  string(payload[2 : 2+nameLen]),
+			Pages: int64(binary.LittleEndian.Uint64(payload[2+nameLen:])),
+		})
+		payload = payload[2+nameLen+8:]
+	}
+	return states, int64(14 + plen), nil
+}
+
+// decodeOp parses an op record body (type already verified).
+func decodeOp(body []byte) (Op, error) {
+	if len(body) < 2 {
+		return Op{}, fmt.Errorf("wal: short op record")
+	}
+	nameLen := int(body[1])
+	if len(body) < 2+nameLen+10 {
+		return Op{}, fmt.Errorf("wal: short op record")
+	}
+	op := Op{
+		Type:  body[0],
+		Table: string(body[2 : 2+nameLen]),
+		Page:  int64(binary.LittleEndian.Uint64(body[2+nameLen:])),
+		Slot:  int(binary.LittleEndian.Uint16(body[2+nameLen+8:])),
+	}
+	if data := body[2+nameLen+10:]; len(data) > 0 {
+		op.Data = data
+	}
+	if op.Type == recDelete && op.Data != nil {
+		return Op{}, fmt.Errorf("wal: delete record carries %d data bytes", len(op.Data))
+	}
+	if (op.Type == recInsert || op.Type == recUpdate) && op.Data == nil {
+		return Op{}, fmt.Errorf("wal: %s record without tuple image", opName(op.Type))
+	}
+	return op, nil
+}
+
+// opName renders a record type for diagnostics.
+func opName(t byte) string {
+	switch t {
+	case recInsert:
+		return "insert"
+	case recUpdate:
+		return "update"
+	case recDelete:
+		return "delete"
+	case recCommit:
+		return "commit"
+	case recPageImage:
+		return "page-image"
+	}
+	return fmt.Sprintf("type-%d", t)
+}

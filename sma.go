@@ -38,6 +38,7 @@ import (
 
 	"sma/internal/engine"
 	"sma/internal/obs"
+	"sma/internal/wal"
 )
 
 // openConfig collects Open options: the engine knobs plus the
@@ -62,6 +63,41 @@ func WithPoolPages(n int) Option {
 // (default 1 page, the paper's default).
 func WithBucketPages(n int) Option {
 	return func(o *openConfig) { o.eng.BucketPages = n }
+}
+
+// SyncPolicy selects when committed statements reach stable storage.
+// The zero value (and SyncGrouped) fsyncs the redo log before every DML
+// statement returns, amortizing one fsync over all concurrently
+// committing statements via group commit. SyncOSOnly and SyncEvery trade
+// power-loss durability for throughput; process crashes lose nothing
+// under any policy.
+type SyncPolicy = wal.SyncPolicy
+
+// SyncGrouped returns the default policy: a group-committed fsync before
+// every statement returns. Power-loss safe.
+func SyncGrouped() SyncPolicy { return wal.Grouped() }
+
+// SyncOSOnly returns the write-to-OS policy: commits are handed to the
+// operating system without fsync. Survives a process crash, not a power
+// cut; call DB.Sync for a manual durability point.
+func SyncOSOnly() SyncPolicy { return wal.OSOnly() }
+
+// SyncEvery returns the background-fsync policy: a ticker forces the log
+// every d, bounding power-loss exposure to one tick.
+func SyncEvery(d time.Duration) SyncPolicy { return wal.Every(d) }
+
+// WithSyncPolicy sets the redo-log durability policy (default
+// SyncGrouped).
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *openConfig) { o.eng.SyncPolicy = p }
+}
+
+// WithCheckpointBytes sets the redo-log size that triggers a checkpoint
+// — flushing every table and truncating the log (default 8 MB). Smaller
+// values bound recovery time; larger ones batch more work per
+// checkpoint.
+func WithCheckpointBytes(n int64) Option {
+	return func(o *openConfig) { o.eng.CheckpointBytes = n }
 }
 
 // WithReadLatency simulates per-page disk read latency; useful for
@@ -263,8 +299,38 @@ func (db *DB) PoolStats() PoolStats {
 		Evictions:    s.Evictions,
 		Prefetched:   s.Prefetched,
 		PrefetchHits: s.PrefetchHits,
+		Overflows:    s.Overflows,
 	}
 }
+
+// RecoveryStats reports what crash recovery did when the database was
+// opened: whether it ran at all, how many committed statements and
+// operations were replayed from the redo log, page images restored,
+// trailing garbage bytes discarded, uncommitted pages truncated, and
+// SMAs rebuilt. The zero value means the previous shutdown was clean.
+type RecoveryStats = engine.RecoveryStats
+
+// WALStats is a point-in-time snapshot of redo-log activity: commits,
+// fsyncs, group-commit waits shared with another statement's fsync,
+// records and bytes appended, checkpoints, and the current file size.
+type WALStats = wal.Stats
+
+// RecoveryStats reports what recovery did when this database was opened.
+func (db *DB) RecoveryStats() RecoveryStats { return db.eng.RecoveryStats() }
+
+// WALStats snapshots the redo log's activity counters.
+func (db *DB) WALStats() WALStats { return db.eng.WALStats() }
+
+// Sync forces every statement committed so far onto stable storage,
+// regardless of the sync policy — the manual durability point for
+// SyncOSOnly and SyncEvery databases.
+func (db *DB) Sync() error { return db.eng.Sync() }
+
+// Crash abandons the database without checkpointing or marking the
+// directory clean, simulating a process kill: buffered redo is flushed,
+// files close, and the next Open replays the log. It exists for
+// crash-recovery tests; production code should call Close.
+func (db *DB) Crash() error { return db.eng.Crash() }
 
 // Table returns a handle for an existing table.
 func (db *DB) Table(name string) (*Table, error) {

@@ -122,6 +122,7 @@ type PoolStats struct {
 	Evictions    int64 // frames written back / recycled
 	Prefetched   int64 // physical reads issued by prefetchers
 	PrefetchHits int64 // demand fetches that landed on a prefetched frame
+	Overflows    int64 // frames allocated past capacity under a statement barrier
 }
 
 // Rows returns the table's live record count (deleted tuples excluded).
