@@ -15,14 +15,31 @@
 // Row values arrive as the engine's rendered display strings — the same
 // bytes sma.Collect produces in-process — so results are comparable across
 // the wire byte for byte.
+//
+// # Retries
+//
+// The client retries transient failures by default: transport errors
+// before any result bytes arrived, and 503 responses that are not marked
+// degraded (admission shedding, draining). Backoff is exponential with
+// jitter, capped at half a second. Queries are read-only and always safe
+// to re-send; Exec is made safe by an idempotency token the client
+// generates per call (crypto/rand) and re-sends on every retry — the
+// server executes the statement at most once and replays the recorded
+// response to duplicates. Degraded 503s are not retried: the database
+// needs operator attention, not another attempt. WithRetries(1) disables
+// retrying.
 package client
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"time"
 )
@@ -30,8 +47,11 @@ import (
 // Client talks to one sma query server. It is safe for concurrent use;
 // each Query holds one HTTP connection open until its Rows is closed.
 type Client struct {
-	base string
-	hc   *http.Client
+	base        string
+	hc          *http.Client
+	attempts    int
+	backoffBase time.Duration
+	backoffCap  time.Duration
 }
 
 // Option configures a Client.
@@ -44,12 +64,29 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetries bounds a request to n attempts in total (default 5).
+// WithRetries(1) disables retrying: every failure surfaces immediately.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n < 1 {
+			n = 1
+		}
+		c.attempts = n
+	}
+}
+
 // New creates a client for a server base URL like "http://host:7421".
 func New(base string, opts ...Option) *Client {
 	for len(base) > 0 && base[len(base)-1] == '/' {
 		base = base[:len(base)-1]
 	}
-	c := &Client{base: base, hc: &http.Client{}}
+	c := &Client{
+		base:        base,
+		hc:          &http.Client{},
+		attempts:    5,
+		backoffBase: 25 * time.Millisecond,
+		backoffCap:  500 * time.Millisecond,
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -58,11 +95,13 @@ func New(base string, opts ...Option) *Client {
 
 // queryRequest mirrors the server's /query body.
 type queryRequest struct {
-	SQL           string `json:"sql"`
-	DOP           int    `json:"dop,omitempty"`
-	BatchSize     *int   `json:"batch_size,omitempty"`
-	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
-	Trace         bool   `json:"trace,omitempty"`
+	SQL            string `json:"sql"`
+	DOP            int    `json:"dop,omitempty"`
+	BatchSize      *int   `json:"batch_size,omitempty"`
+	TimeoutMillis  int64  `json:"timeout_ms,omitempty"`
+	DeadlineMillis int64  `json:"deadline_ms,omitempty"`
+	Trace          bool   `json:"trace,omitempty"`
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // QueryOption adjusts one Query or Exec request.
@@ -80,9 +119,27 @@ func WithBatchSize(n int) QueryOption {
 	return func(q *queryRequest) { q.BatchSize = &n }
 }
 
-// WithTimeout asks the server to abort the statement after d.
+// WithTimeout asks the server to abort the statement after d. The clock
+// restarts on every retry attempt; for a budget that spans retries use
+// WithDeadline.
 func WithTimeout(d time.Duration) QueryOption {
 	return func(q *queryRequest) { q.TimeoutMillis = d.Milliseconds() }
+}
+
+// WithDeadline asks the server to abort the statement at an absolute
+// wall-clock instant. Unlike WithTimeout, the deadline survives retries:
+// each re-sent attempt carries the same instant, so the total budget —
+// backoffs included — cannot exceed it.
+func WithDeadline(t time.Time) QueryOption {
+	return func(q *queryRequest) { q.DeadlineMillis = t.UnixMilli() }
+}
+
+// WithIdempotencyKey overrides the generated Exec idempotency token, for
+// callers whose retries span processes (job queues, crash-restarted
+// workers): re-running the statement under the same key replays the first
+// execution's response instead of executing twice.
+func WithIdempotencyKey(key string) QueryOption {
+	return func(q *queryRequest) { q.IdempotencyKey = key }
 }
 
 // WithTrace asks the server to record a per-operator execution trace;
@@ -259,12 +316,27 @@ func (r *Rows) fail(err error) {
 
 // Query begins executing a SELECT on the server, returning a streaming
 // cursor. Cancelling ctx disconnects, which aborts the query mid-scan on
-// the server.
+// the server. Transient failures before the header frame (shed 503s,
+// connection resets) are retried with backoff; queries are read-only, so
+// re-sending is always safe.
 func (c *Client) Query(ctx context.Context, sql string, opts ...QueryOption) (*Rows, error) {
 	req := queryRequest{SQL: sql}
 	for _, o := range opts {
 		o(&req)
 	}
+	for attempt := 1; ; attempt++ {
+		rows, err := c.queryOnce(ctx, req)
+		if err != nil {
+			if !c.retryAfter(ctx, attempt, err) {
+				return nil, err
+			}
+			continue
+		}
+		return rows, nil
+	}
+}
+
+func (c *Client) queryOnce(ctx context.Context, req queryRequest) (*Rows, error) {
 	resp, err := c.post(ctx, "/query", req)
 	if err != nil {
 		return nil, err
@@ -303,8 +375,15 @@ type ExecResult struct {
 }
 
 // Exec runs a DDL or DML statement on the server. Of the query options
-// only WithTimeout applies; WithDOP and WithBatchSize are query-execution
-// knobs and are rejected rather than silently dropped.
+// WithTimeout, WithDeadline, and WithIdempotencyKey apply; WithDOP and
+// WithBatchSize are query-execution knobs and are rejected rather than
+// silently dropped.
+//
+// Exec is safely retryable: every call carries an idempotency token
+// (generated when WithIdempotencyKey is not given), and all retry
+// attempts re-send the same token, so a statement whose response was lost
+// in transit is never executed twice — the server replays the recorded
+// outcome instead.
 func (c *Client) Exec(ctx context.Context, sql string, opts ...QueryOption) (*ExecResult, error) {
 	req := queryRequest{SQL: sql}
 	for _, o := range opts {
@@ -313,10 +392,32 @@ func (c *Client) Exec(ctx context.Context, sql string, opts ...QueryOption) (*Ex
 	if req.DOP != 0 || req.BatchSize != nil {
 		return nil, fmt.Errorf("client: WithDOP and WithBatchSize do not apply to Exec")
 	}
+	if req.IdempotencyKey == "" && c.attempts > 1 {
+		key, err := newIdempotencyKey()
+		if err != nil {
+			return nil, err
+		}
+		req.IdempotencyKey = key
+	}
 	body := struct {
-		SQL           string `json:"sql"`
-		TimeoutMillis int64  `json:"timeout_ms,omitempty"`
-	}{SQL: req.SQL, TimeoutMillis: req.TimeoutMillis}
+		SQL            string `json:"sql"`
+		TimeoutMillis  int64  `json:"timeout_ms,omitempty"`
+		DeadlineMillis int64  `json:"deadline_ms,omitempty"`
+		IdempotencyKey string `json:"idempotency_key,omitempty"`
+	}{SQL: req.SQL, TimeoutMillis: req.TimeoutMillis,
+		DeadlineMillis: req.DeadlineMillis, IdempotencyKey: req.IdempotencyKey}
+	for attempt := 1; ; attempt++ {
+		out, err := c.execOnce(ctx, body)
+		if err == nil {
+			return out, nil
+		}
+		if !c.retryAfter(ctx, attempt, err) {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) execOnce(ctx context.Context, body any) (*ExecResult, error) {
 	resp, err := c.post(ctx, "/exec", body)
 	if err != nil {
 		return nil, err
@@ -332,10 +433,82 @@ func (c *Client) Exec(ctx context.Context, sql string, opts ...QueryOption) (*Ex
 	return &out, nil
 }
 
+// newIdempotencyKey draws a 128-bit random token. Collisions across the
+// server's bounded dedup window are vanishingly unlikely.
+func newIdempotencyKey() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("client: generating idempotency key: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// retryAfter decides whether the failed attempt should be retried and, if
+// so, sleeps the backoff (exponential, jittered, capped). It returns
+// false when the error is permanent, the attempt budget is spent, or ctx
+// ends during the backoff.
+func (c *Client) retryAfter(ctx context.Context, attempt int, err error) bool {
+	if attempt >= c.attempts || ctx.Err() != nil {
+		return false
+	}
+	if !retryable(err) {
+		return false
+	}
+	backoff := c.backoffBase << (attempt - 1)
+	if backoff > c.backoffCap {
+		backoff = c.backoffCap
+	}
+	// Full jitter in [backoff/2, backoff): desynchronises clients that
+	// failed together so their retries don't stampede together.
+	backoff = backoff/2 + time.Duration(mrand.Int63n(int64(backoff/2)+1))
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// retryable classifies an attempt's error: 503s that are not degraded
+// (admission shedding, draining) and transport failures (connection
+// refused/reset, broken pipe) are transient; everything else — 4xx, 504,
+// degraded 503s, context cancellation — is permanent for this call.
+func retryable(err error) bool {
+	var se *Error
+	if errors.As(err, &se) {
+		return se.IsUnavailable() && !se.Degraded
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true // transport-level: the request may never have arrived
+}
+
 // Status mirrors the server's /status snapshot.
 type Status struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	Tables        []struct {
+	Health        struct {
+		Ready        bool   `json:"ready"`
+		Draining     bool   `json:"draining"`
+		Degraded     bool   `json:"degraded"`
+		DegradedErr  string `json:"degraded_err,omitempty"`
+		CorruptPages []struct {
+			Table string `json:"table"`
+			Page  int64  `json:"page"`
+		} `json:"corrupt_pages,omitempty"`
+		LastScrub *struct {
+			StartUnixMillis int64 `json:"start_unix_ms"`
+			DurationMicros  int64 `json:"duration_us"`
+			PagesScanned    int64 `json:"pages_scanned"`
+			SMAsChecked     int   `json:"smas_checked"`
+			CorruptPages    int   `json:"corrupt_pages"`
+			Errors          int   `json:"errors"`
+			Clean           bool  `json:"clean"`
+		} `json:"last_scrub,omitempty"`
+	} `json:"health"`
+	Tables []struct {
 		Name    string `json:"name"`
 		Columns []struct {
 			Name string `json:"name"`
@@ -382,6 +555,8 @@ type Status struct {
 		RowsStreamed      int64 `json:"rows_streamed"`
 		AdmissionTimeouts int64 `json:"admission_timeouts"`
 		AdmissionRejected int64 `json:"admission_rejected"`
+		WatchdogCancels   int64 `json:"watchdog_cancels"`
+		IdempotentReplays int64 `json:"idempotent_replays"`
 	} `json:"totals"`
 }
 
@@ -424,6 +599,10 @@ func (c *Client) post(ctx context.Context, path string, body any) (*http.Respons
 type Error struct {
 	StatusCode int
 	Message    string
+	// Degraded marks a 503 caused by detected on-disk corruption rather
+	// than transient load: the database is read-only until an operator
+	// intervenes, so the client does not retry these.
+	Degraded bool
 }
 
 func (e *Error) Error() string {
@@ -434,15 +613,49 @@ func (e *Error) Error() string {
 // queue timeout or draining); the caller may retry after a backoff.
 func (e *Error) IsUnavailable() bool { return e.StatusCode == http.StatusServiceUnavailable }
 
+// IsDegraded reports whether the request was rejected because the
+// database is in degraded (corruption-detected, read-only) mode. Not
+// retryable: writes will keep failing until the operator repairs or
+// restores the store.
+func (e *Error) IsDegraded() bool { return e.Degraded }
+
 // asError converts a non-200 response into *Error.
 func (c *Client) asError(resp *http.Response) error {
 	defer resp.Body.Close()
 	var body struct {
-		Error string `json:"error"`
+		Error    string `json:"error"`
+		Degraded bool   `json:"degraded"`
 	}
 	msg := resp.Status
+	var degraded bool
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body); err == nil && body.Error != "" {
 		msg = body.Error
+		degraded = body.Degraded
 	}
-	return &Error{StatusCode: resp.StatusCode, Message: msg}
+	return &Error{StatusCode: resp.StatusCode, Message: msg, Degraded: degraded}
+}
+
+// Alive probes GET /livez: nil means the process is up and serving its
+// listener. Liveness stays true even when the database is degraded.
+func (c *Client) Alive(ctx context.Context) error { return c.probe(ctx, "/livez") }
+
+// Ready probes GET /readyz: nil means the server is accepting new
+// statements. It fails while the server drains for shutdown and while
+// the database is degraded.
+func (c *Client) Ready(ctx context.Context) error { return c.probe(ctx, "/readyz") }
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode == http.StatusOK {
+		resp.Body.Close()
+		return nil
+	}
+	return c.asError(resp)
 }

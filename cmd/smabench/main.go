@@ -7,6 +7,7 @@
 //	smabench -exp pr4 -out BENCH_pr4.json   # batch/prefetch trajectory
 //	smabench -exp obs -out BENCH_obs.json   # observability overhead (off/metrics/trace)
 //	smabench -exp wal -out BENCH_wal.json   # group-commit throughput per sync policy
+//	smabench -exp chaos -out BENCH_chaos.json # availability under injected faults + crashes
 //
 // Each experiment prints the measured rows next to the paper's published
 // numbers; EXPERIMENTS.md records a full paper-vs-measured comparison.
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs, wal")
+	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs, wal, chaos")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
@@ -145,8 +146,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	if run("chaos") && want == "chaos" {
+		ok = true
+		if err := runChaos(*seed, *out); err != nil {
+			fatal(err)
+		}
+	}
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, serve, obs, or wal)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want all, e1..e11, pr4, serve, obs, wal, or chaos)", *exp))
 	}
 }
 

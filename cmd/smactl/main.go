@@ -10,9 +10,11 @@
 //	smactl -dir ./db verify LINEITEM   # recompute and compare every SMA
 //	smactl -dir ./db grade LINEITEM "L_SHIPDATE <= date '1995-06-17'"
 //	smactl -dir ./db drop LINEITEM min
+//	smactl -dir ./db scrub             # verify every page checksum and SMA file
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,7 +33,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop"))
+		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop | scrub"))
 	}
 	db, err := sma.Open(*dir)
 	if err != nil {
@@ -116,6 +118,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("dropped sma %s on %s\n", args[2], args[1])
+	case "scrub":
+		// scrub: verify every heap page checksum and reload every SMA
+		// file. Exit 1 when anything is corrupt, so cron jobs and CI can
+		// alert on the status code alone.
+		rep, err := db.Scrub(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("scrubbed %d table(s): %d page(s), %d SMA file set(s) in %v\n",
+			rep.Tables, rep.PagesScanned, rep.SMAsChecked, rep.Duration.Round(time.Millisecond))
+		for _, cp := range rep.Corrupt {
+			fmt.Printf("  CORRUPT %s page %d\n", cp.Table, cp.Page)
+		}
+		for _, e := range rep.Errors {
+			fmt.Printf("  ERROR %s\n", e)
+		}
+		if rep.Clean() {
+			fmt.Println("clean")
+		} else {
+			fmt.Println("corruption found: database is degraded (read-only)")
+			os.Exit(1)
+		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))
 	}

@@ -9,6 +9,14 @@
 //	smaserverd -dir ./db -tls-cert cert.pem -tls-key key.pem
 //	smaserverd -dir ./db -log-level debug -slow-query 250ms
 //	smaserverd -dir ./db -debug-addr 127.0.0.1:7422   # pprof + runtime/metrics
+//	smaserverd -dir ./db -verify-on-open -scrub-every 1h -statement-deadline 30s
+//
+// Health: GET /livez answers 200 while the process serves; GET /readyz
+// drops to 503 while draining or when the database is degraded
+// (corruption detected), so load balancers stop routing before requests
+// fail. -verify-on-open checksums every page before serving; -scrub-every
+// keeps a background scrubber walking the store; -statement-deadline arms
+// a watchdog that force-cancels statements stuck past the bound.
 //
 // Structured logs (engine query log, slow-query log, server request log)
 // go to stderr as logfmt lines tagged with per-query ids. The debug
@@ -54,6 +62,9 @@ func main() {
 	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 	slowQuery := flag.Duration("slow-query", 0, "slow-query log threshold; queries at or above it log at warn with their SQL (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "optional private listen address serving net/http/pprof and a runtime/metrics dump under /debug/")
+	verifyOnOpen := flag.Bool("verify-on-open", false, "verify every page checksum before serving; corruption starts the server degraded (read-only)")
+	scrubEvery := flag.Duration("scrub-every", 0, "background scrub interval; each pass re-verifies every page and SMA file (0 disables)")
+	stmtDeadline := flag.Duration("statement-deadline", 0, "watchdog bound: statements executing longer than this are force-cancelled (0 disables)")
 	flag.Parse()
 	if *dir == "" {
 		fatal(errors.New("-dir is required"))
@@ -83,15 +94,25 @@ func main() {
 	if *prefetch != 0 {
 		opts = append(opts, sma.WithPrefetchWindow(*prefetch))
 	}
+	if *verifyOnOpen {
+		opts = append(opts, sma.WithVerifyOnOpen())
+	}
+	if *scrubEvery > 0 {
+		opts = append(opts, sma.WithScrubInterval(*scrubEvery))
+	}
 	db, err := sma.Open(*dir, opts...)
 	if err != nil {
 		fatal(err)
 	}
+	if err := db.Degraded(); err != nil {
+		fmt.Fprintf(os.Stderr, "smaserverd: WARNING: serving degraded (read-only): %v\n", err)
+	}
 
 	srv := server.New(db, server.Config{
-		MaxConcurrent: *maxConc,
-		QueueTimeout:  *queueTimeout,
-		Logger:        logger.With("component", "server"),
+		MaxConcurrent:     *maxConc,
+		QueueTimeout:      *queueTimeout,
+		StatementDeadline: *stmtDeadline,
+		Logger:            logger.With("component", "server"),
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -1,0 +1,81 @@
+// Package chaos builds deterministic fault plans for resilience testing:
+// seeded schedules for storage.DiskManager.SetFault (countdown and
+// probabilistic failures, stalled syncs), on-disk damage helpers (bit
+// flips, torn-write residue), and a flaky TCP proxy for exercising the
+// client's retry and idempotency machinery.
+//
+// Everything is seeded: the same seed replays the same faults, so a
+// failing chaos run is reproducible from its log line.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sma/internal/storage"
+)
+
+// Countdown returns a fault that lets the first n matching operations
+// through, then fails every matching operation after that with err.
+// op "" matches every operation.
+func Countdown(n int64, op string, err error) storage.FaultFn {
+	var remaining atomic.Int64
+	remaining.Store(n)
+	return func(o string, _ storage.PageID) error {
+		if op != "" && o != op {
+			return nil
+		}
+		if remaining.Add(-1) < 0 {
+			return err
+		}
+		return nil
+	}
+}
+
+// Probability returns a fault that fails each matching operation with
+// probability p, drawn from a seeded generator so a schedule replays
+// identically for the same seed.
+func Probability(seed int64, p float64, op string, err error) storage.FaultFn {
+	var mu sync.Mutex
+	rnd := rand.New(rand.NewSource(seed))
+	return func(o string, _ storage.PageID) error {
+		if op != "" && o != op {
+			return nil
+		}
+		mu.Lock()
+		hit := rnd.Float64() < p
+		mu.Unlock()
+		if hit {
+			return err
+		}
+		return nil
+	}
+}
+
+// Stall returns a fault that delays every matching operation by d and
+// then lets it through — a slow disk, not a broken one. Stalled fsyncs
+// are the classic cause of group-commit pile-ups.
+func Stall(op string, d time.Duration) storage.FaultFn {
+	return func(o string, _ storage.PageID) error {
+		if op == "" || o == op {
+			time.Sleep(d)
+		}
+		return nil
+	}
+}
+
+// Chain composes faults left to right; the first error wins. Later
+// faults still run their side effects (sleeps) for operations the
+// earlier ones let through.
+func Chain(fns ...storage.FaultFn) storage.FaultFn {
+	return func(o string, page storage.PageID) error {
+		for _, fn := range fns {
+			if err := fn(o, page); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

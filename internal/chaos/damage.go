@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"math/rand"
+	"os"
+)
+
+// FlipByte XORs mask into the byte at offset off of path — the smallest
+// possible silent corruption, exactly what a page checksum must catch.
+func FlipByte(path string, off int64, mask byte) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= mask
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// AppendGarbage appends n seeded pseudo-random bytes to path: the
+// on-disk residue of a torn write that started but never completed.
+// Appending never destroys fsynced data, so it models exactly what a
+// crash mid-write can leave behind a durability boundary — recovery must
+// recognize the tail as garbage and stop there.
+func AppendGarbage(path string, seed int64, n int) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(buf)
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	return f.Sync()
+}

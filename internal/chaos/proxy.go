@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ProxyConfig tunes the flaky proxy's misbehavior. The zero value
+// forwards faithfully.
+type ProxyConfig struct {
+	// ResetProb is the per-connection probability that the proxy kills
+	// the connection with a TCP reset partway through.
+	ResetProb float64
+	// ResetAfter bounds how many forwarded bytes a doomed connection
+	// survives before the reset (the exact budget is drawn per
+	// connection). Default 4096.
+	ResetAfter int
+	// Latency is added once to each connection's first forwarded bytes,
+	// in each direction.
+	Latency time.Duration
+}
+
+// Proxy is a seeded flaky TCP proxy: it forwards byte streams to a
+// target address, and — per the config — resets connections mid-stream
+// and delays traffic. Clients pointed at Addr() experience the network
+// failures their retry logic claims to handle.
+type Proxy struct {
+	cfg    ProxyConfig
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	rnd    *rand.Rand
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg     sync.WaitGroup
+	accept int64 // atomics: observability for tests
+	resets int64
+}
+
+// NewProxy starts a proxy on a fresh loopback port forwarding to target.
+func NewProxy(target string, seed int64, cfg ProxyConfig) (*Proxy, error) {
+	if cfg.ResetAfter <= 0 {
+		cfg.ResetAfter = 4096
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:    cfg,
+		target: target,
+		ln:     ln,
+		rnd:    rand.New(rand.NewSource(seed)),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address, for clients.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Accepted counts connections the proxy took on.
+func (p *Proxy) Accepted() int64 { return atomic.LoadInt64(&p.accept) }
+
+// Resets counts connections the proxy killed mid-stream.
+func (p *Proxy) Resets() int64 { return atomic.LoadInt64(&p.resets) }
+
+// Close stops accepting, kills every live connection, and waits for all
+// proxy goroutines to exit — a Proxy leaks nothing once Close returns.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		atomic.AddInt64(&p.accept, 1)
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		doomed := p.rnd.Float64() < p.cfg.ResetProb
+		budget := int64(p.cfg.ResetAfter)
+		if doomed && budget > 1 {
+			budget = 1 + p.rnd.Int63n(budget)
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.serve(conn, doomed, budget)
+	}
+}
+
+// serve forwards one client connection to the target, enforcing the
+// doom budget across both directions.
+func (p *Proxy) serve(client net.Conn, doomed bool, budget int64) {
+	defer p.wg.Done()
+	defer p.forget(client)
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	defer upstream.Close()
+	p.track(upstream)
+	defer p.forget(upstream)
+
+	var forwarded atomic.Int64
+	var once sync.Once
+	reset := func() {
+		once.Do(func() {
+			atomic.AddInt64(&p.resets, 1)
+			// SO_LINGER 0: close sends RST, not FIN — the abrupt death
+			// retry logic must survive, not a polite shutdown.
+			if tc, ok := client.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			client.Close()
+			upstream.Close()
+		})
+	}
+
+	var wg sync.WaitGroup
+	pipe := func(dst, src net.Conn) {
+		defer wg.Done()
+		if p.cfg.Latency > 0 {
+			time.Sleep(p.cfg.Latency)
+		}
+		buf := make([]byte, 1024)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if doomed && forwarded.Add(int64(n)) > budget {
+					reset()
+					return
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if rerr != nil {
+				if rerr != io.EOF {
+					return
+				}
+				// Half-close: let the other direction drain.
+				if tc, ok := dst.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go pipe(upstream, client)
+	pipe(client, upstream)
+	wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return
+	}
+	p.conns[c] = struct{}{}
+}
+
+func (p *Proxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}

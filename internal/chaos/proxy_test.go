@@ -1,0 +1,193 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sma"
+	"sma/client"
+	"sma/internal/chaos"
+	"sma/internal/server"
+)
+
+// flakyStack is a full server with a chaos proxy in front: clients talk
+// through proxied (resets, latency), verification talks through direct.
+type flakyStack struct {
+	DB      *sma.DB
+	Proxy   *chaos.Proxy
+	Direct  string
+	Proxied string
+}
+
+func startFlakyStack(t *testing.T, seed int64, cfg chaos.ProxyConfig) *flakyStack {
+	t.Helper()
+	db, err := sma.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	proxy, err := chaos.NewProxy(ln.Addr().String(), seed, cfg)
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	st := &flakyStack{
+		DB:      db,
+		Proxy:   proxy,
+		Direct:  "http://" + ln.Addr().String(),
+		Proxied: "http://" + proxy.Addr(),
+	}
+	t.Cleanup(func() {
+		proxy.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		httpSrv.Shutdown(ctx)
+		db.Close()
+	})
+	return st
+}
+
+// TestFlakyProxyRetryWorkload is the acceptance scenario: 16 clients run
+// a mixed workload through a proxy that resets connections mid-stream.
+// The client retry loop plus server-side idempotency must deliver
+// exactly-once Exec effects — every statement that reported success
+// landed exactly once, and nothing landed twice — and queries that
+// survived the network report correct data. Afterwards nothing leaks.
+func TestFlakyProxyRetryWorkload(t *testing.T) {
+	goroutines := runtime.NumGoroutine()
+	st := startFlakyStack(t, 1998, chaos.ProxyConfig{ResetProb: 0.25, ResetAfter: 2048})
+
+	setup := client.New(st.Direct)
+	if _, err := setup.Exec(context.Background(), "create table W (D date, K char(1), V float64)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, ops = 16, 10
+	type outcome struct {
+		marker int
+		ok     bool
+	}
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		queryErr int
+	)
+	var wg sync.WaitGroup
+	for ci := 0; ci < clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			// A dedicated transport per client so pooled connections
+			// (and their injected resets) are not shared across workers.
+			cc := client.New(st.Proxied,
+				client.WithRetries(8),
+				client.WithHTTPClient(&http.Client{Transport: &http.Transport{}}))
+			for op := 0; op < ops; op++ {
+				marker := ci*1000 + op
+				if op%3 == 2 {
+					// A read riding along: retried like any other
+					// request; failures are tolerated, wrong answers
+					// are not (checked via trailer consistency).
+					rows, err := cc.Query(context.Background(),
+						"select count(*) as C from W")
+					if err != nil {
+						mu.Lock()
+						queryErr++
+						mu.Unlock()
+						continue
+					}
+					for rows.Next() {
+					}
+					rows.Close()
+					continue
+				}
+				sql := fmt.Sprintf(
+					"insert into W values (date '2024-%02d-%02d', '%c', %d)",
+					ci%12+1, op%27+1, 'A'+ci%5, marker)
+				_, err := cc.Exec(context.Background(), sql)
+				mu.Lock()
+				outcomes = append(outcomes, outcome{marker: marker, ok: err == nil})
+				mu.Unlock()
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	// Verify through the direct (honest) connection: count every marker.
+	rows, err := setup.Query(context.Background(), "select V from W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for rows.Next() {
+		counts[rows.Row()[0]]++
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+
+	succeeded := 0
+	for _, oc := range outcomes {
+		key := fmt.Sprint(oc.marker)
+		switch n := counts[key]; {
+		case n > 1:
+			t.Errorf("marker %d inserted %d times: duplicate Exec effect", oc.marker, n)
+		case oc.ok && n == 0:
+			t.Errorf("marker %d reported success but is missing", oc.marker)
+		}
+		if oc.ok {
+			succeeded++
+		}
+	}
+	for key, n := range counts {
+		if n > 1 {
+			t.Errorf("value %s appears %d times", key, n)
+		}
+	}
+	t.Logf("execs: %d attempted, %d succeeded; query errors: %d; proxy: %d conns, %d resets",
+		len(outcomes), succeeded, queryErr, st.Proxy.Accepted(), st.Proxy.Resets())
+	if st.Proxy.Resets() == 0 {
+		t.Error("proxy injected no resets; the workload tested nothing")
+	}
+	if succeeded == 0 {
+		t.Error("no exec ever succeeded through the flaky proxy")
+	}
+
+	// Tear the stack down and require the goroutine count to settle:
+	// no leaked proxy pipes, retry timers, or server sessions.
+	st.Proxy.Close()
+	checkNoGoroutineLeak(t, goroutines+16) // idle HTTP keep-alive conns unwind lazily
+}
+
+// TestProxyResetSurfacesAsTransportError pins the proxy's failure mode:
+// a doomed connection dies with a connection-level error (reset/EOF),
+// not a clean HTTP response — exactly what the client classifies as
+// retryable.
+func TestProxyResetSurfacesAsTransportError(t *testing.T) {
+	st := startFlakyStack(t, 7, chaos.ProxyConfig{ResetProb: 1.0, ResetAfter: 64})
+	c := client.New(st.Proxied, client.WithRetries(1),
+		client.WithHTTPClient(&http.Client{Transport: &http.Transport{}}))
+	_, err := c.Query(context.Background(), "select count(*) as C from NOPE")
+	if err == nil {
+		t.Fatal("query through always-reset proxy succeeded")
+	}
+	if se, ok := err.(*client.Error); ok && !strings.Contains(se.Message, "reset") {
+		t.Fatalf("expected a transport-level failure, got HTTP error %v", err)
+	}
+}

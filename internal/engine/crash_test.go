@@ -74,7 +74,7 @@ func seedEvents(t *testing.T, db *DB, n int) *Table {
 // validation inserts nothing — the statement is all-or-nothing, not
 // prefix-applied.
 func TestInsertAtomicBadRow(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	db, err := Open(t.TempDir(), Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestInsertAtomicBadRow(t *testing.T) {
 // rolls the heap back to the statement start and repairs the SMAs, so a
 // half-maintained statement is never visible.
 func TestInsertAtomicMaintFault(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	db, err := Open(t.TempDir(), Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func (c *flakyCtx) Err() error {
 // TestUpdateAtomicCancellation: cancelling an UPDATE after some rows are
 // rewritten rolls every one of them back.
 func TestUpdateAtomicCancellation(t *testing.T) {
-	db, err := Open(t.TempDir(), Options{BucketPages: 1})
+	db, err := Open(t.TempDir(), Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestUpdateAtomicCancellation(t *testing.T) {
 // from the redo log, and the SMAs rebuilt to match.
 func TestCrashRecovery(t *testing.T) {
 	dir := t.TempDir()
-	db, err := Open(dir, Options{BucketPages: 1})
+	db, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +220,7 @@ func TestCrashRecovery(t *testing.T) {
 	if err := db.Crash(); err != nil {
 		t.Fatalf("Crash: %v", err)
 	}
-	db2, err := Open(dir, Options{BucketPages: 1})
+	db2, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatalf("Open after crash: %v", err)
 	}
@@ -255,7 +255,7 @@ func TestCrashRecovery(t *testing.T) {
 	if err := db2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db3, err := Open(dir, Options{BucketPages: 1})
+	db3, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -277,7 +277,7 @@ func TestCrashRecovery(t *testing.T) {
 // prefix exactly.
 func TestCrashRecoveryTornTail(t *testing.T) {
 	dir := t.TempDir()
-	db, err := Open(dir, Options{BucketPages: 1})
+	db, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,7 +296,7 @@ func TestCrashRecoveryTornTail(t *testing.T) {
 	}
 	f.Close()
 
-	db2, err := Open(dir, Options{BucketPages: 1})
+	db2, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatalf("Open over torn tail: %v", err)
 	}
@@ -320,7 +320,7 @@ func TestCrashRecoveryTornTail(t *testing.T) {
 // the committed state (the checkpoint already flushed it).
 func TestCrashAfterCheckpoint(t *testing.T) {
 	dir := t.TempDir()
-	db, err := Open(dir, Options{BucketPages: 1, CheckpointBytes: 1})
+	db, err := Open(dir, Options{BucketPages: 1, CheckpointBytes: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestCrashAfterCheckpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	db2, err := Open(dir, Options{BucketPages: 1})
+	db2, err := Open(dir, Options{BucketPages: 1, AllowUnsafeCrash: true})
 	if err != nil {
 		t.Fatalf("Open after checkpointed crash: %v", err)
 	}

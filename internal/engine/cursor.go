@@ -95,6 +95,10 @@ type Cursor struct {
 	start   time.Time
 	rowsOut int64
 
+	// cancel releases the statement-timeout context (if any) when the
+	// stream ends.
+	cancel context.CancelFunc
+
 	released bool
 	closed   bool
 }
@@ -197,7 +201,23 @@ func (c *Cursor) QueryID() string { return c.qid }
 // values themselves are plain Go scalars safe to retain. When the stream
 // ends (ok=false), the database read lock is released; Close afterwards is
 // a no-op.
-func (c *Cursor) Next() ([]any, bool, error) {
+func (c *Cursor) Next() (row []any, ok bool, err error) {
+	// Panic boundary: a panic in the iterator pipeline ends the stream
+	// with a typed error (releasing the read lock) instead of unwinding
+	// into the caller — one poisoned query must not take down a server.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		c.logPanic(r)
+		row, ok = nil, false
+		func() {
+			defer func() { _ = recover() }() // cleanup of a broken pipeline may panic again
+			_ = c.finish()
+		}()
+		err = fmt.Errorf("%w: %v", ErrStatementPanic, r)
+	}()
 	if c.released {
 		return nil, false, nil
 	}
@@ -297,10 +317,21 @@ func (c *Cursor) finish() error {
 		}
 	}
 	c.finishObs(err)
+	if c.cancel != nil {
+		c.cancel()
+	}
 	if !c.noLock {
 		c.db.mu.RUnlock()
 	}
 	return err
+}
+
+// logPanic records a cursor panic with its stack before the stream is
+// torn down.
+func (c *Cursor) logPanic(r any) {
+	if o := c.obs; o != nil {
+		o.Logger().Error("query panic mid-stream", "qid", c.qid, "err", fmt.Sprint(r), "sql", c.sql)
+	}
 }
 
 // finishObs settles the cursor's observability state; see finish.
@@ -371,11 +402,22 @@ func (db *DB) QueryContext(ctx context.Context, sql string, opts ...QueryOption)
 }
 
 // queryContext is QueryContext for a plain SELECT.
-func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption) (*Cursor, error) {
+func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption) (cur *Cursor, err error) {
+	// Panic boundary, registered first so it runs after the lock-release
+	// defer below during an unwind: a panicking plan or pipeline Open
+	// becomes an error, not a downed process.
+	defer db.recoverQueryPanic(sql, &err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var cancel context.CancelFunc
+	if d := db.opts.StatementTimeout; d > 0 {
+		ctx, cancel = context.WithTimeout(ctx, d)
+	}
 	if err := ctx.Err(); err != nil {
+		if cancel != nil {
+			cancel()
+		}
 		return nil, err
 	}
 	var cfg queryConfig
@@ -402,6 +444,9 @@ func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption)
 		if !ok {
 			db.mu.RUnlock()
 			tr.Finish() // release pooled spans of a failed query
+			if cancel != nil {
+				cancel()
+			}
 		}
 	}()
 	if err := db.checkOpen(); err != nil {
@@ -420,15 +465,16 @@ func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption)
 		plan.Exec.BatchSize = *cfg.batch
 	}
 	plan.Span = tr.Root().Child("execute")
-	cur, err := newCursor(ctx, db, plan)
+	c, err := newCursor(ctx, db, plan)
 	if err != nil {
 		o.Logger().Warn("query failed", "qid", qid, "err", err, "sql", sql)
 		return nil, err
 	}
-	cur.obs, cur.trace, cur.execSp = o, tr, plan.Span
-	cur.sql, cur.qid, cur.start = sql, qid, start
+	c.obs, c.trace, c.execSp = o, tr, plan.Span
+	c.sql, c.qid, c.start = sql, qid, start
+	c.cancel = cancel
 	ok = true
-	return cur, nil
+	return c, nil
 }
 
 // explainContext implements EXPLAIN and EXPLAIN ANALYZE. Plain EXPLAIN

@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"sma/internal/storage"
+)
+
+// ErrDegraded marks a database that detected page corruption and fell
+// back to read-only operation. Writes are refused — appending to, or
+// maintaining SMAs over, a heap with unreadable pages could compound the
+// damage — while reads keep working around the quarantined pages: a
+// query whose SMA grades disqualify every bucket touching a corrupt page
+// never fetches it and still answers exactly; only queries that need the
+// lost bytes fail, each with a storage.CorruptPageError.
+var ErrDegraded = errors.New("engine: database is degraded (read-only) after page corruption")
+
+// ErrStatementPanic marks a statement that panicked inside the engine.
+// The panic is contained at the statement boundary: the process (and the
+// server above it) keeps running, and for write statements the database
+// is poisoned so a half-applied mutation can never be committed — the
+// next Open replays the committed log instead.
+var ErrStatementPanic = errors.New("engine: statement panicked")
+
+// CorruptPage identifies one quarantined page.
+type CorruptPage struct {
+	Table string         `json:"table"`
+	Page  storage.PageID `json:"page"`
+}
+
+// noteCorruption records a newly-quarantined page and flips the database
+// into degraded read-only mode. It is the buffer pools' corruption
+// callback, invoked from fetch paths that may hold db.mu in read mode —
+// so it synchronizes on its own mutex and never touches db.mu.
+func (db *DB) noteCorruption(table string, page storage.PageID) {
+	db.degMu.Lock()
+	db.degPages = append(db.degPages, CorruptPage{Table: table, Page: page})
+	if db.degErr == nil {
+		db.degErr = fmt.Errorf("%w: first detected at page %d of %s", ErrDegraded, page, table)
+	}
+	db.degMu.Unlock()
+	if o := db.opts.Obs; o != nil {
+		o.Logger().Error("page corruption detected; database degraded to read-only",
+			"table", table, "page", int64(page))
+	}
+}
+
+// Degraded returns nil on a healthy database, or an error wrapping
+// ErrDegraded describing the first detected corruption.
+func (db *DB) Degraded() error {
+	db.degMu.Lock()
+	defer db.degMu.Unlock()
+	return db.degErr
+}
+
+// CorruptPages lists every page quarantined so far, in detection order.
+func (db *DB) CorruptPages() []CorruptPage {
+	db.degMu.Lock()
+	defer db.degMu.Unlock()
+	out := make([]CorruptPage, len(db.degPages))
+	copy(out, db.degPages)
+	return out
+}
+
+// recoverStatementPanic is the per-statement panic boundary for write
+// statements: deferred by ExecContext, it converts a panic into a typed
+// error and poisons the database — the panic may have unwound through a
+// half-applied mutation whose journal never ran, so the in-memory state
+// can no longer be trusted; recovery replay on reopen restores the last
+// committed statement.
+func (db *DB) recoverStatementPanic(sql string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	err := fmt.Errorf("%w: %v", ErrStatementPanic, r)
+	db.mu.Lock()
+	if db.failed == nil {
+		db.failed = err
+	}
+	db.mu.Unlock()
+	if o := db.opts.Obs; o != nil {
+		o.Logger().Error("statement panic (database poisoned, reopen to recover)",
+			"err", fmt.Sprint(r), "sql", sql, "stack", string(debug.Stack()))
+	}
+	*errp = err
+}
+
+// recoverQueryPanic is the panic boundary for read statements: queries
+// mutate nothing under the read lock, so a panicking query is converted
+// to an error without poisoning the database.
+func (db *DB) recoverQueryPanic(sql string, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if o := db.opts.Obs; o != nil {
+		o.Logger().Error("query panic", "err", fmt.Sprint(r), "sql", sql,
+			"stack", string(debug.Stack()))
+	}
+	*errp = fmt.Errorf("%w: %v", ErrStatementPanic, r)
+}

@@ -73,6 +73,26 @@ type Options struct {
 	// (flush everything, truncate the log) at the next statement boundary
 	// (default 8 MB).
 	CheckpointBytes int64
+	// StatementTimeout bounds every statement (query or DML) with a
+	// context deadline; 0 disables. The exec pipeline checks its context
+	// at every bucket/page, so an exceeded deadline cancels the statement
+	// at the next boundary — the engine-side backstop behind the serving
+	// layer's stuck-statement watchdog.
+	StatementTimeout time.Duration
+	// VerifyOnOpen runs a full checksum scrub before Open returns.
+	// Corruption found does not fail the Open: the pages are quarantined
+	// and the database opens degraded (read-only), exactly as if a query
+	// had found them.
+	VerifyOnOpen bool
+	// ScrubInterval starts a background scrubber that verifies every
+	// heap page and SMA file at this cadence, paced so it cannot
+	// monopolize the disk; 0 disables.
+	ScrubInterval time.Duration
+	// AllowUnsafeCrash arms DB.Crash, the simulated-process-kill switch
+	// used by crash and chaos tests. Production openings leave it false,
+	// making Crash an error — an operator (or a bug) cannot abandon a
+	// live database through the API.
+	AllowUnsafeCrash bool
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +157,19 @@ type DB struct {
 	// recovery records what Open's crash recovery did (zero when the
 	// previous shutdown was clean).
 	recovery RecoveryStats
+
+	// Degraded-mode state, guarded by degMu (never db.mu: the buffer
+	// pools' corruption callback fires under fetch paths that may hold
+	// db.mu in read mode).
+	degMu    sync.Mutex
+	degErr   error
+	degPages []CorruptPage
+
+	// Background scrubber lifecycle and last published report.
+	scrubCancel func()
+	scrubDone   chan struct{}
+	scrubMu     sync.Mutex
+	lastScrub   *ScrubReport
 }
 
 // Open opens (or initializes) a database directory. Open takes an
@@ -177,8 +210,18 @@ func Open(dir string, opts Options) (*DB, error) {
 		return fail(err)
 	}
 	if wasUnclean {
+		// Replay may legitimately read a torn page before the full-page
+		// image that heals it is applied, so checksum verification is
+		// off for the duration; everything replay touches is rewritten
+		// and restamped on its flush.
+		for _, t := range db.tables {
+			t.pool.SetVerifyReads(false)
+		}
 		if err := db.recoverLocked(); err != nil {
 			return fail(err)
+		}
+		for _, t := range db.tables {
+			t.pool.SetVerifyReads(true)
 		}
 	}
 	w, err := wal.Create(db.walPath(), db.tableStatesLocked(), opts.SyncPolicy)
@@ -190,6 +233,14 @@ func Open(dir string, opts Options) (*DB, error) {
 		t.pool.SetWriteBackHook(&walHook{log: w, table: t.Name})
 	}
 	db.registerWALMetrics()
+	if opts.VerifyOnOpen {
+		if _, err := db.Scrub(nil); err != nil {
+			return fail(err)
+		}
+	}
+	if opts.ScrubInterval > 0 {
+		db.startScrubber()
+	}
 	return db, nil
 }
 
@@ -238,6 +289,9 @@ func (db *DB) registerPoolMetrics() {
 	o.Reg.CounterFunc("sma_pool_prefetch_hits_total",
 		"Demand fetches that landed on a prefetched frame.",
 		sample(func(s storage.PoolStats) int64 { return s.PrefetchHits }))
+	o.Reg.CounterFunc("sma_storage_corrupt_pages",
+		"Pages quarantined after failing checksum verification.",
+		sample(func(s storage.PoolStats) int64 { return s.CorruptPages }))
 }
 
 // Close checkpoints and closes every table: heap pages are flushed and
@@ -249,6 +303,9 @@ func (db *DB) registerPoolMetrics() {
 // returns nil. Close blocks until open streaming cursors release their
 // read locks.
 func (db *DB) Close() error {
+	// Stop the background scrubber before taking the write lock: a
+	// running pass holds the read lock and exits on cancellation.
+	db.stopScrubber()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -336,6 +393,7 @@ func (db *DB) openTable(name string, schema *tuple.Schema, bucketPages int) (*Ta
 	if db.wal != nil {
 		pool.SetWriteBackHook(&walHook{log: db.wal, table: t.Name})
 	}
+	pool.SetCorruptionHandler(func(id storage.PageID) { db.noteCorruption(t.Name, id) })
 	db.tables[t.Name] = t
 	return t, nil
 }
@@ -345,6 +403,9 @@ func (db *DB) CreateTable(name string, cols []tuple.Column) (*Table, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.checkOpen(); err != nil {
+		return nil, err
+	}
+	if err := db.checkFailed(); err != nil {
 		return nil, err
 	}
 	key := strings.ToUpper(name)
@@ -572,6 +633,9 @@ func (db *DB) DefineSMADef(def core.Def) (*core.SMA, error) {
 	if err := db.checkOpen(); err != nil {
 		return nil, err
 	}
+	if err := db.checkFailed(); err != nil {
+		return nil, err
+	}
 	t, err := db.table(def.Table)
 	if err != nil {
 		return nil, err
@@ -598,6 +662,9 @@ func (db *DB) DropSMA(table, name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if err := db.checkOpen(); err != nil {
+		return err
+	}
+	if err := db.checkFailed(); err != nil {
 		return err
 	}
 	t, err := db.table(table)
@@ -669,7 +736,13 @@ func (db *DB) planTracedLocked(sql string, tr *obs.Trace) (*planner.Plan, error)
 // Query parses, plans, executes and renders a SELECT. The read lock is
 // held across planning and execution so concurrent appends cannot mutate
 // SMA vectors mid-query.
-func (db *DB) Query(sql string) (*Result, error) {
+//
+// Like QueryContext, Query is a panic boundary: a panic during planning
+// or execution becomes an error wrapping ErrStatementPanic (reads mutate
+// nothing, so the database is not poisoned). The boundary is registered
+// before the read lock so the lock is released first during unwinding.
+func (db *DB) Query(sql string) (res *Result, err error) {
+	defer db.recoverQueryPanic(sql, &err)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	plan, err := db.planLocked(sql)
@@ -681,7 +754,7 @@ func (db *DB) Query(sql string) (*Result, error) {
 		return nil, err
 	}
 	t, _ := db.table(plan.Query.Table)
-	res := &Result{Plan: plan}
+	res = &Result{Plan: plan}
 	// Column headers: select-list order.
 	for _, it := range plan.Query.Items {
 		if it.IsAgg {

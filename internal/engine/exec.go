@@ -29,8 +29,14 @@ type ExecResult struct {
 // "update", and "delete" statements are dispatched to the corresponding
 // engine operation. SELECT and EXPLAIN statements are rejected — they
 // stream through QueryContext.
-func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) {
-	res, err := db.execContext(ctx, sql)
+//
+// ExecContext is a panic boundary: a panic anywhere in the statement is
+// converted to an error wrapping ErrStatementPanic, poisoning the
+// database (the in-memory state may be half-mutated; reopen to recover)
+// but never taking down the process.
+func (db *DB) ExecContext(ctx context.Context, sql string) (res *ExecResult, err error) {
+	defer db.recoverStatementPanic(sql, &err)
+	res, err = db.execContext(ctx, sql)
 	if o := db.opts.Obs; o != nil && err == nil {
 		o.Engine.Execs.With(res.Kind).Inc()
 		o.Logger().Debug("exec",
@@ -43,6 +49,11 @@ func (db *DB) ExecContext(ctx context.Context, sql string) (*ExecResult, error) 
 func (db *DB) execContext(ctx context.Context, sql string) (*ExecResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if d := db.opts.StatementTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -120,4 +121,84 @@ func TestDirLockSurvivesFailedOpen(t *testing.T) {
 		t.Fatalf("Open after failed Open: %v", err)
 	}
 	db.Close()
+}
+
+// TestClaimLockCrashDuringRecovery walks the portable claim-file
+// protocol through its worst case: the directory crashed dirty, a
+// recovering process took the claim and then died mid-recovery. The
+// stale claim must keep blocking (that is the documented flock-less
+// trade-off), removing it by hand must free the directory, and recovery
+// must then run — idempotently, even after a second crash that
+// interrupts it — to exactly the committed data.
+func TestClaimLockCrashDuringRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{AllowUnsafeCrash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(nil, "create table W (D date, V float64)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecContext(nil, "insert into W values (date '2024-01-01', 1), (date '2024-01-02', 2)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A recovering process on a flock-less platform claims the directory
+	// and crashes: the claim file survives, its release func is lost.
+	if _, err := claimLock(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := claimLock(dir); !errors.Is(err, errLocked) {
+		t.Fatalf("claim of a stale-claimed directory: got %v, want errLocked", err)
+	}
+
+	// The operator removes the stale claim — the documented recovery
+	// action — and the claim protocol works again.
+	if err := os.Remove(filepath.Join(dir, LockFileName+".claim")); err != nil {
+		t.Fatal(err)
+	}
+	release, err := claimLock(dir)
+	if err != nil {
+		t.Fatalf("claim after stale-claim removal: %v", err)
+	}
+	if err := release(); err != nil {
+		t.Fatal(err)
+	}
+
+	// First recovery attempt itself crashes before a clean shutdown: the
+	// sentinel stays dirty, so the next open must recover again.
+	db, err = Open(dir, Options{AllowUnsafeCrash: true})
+	if err != nil {
+		t.Fatalf("open of crashed directory: %v", err)
+	}
+	if !db.RecoveryStats().Performed {
+		t.Fatal("reopen after crash skipped recovery")
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	db, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after crash-during-recovery: %v", err)
+	}
+	defer db.Close()
+	if !db.RecoveryStats().Performed {
+		t.Fatal("second recovery did not run: dirty marker was lost")
+	}
+	cur, err := db.QueryContext(context.Background(), "select count(*) as C from W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	vals, ok, err := cur.Next()
+	if err != nil || !ok {
+		t.Fatalf("count after double recovery: ok=%v err=%v", ok, err)
+	}
+	if n, _ := vals[0].(float64); n != 2 {
+		t.Fatalf("count after double recovery: %v, want 2", vals[0])
+	}
 }

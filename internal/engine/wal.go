@@ -52,7 +52,10 @@ func (db *DB) checkFailed() error {
 	if db.failed != nil {
 		return fmt.Errorf("engine: database needs recovery (reopen it): %w", db.failed)
 	}
-	return nil
+	// A degraded database is read-only: writing around quarantined pages
+	// could compound the damage, and SMA maintenance may need to rescan
+	// a bucket whose pages are unreadable.
+	return db.Degraded()
 }
 
 // updateUndo is one journaled UPDATE: the record position and its
@@ -460,7 +463,15 @@ func (db *DB) Sync() error {
 // buffer-pool frames are dropped (their committed effects live in the
 // log), the log is flushed and closed, and the directory lock is released
 // with the dirty marker in place so the next Open runs recovery.
+//
+// Crash is a test-only kill switch and must be armed explicitly with
+// Options.AllowUnsafeCrash (sma.WithUnsafeCrash); on a production
+// opening it returns an error without touching the database.
 func (db *DB) Crash() error {
+	if !db.opts.AllowUnsafeCrash {
+		return fmt.Errorf("engine: Crash is disarmed; open with AllowUnsafeCrash to enable the kill switch")
+	}
+	db.stopScrubber()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -114,9 +114,10 @@ func runCrashDiff(t *testing.T, seed int64, dop int) {
 	dir := t.TempDir()
 	open := func() *engine.DB {
 		db, err := engine.Open(dir, engine.Options{
-			BucketPages: 1,
-			PoolPages:   8, // tiny pool: statements evict mid-flight, so faults bite
-			Parallelism: dop,
+			BucketPages:      1,
+			PoolPages:        8, // tiny pool: statements evict mid-flight, so faults bite
+			Parallelism:      dop,
+			AllowUnsafeCrash: true,
 		})
 		if err != nil {
 			t.Fatalf("open: %v", err)

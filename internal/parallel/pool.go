@@ -1,6 +1,9 @@
 package parallel
 
-import "context"
+import (
+	"context"
+	"fmt"
+)
 
 // Run executes n tasks, one goroutine each, under a context derived from
 // parent (nil means background). The first task error cancels the derived
@@ -8,6 +11,12 @@ import "context"
 // cancelling the parent context has the same effect. Run waits for all
 // tasks to exit and returns the first error observed in task order of
 // completion.
+//
+// A panicking worker goroutine is converted to an error rather than
+// crashing the process: the statement-level panic boundary in the engine
+// can only catch panics on the calling goroutine, so Run is the boundary
+// for the goroutines it owns. (With n == 1 the task runs on the caller,
+// where the engine's own boundary applies.)
 func Run(parent context.Context, n int, task func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
@@ -23,6 +32,11 @@ func Run(parent context.Context, n int, task func(ctx context.Context, i int) er
 	errc := make(chan error, n)
 	for i := 0; i < n; i++ {
 		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					errc <- fmt.Errorf("parallel: worker %d panicked: %v", i, r)
+				}
+			}()
 			errc <- task(ctx, i)
 		}(i)
 	}

@@ -1,0 +1,112 @@
+package server
+
+import "sync"
+
+// idemResult is the recorded outcome of one /exec execution: either a
+// success response or the error body, with its HTTP status. Execution
+// outcomes — success or failure — are recorded permanently for the key,
+// because by the time the engine has run the statement its effects (or
+// its atomic rollback) are settled; a retry must see the same answer,
+// never a second execution. Pre-execution rejections (admission) are
+// transient and abandon the key instead, so a later retry executes.
+type idemResult struct {
+	status  int
+	resp    *ExecResponse
+	errBody *ErrorResponse
+}
+
+// idemEntry is one key's slot: done closes when the leader finished (or
+// abandoned), after which res is immutable.
+type idemEntry struct {
+	key  string
+	done chan struct{}
+	res  idemResult
+}
+
+// idempotency deduplicates /exec statements by client-chosen key. The
+// first request for a key is the leader and executes; concurrent
+// duplicates wait on the entry, later duplicates replay the recorded
+// response. The table is bounded: completed entries are evicted in
+// insertion order once the capacity is reached (in-flight entries are
+// never evicted — their count is already bounded by admission control).
+type idempotency struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*idemEntry
+	order []string
+}
+
+func newIdempotency(capacity int) *idempotency {
+	return &idempotency{cap: capacity, m: make(map[string]*idemEntry, capacity)}
+}
+
+// begin claims a key. leader=true means the caller must execute and then
+// call finish or abandon; leader=false means the entry belongs to an
+// earlier request — wait on e.done, then read e.res.
+func (t *idempotency) begin(key string) (e *idemEntry, leader bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[key]; ok {
+		return e, false
+	}
+	t.evictLocked()
+	e = &idemEntry{key: key, done: make(chan struct{})}
+	t.m[key] = e
+	t.order = append(t.order, key)
+	return e, true
+}
+
+// evictLocked drops oldest completed entries until under capacity.
+// Entries still in flight are skipped (kept in insertion order).
+func (t *idempotency) evictLocked() {
+	for len(t.m) >= t.cap && len(t.order) > 0 {
+		var keep []string
+		evicted := false
+		for i, k := range t.order {
+			e, ok := t.m[k]
+			if !ok {
+				continue // abandoned; drop from order
+			}
+			select {
+			case <-e.done:
+				delete(t.m, k)
+				keep = append(keep, t.order[i+1:]...)
+				evicted = true
+			default:
+				keep = append(keep, k)
+				continue
+			}
+			break
+		}
+		t.order = keep
+		if !evicted {
+			return // everything is in flight; admission bounds that
+		}
+	}
+}
+
+// finish records the leader's execution outcome and wakes duplicates.
+func (t *idempotency) finish(e *idemEntry, res idemResult) {
+	t.mu.Lock()
+	e.res = res
+	t.mu.Unlock()
+	close(e.done)
+}
+
+// abandon releases a key whose leader never reached execution (admission
+// rejected it). Waiting duplicates get a retryable 503; the key itself
+// is forgotten so a later retry becomes a fresh leader.
+func (t *idempotency) abandon(e *idemEntry, res idemResult) {
+	t.mu.Lock()
+	e.res = res
+	delete(t.m, e.key)
+	t.mu.Unlock()
+	close(e.done)
+}
+
+// result returns the recorded outcome; call only after e.done is closed.
+func (t *idempotency) result(e *idemEntry) idemResult {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return e.res
+}

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -29,6 +30,14 @@ type Config struct {
 	// FlushEveryRows is the row-frame interval between explicit flushes of
 	// a /query stream (the header and trailer always flush). Default 64.
 	FlushEveryRows int
+	// StatementDeadline arms the stuck-statement watchdog: a background
+	// loop force-cancels any statement that has been executing longer
+	// than this, even if its client is still connected and it carried no
+	// deadline of its own. 0 (default) disables the watchdog.
+	StatementDeadline time.Duration
+	// IdempotencyCapacity bounds the /exec idempotency-key table; oldest
+	// completed entries are evicted first. Default 4096.
+	IdempotencyCapacity int
 	// Logger receives the server's structured request log: one record per
 	// statement with its query id, route, status, duration, and row count.
 	// nil discards the records; metrics accumulate either way.
@@ -45,6 +54,9 @@ func (c Config) withDefaults() Config {
 	if c.FlushEveryRows <= 0 {
 		c.FlushEveryRows = 64
 	}
+	if c.IdempotencyCapacity <= 0 {
+		c.IdempotencyCapacity = 4096
+	}
 	return c
 }
 
@@ -56,8 +68,14 @@ type Server struct {
 	start    time.Time
 	adm      *admission
 	sessions *sessionTable
+	idem     *idempotency
 	m        metrics
 	log      *slog.Logger
+
+	// Stuck-statement watchdog lifecycle (nil channels when disarmed).
+	watchdogStop chan struct{}
+	watchdogDone chan struct{}
+	watchdogOnce sync.Once
 
 	// reg is the server-side metric registry: request totals, admission
 	// and session gauges, and per-route latency histograms. /metrics
@@ -76,13 +94,53 @@ func New(db *sma.DB, cfg Config) *Server {
 		start:    time.Now(),
 		adm:      newAdmission(cfg.MaxConcurrent),
 		sessions: newSessionTable(),
+		idem:     newIdempotency(cfg.IdempotencyCapacity),
 		log:      cfg.Logger,
 	}
 	if s.log == nil {
 		s.log = obs.DiscardLogger()
 	}
 	s.registerMetrics()
+	if cfg.StatementDeadline > 0 {
+		s.watchdogStop = make(chan struct{})
+		s.watchdogDone = make(chan struct{})
+		go s.watchdogLoop()
+	}
 	return s
+}
+
+// watchdogLoop periodically force-cancels statements running longer than
+// Config.StatementDeadline. The engine aborts a cancelled statement at
+// its next bucket or page boundary; DML unwinds atomically.
+func (s *Server) watchdogLoop() {
+	defer close(s.watchdogDone)
+	period := s.cfg.StatementDeadline / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.watchdogStop:
+			return
+		case <-tick.C:
+		}
+		if n := s.sessions.cancelOlderThan(s.cfg.StatementDeadline); n > 0 {
+			s.m.watchdogCancels.Add(int64(n))
+			s.log.Warn("watchdog cancelled stuck statements",
+				"count", n, "deadline", s.cfg.StatementDeadline)
+		}
+	}
+}
+
+// stopWatchdog halts the watchdog loop; idempotent, safe when disarmed.
+func (s *Server) stopWatchdog() {
+	if s.watchdogStop == nil {
+		return
+	}
+	s.watchdogOnce.Do(func() { close(s.watchdogStop) })
+	<-s.watchdogDone
 }
 
 // registerMetrics builds the server registry. The request totals stay in
@@ -101,6 +159,8 @@ func (s *Server) registerMetrics() {
 	fromAtomic("sma_rows_streamed_total", "Result rows written to /query streams.", &s.m.rowsStreamed)
 	fromAtomic("sma_admission_timeouts_total", "Requests that timed out waiting for a slot.", &s.m.admissionTimeouts)
 	fromAtomic("sma_admission_rejected_total", "Requests rejected because the server was draining.", &s.m.admissionRejected)
+	fromAtomic("sma_watchdog_cancels_total", "Stuck statements force-cancelled by the watchdog.", &s.m.watchdogCancels)
+	fromAtomic("sma_exec_idempotent_replays_total", "Keyed /exec duplicates answered from the recorded response.", &s.m.idemReplays)
 	r.GaugeFunc("sma_sessions_active", "Statements currently executing.", func() float64 {
 		active, _, _ := s.adm.snapshot()
 		return float64(active)
@@ -145,7 +205,41 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /exec", s.timed("exec", s.handleExec))
 	mux.HandleFunc("GET /status", s.timed("status", s.handleStatus))
 	mux.HandleFunc("GET /metrics", s.timed("metrics", s.handleMetrics))
+	mux.HandleFunc("GET /livez", s.handleLivez)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
+}
+
+// handleLivez answers 200 while the process can serve HTTP at all — the
+// restart-me probe. It stays 200 even degraded or draining: restarting
+// would not help either condition.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz answers 200 while the server accepts new statements — the
+// route-traffic-here probe. Readiness drops while draining (Shutdown
+// began) and while the database is degraded to read-only after detected
+// corruption. Recovery replay happens inside sma.Open before this
+// handler can exist, so during replay probes fail at the connection
+// level, which is the correct "not ready yet" signal.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	_, _, draining := s.adm.snapshot()
+	degErr := s.db.Degraded()
+	if !draining && degErr == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+		return
+	}
+	body := ErrorResponse{Degraded: degErr != nil}
+	switch {
+	case draining:
+		body.Error = "draining"
+	default:
+		body.Error = degErr.Error()
+	}
+	s.writeJSON(w, http.StatusServiceUnavailable, &body)
 }
 
 // timed observes a route's request latency into sma_server_request_seconds.
@@ -166,6 +260,7 @@ func (s *Server) timed(route string, h http.HandlerFunc) http.HandlerFunc {
 // returning ctx's error, so the caller can always Close the database
 // immediately after Shutdown returns.
 func (s *Server) Shutdown(ctx context.Context) error {
+	defer s.stopWatchdog()
 	s.adm.beginDrain()
 	done := make(chan struct{})
 	go func() {
@@ -205,9 +300,11 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) bool {
 
 // statementContext derives the execution context of one statement: the
 // request context (cancelled by client disconnect) plus the per-request
-// or server-default deadline, registered in the session table so a
+// or server-default timeout, plus the request's absolute deadline_ms if
+// any (the earlier of the two wins — context.WithDeadline never extends
+// a parent), registered in the session table so the watchdog and a
 // forced shutdown can cancel it.
-func (s *Server) statementContext(r *http.Request, timeoutMillis int64, kind, sql string) (context.Context, *session, context.CancelFunc) {
+func (s *Server) statementContext(r *http.Request, timeoutMillis, deadlineMillis int64, kind, sql string) (context.Context, *session, context.CancelFunc) {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	d := time.Duration(timeoutMillis) * time.Millisecond
@@ -218,6 +315,12 @@ func (s *Server) statementContext(r *http.Request, timeoutMillis int64, kind, sq
 		ctx, cancel = context.WithTimeout(r.Context(), d)
 	} else {
 		ctx, cancel = context.WithCancel(r.Context())
+	}
+	if deadlineMillis > 0 {
+		var cancelAbs context.CancelFunc
+		ctx, cancelAbs = context.WithDeadline(ctx, time.UnixMilli(deadlineMillis))
+		inner := cancel
+		cancel = func() { cancelAbs(); inner() }
 	}
 	sess := s.sessions.add(kind, sql, cancel)
 	return ctx, sess, cancel
@@ -235,7 +338,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer s.adm.release()
 	s.m.queries.Add(1)
 
-	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, "query", req.SQL)
+	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, req.DeadlineMillis, "query", req.SQL)
 	defer cancel()
 	defer s.sessions.remove(sess)
 
@@ -359,20 +462,44 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Idempotency: duplicates of a keyed statement never reach the
+	// engine — they wait for the first attempt and replay its recorded
+	// response, so a client may retry an Exec it lost the answer to
+	// without risking a second execution.
+	var entry *idemEntry
+	if req.IdempotencyKey != "" {
+		var leader bool
+		entry, leader = s.idem.begin(req.IdempotencyKey)
+		if !leader {
+			s.replayExec(w, r, entry)
+			return
+		}
+	}
 	if !s.admit(w, r) {
+		if entry != nil {
+			// Never executed: release the key so a retry gets a fresh run.
+			s.idem.abandon(entry, idemResult{
+				status:  http.StatusServiceUnavailable,
+				errBody: &ErrorResponse{Error: "statement was shed before execution; retry"},
+			})
+		}
 		return
 	}
 	defer s.adm.release()
 	s.m.execs.Add(1)
 
-	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, "exec", req.SQL)
+	ctx, sess, cancel := s.statementContext(r, req.TimeoutMillis, req.DeadlineMillis, "exec", req.SQL)
 	defer cancel()
 	defer s.sessions.remove(sess)
 
 	start := time.Now()
 	res, err := s.db.ExecContext(ctx, req.SQL)
 	if err != nil {
-		s.writeError(w, statusFor(err), err)
+		status, body := statusFor(err), s.errorBody(err)
+		if entry != nil {
+			s.idem.finish(entry, idemResult{status: status, errBody: body})
+		}
+		s.writeJSON(w, status, body)
 		return
 	}
 	resp := &ExecResponse{
@@ -389,13 +516,53 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 			Pages:   res.SMAPages,
 		}
 	}
+	if entry != nil {
+		s.idem.finish(entry, idemResult{status: http.StatusOK, resp: resp})
+	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// replayExec answers a duplicate keyed /exec from the recorded outcome
+// of the first attempt, waiting for it if still in flight.
+func (s *Server) replayExec(w http.ResponseWriter, r *http.Request, entry *idemEntry) {
+	select {
+	case <-entry.done:
+	case <-r.Context().Done():
+		s.m.cancelled.Add(1)
+		return
+	}
+	s.m.idemReplays.Add(1)
+	res := s.idem.result(entry)
+	if res.errBody != nil {
+		s.writeJSON(w, res.status, res.errBody)
+		return
+	}
+	s.writeJSON(w, res.status, res.resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	active, queued, draining := s.adm.snapshot()
+	health := HealthStatus{Ready: !draining, Draining: draining}
+	if degErr := s.db.Degraded(); degErr != nil {
+		health.Ready = false
+		health.Degraded = true
+		health.DegradedErr = degErr.Error()
+		health.CorruptPages = s.db.CorruptPages()
+	}
+	if rep := s.db.LastScrub(); rep != nil {
+		health.LastScrub = &ScrubStatus{
+			StartUnixMillis: rep.Start.UnixMilli(),
+			DurationMicros:  rep.Duration.Microseconds(),
+			PagesScanned:    rep.PagesScanned,
+			SMAsChecked:     rep.SMAsChecked,
+			CorruptPages:    len(rep.Corrupt),
+			Errors:          len(rep.Errors),
+			Clean:           rep.Clean(),
+		}
+	}
 	resp := &StatusResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
+		Health:        health,
 		Tables:        []TableStatus{},
 		Admission: AdmissionStatus{
 			Active:             active,
@@ -479,19 +646,29 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, body any) {
 	json.NewEncoder(w).Encode(body)
 }
 
-// writeError answers the JSON error body, counting it.
-func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+// errorBody counts a failure and builds its JSON body, marking degraded
+// failures so clients know the 503 is not retryable.
+func (s *Server) errorBody(err error) *ErrorResponse {
 	if isCancel(err) {
 		s.m.cancelled.Add(1)
 	} else {
 		s.m.errors.Add(1)
 	}
-	s.writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	return &ErrorResponse{Error: err.Error(), Degraded: errors.Is(err, sma.ErrDegraded)}
+}
+
+// writeError answers the JSON error body, counting it.
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, s.errorBody(err))
 }
 
 // statusFor maps a pre-stream execution error to an HTTP status.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, sma.ErrDegraded):
+		// Unavailable, but marked degraded in the body: unlike admission
+		// 503s this does not clear on its own, so clients must not retry.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):

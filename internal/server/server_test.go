@@ -253,7 +253,8 @@ func slowServer(t *testing.T, cfg server.Config) *testServer {
 // queue timeout, counted in admission metrics.
 func TestAdmissionQueueTimeout(t *testing.T) {
 	ts := slowServer(t, server.Config{MaxConcurrent: 1, QueueTimeout: 50 * time.Millisecond})
-	c := client.New(ts.Base)
+	// Retries off: this test asserts the raw shed, not the retry loop.
+	c := client.New(ts.Base, client.WithRetries(1))
 	ctx := context.Background()
 
 	done := make(chan error, 1)
@@ -287,7 +288,8 @@ func TestAdmissionQueueTimeout(t *testing.T) {
 // 503, and returns only once the cursor is released.
 func TestGracefulShutdownDrains(t *testing.T) {
 	ts := slowServer(t, server.Config{MaxConcurrent: 2, QueueTimeout: time.Second})
-	c := client.New(ts.Base)
+	// Retries off: the drain 503 is the assertion, not something to ride out.
+	c := client.New(ts.Base, client.WithRetries(1))
 	ctx := context.Background()
 
 	type qres struct {

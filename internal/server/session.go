@@ -96,11 +96,12 @@ func (a *admission) snapshot() (int, int, bool) {
 
 // session is one admitted in-flight statement.
 type session struct {
-	id     int64
-	kind   string // "query" or "exec"
-	sql    string
-	start  time.Time
-	cancel context.CancelFunc
+	id       int64
+	kind     string // "query" or "exec"
+	sql      string
+	start    time.Time
+	cancel   context.CancelFunc
+	watchdog bool // already cancelled by the watchdog (count once)
 }
 
 // sessionTable tracks in-flight statements so /status can list them and a
@@ -141,6 +142,23 @@ func (st *sessionTable) cancelAll() {
 	}
 }
 
+// cancelOlderThan cancels every live session that has been running longer
+// than d and reports how many it cancelled. Each session is counted once:
+// the watchdog ticks repeatedly but a statement only gets one cancel.
+func (st *sessionTable) cancelOlderThan(d time.Duration) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, s := range st.m {
+		if !s.watchdog && time.Since(s.start) > d {
+			s.cancel()
+			s.watchdog = true
+			n++
+		}
+	}
+	return n
+}
+
 // list snapshots the live sessions in id order for /status.
 func (st *sessionTable) list() []SessionStatus {
 	st.mu.Lock()
@@ -176,6 +194,8 @@ type metrics struct {
 	rowsStreamed      atomic.Int64
 	admissionTimeouts atomic.Int64
 	admissionRejected atomic.Int64
+	watchdogCancels   atomic.Int64
+	idemReplays       atomic.Int64
 }
 
 func (m *metrics) totals() TotalsStatus {
@@ -187,5 +207,7 @@ func (m *metrics) totals() TotalsStatus {
 		RowsStreamed:      m.rowsStreamed.Load(),
 		AdmissionTimeouts: m.admissionTimeouts.Load(),
 		AdmissionRejected: m.admissionRejected.Load(),
+		WatchdogCancels:   m.watchdogCancels.Load(),
+		IdempotentReplays: m.idemReplays.Load(),
 	}
 }

@@ -13,14 +13,31 @@
 //	    {"trace": {...}} carrying the query's span tree, finally a trailer
 //	    frame {"trailer": {row_count, elapsed_us, stats}}. A failure
 //	    mid-stream replaces the trailer with {"error": "..."}.
-//	POST /exec   {"sql": "...", "timeout_ms": 5000}
+//	POST /exec   {"sql": "...", "timeout_ms": 5000, "idempotency_key": "..."}
 //	  → 200 {"kind", "table", "rows_affected", "sma"?, "elapsed_us"}
-//	GET  /status → catalog, pool, session, and admission snapshot
+//	GET  /status → catalog, pool, session, admission, and health snapshot
 //	GET  /metrics → Prometheus text exposition
+//	GET  /livez  → 200 while the process serves requests at all
+//	GET  /readyz → 200 when accepting statements; 503 while draining or
+//	  degraded (during recovery replay the listener is not up yet, so
+//	  probes fail at the connection level)
+//
+// Both statement routes accept "deadline_ms", an absolute wall-clock
+// deadline in Unix milliseconds that propagates into the statement's
+// context — the knob retries use so a statement never outlives its
+// original deadline no matter how many attempts carried it. "timeout_ms"
+// is the equivalent relative form; when both are set the earlier wins.
+//
+// An /exec carrying an "idempotency_key" is executed at most once: while
+// the first attempt is in flight, duplicates wait for it; afterwards they
+// receive a replay of its recorded response without touching the engine.
+// Keys fall out of the table LRU-style (see Config.IdempotencyCapacity),
+// and do not survive a server restart.
 //
 // Requests rejected before execution answer a JSON error body with an HTTP
-// status: 400 (malformed request or SQL), 503 (admission queue timeout or
-// server draining, with Retry-After), 504 (per-query deadline exceeded).
+// status: 400 (malformed request or SQL), 503 (admission queue timeout,
+// server draining — both with Retry-After — or database degraded, marked
+// "degraded": true in the body), 504 (per-query deadline exceeded).
 package server
 
 import (
@@ -49,6 +66,8 @@ const (
 	MaxBatchSize = 1 << 16
 	// MaxTimeoutMillis caps the per-request deadline (24h).
 	MaxTimeoutMillis = 24 * 60 * 60 * 1000
+	// MaxIdempotencyKeyBytes caps the /exec idempotency key length.
+	MaxIdempotencyKeyBytes = 128
 )
 
 // QueryRequest is the body of POST /query.
@@ -64,6 +83,12 @@ type QueryRequest struct {
 	// TimeoutMillis bounds execution; past it the query fails with 504 (or
 	// an in-stream error frame once streaming began). 0 means no deadline.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// DeadlineMillis is an absolute wall-clock deadline (Unix
+	// milliseconds) that propagates into the statement context. Unlike
+	// timeout_ms it survives retries unchanged: every attempt races the
+	// same instant. 0 means none; combined with timeout_ms the earlier
+	// deadline wins.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
 	// Trace asks the engine to record a per-operator execution trace; the
 	// finished span tree streams back as a trace frame before the trailer.
 	Trace bool `json:"trace,omitempty"`
@@ -73,6 +98,12 @@ type QueryRequest struct {
 type ExecRequest struct {
 	SQL           string `json:"sql"`
 	TimeoutMillis int64  `json:"timeout_ms,omitempty"`
+	// DeadlineMillis is the absolute form of timeout_ms; see QueryRequest.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// IdempotencyKey makes the statement safely retryable: the server
+	// executes at most one statement per key and replays the recorded
+	// response to duplicates. Empty disables deduplication.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // DecodeQueryRequest strictly decodes and validates a /query body:
@@ -95,6 +126,9 @@ func DecodeQueryRequest(r io.Reader) (*QueryRequest, error) {
 	if err := validateTimeout(req.TimeoutMillis); err != nil {
 		return nil, err
 	}
+	if req.DeadlineMillis < 0 {
+		return nil, fmt.Errorf("deadline_ms %d is negative", req.DeadlineMillis)
+	}
 	return &req, nil
 }
 
@@ -109,6 +143,13 @@ func DecodeExecRequest(r io.Reader) (*ExecRequest, error) {
 	}
 	if err := validateTimeout(req.TimeoutMillis); err != nil {
 		return nil, err
+	}
+	if req.DeadlineMillis < 0 {
+		return nil, fmt.Errorf("deadline_ms %d is negative", req.DeadlineMillis)
+	}
+	if len(req.IdempotencyKey) > MaxIdempotencyKeyBytes {
+		return nil, fmt.Errorf("idempotency_key length %d exceeds %d bytes",
+			len(req.IdempotencyKey), MaxIdempotencyKeyBytes)
 	}
 	return &req, nil
 }
@@ -205,9 +246,13 @@ type ExecResponse struct {
 	ElapsedMicros int64      `json:"elapsed_us"`
 }
 
-// ErrorResponse is the JSON body of every non-200 answer.
+// ErrorResponse is the JSON body of every non-200 answer. Degraded marks
+// failures caused by the database's degraded read-only mode: the
+// condition is persistent (a human must repair or restore), so clients
+// must not treat the 503 as retryable.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // ColumnStatus describes one column in /status.
@@ -289,11 +334,36 @@ type TotalsStatus struct {
 	RowsStreamed      int64 `json:"rows_streamed"`
 	AdmissionTimeouts int64 `json:"admission_timeouts"`
 	AdmissionRejected int64 `json:"admission_rejected"`
+	WatchdogCancels   int64 `json:"watchdog_cancels"`
+	IdempotentReplays int64 `json:"idempotent_replays"`
+}
+
+// ScrubStatus summarizes the most recent scrub pass in /status.
+type ScrubStatus struct {
+	StartUnixMillis int64 `json:"start_unix_ms"`
+	DurationMicros  int64 `json:"duration_us"`
+	PagesScanned    int64 `json:"pages_scanned"`
+	SMAsChecked     int   `json:"smas_checked"`
+	CorruptPages    int   `json:"corrupt_pages"`
+	Errors          int   `json:"errors"`
+	Clean           bool  `json:"clean"`
+}
+
+// HealthStatus reports serving health in /status: Ready mirrors /readyz,
+// Degraded the database's read-only corruption mode.
+type HealthStatus struct {
+	Ready        bool              `json:"ready"`
+	Draining     bool              `json:"draining"`
+	Degraded     bool              `json:"degraded"`
+	DegradedErr  string            `json:"degraded_err,omitempty"`
+	CorruptPages []sma.CorruptPage `json:"corrupt_pages,omitempty"`
+	LastScrub    *ScrubStatus      `json:"last_scrub,omitempty"`
 }
 
 // StatusResponse is the body of GET /status.
 type StatusResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
+	Health        HealthStatus    `json:"health"`
 	Tables        []TableStatus   `json:"tables"`
 	Pool          PoolStatus      `json:"pool"`
 	WAL           WALStatus       `json:"wal"`

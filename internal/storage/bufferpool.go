@@ -56,6 +56,7 @@ type PoolStats struct {
 	Prefetched   int64 // physical reads issued by prefetchers
 	PrefetchHits int64 // demand fetches that landed on a prefetched frame
 	Overflows    int64 // frames allocated past capacity under a statement barrier
+	CorruptPages int64 // pages quarantined after failing checksum verification
 }
 
 // Add folds another snapshot into s; engines use it to merge the per-table
@@ -67,6 +68,7 @@ func (s *PoolStats) Add(o PoolStats) {
 	s.Prefetched += o.Prefetched
 	s.PrefetchHits += o.PrefetchHits
 	s.Overflows += o.Overflows
+	s.CorruptPages += o.CorruptPages
 }
 
 // BufferPool caches pages of a single DiskManager with LRU replacement.
@@ -107,12 +109,28 @@ type BufferPool struct {
 	// it distinguishes current-statement dirt from committed dirt.
 	epoch uint64
 
+	// verify controls checksum verification of physical reads. It is on
+	// by default; recovery turns it off while replaying the WAL, because
+	// a torn page is expected there — the full-page image that heals it
+	// sits later in the log, and intermediate record-level redo may read
+	// the page first.
+	verify bool
+	// quarantined holds pages that failed verification. Every later
+	// fetch of a quarantined page fails fast with the recorded error —
+	// re-reading cannot help, and the rest of the pool keeps working.
+	quarantined map[PageID]*CorruptPageError
+	// onCorrupt, when non-nil, is called (without bp.mu held) each time
+	// a page is newly quarantined; the engine uses it to flip the
+	// database into degraded read-only mode.
+	onCorrupt func(PageID)
+
 	hits         atomic.Int64
 	misses       atomic.Int64
 	evictions    atomic.Int64
 	prefetched   atomic.Int64
 	prefetchHits atomic.Int64
 	overflows    atomic.Int64
+	corrupt      atomic.Int64
 
 	// Observability hooks, set once via SetObs before the pool sees
 	// concurrent traffic. Nil histograms are inert, so the disabled path
@@ -138,11 +156,43 @@ func NewBufferPool(disk *DiskManager, capacity int) *BufferPool {
 		capacity = 1
 	}
 	return &BufferPool{
-		disk:   disk,
-		cap:    capacity,
-		frames: make(map[PageID]*Frame, capacity),
-		lru:    list.New(),
+		disk:        disk,
+		cap:         capacity,
+		frames:      make(map[PageID]*Frame, capacity),
+		lru:         list.New(),
+		verify:      true,
+		quarantined: make(map[PageID]*CorruptPageError),
 	}
+}
+
+// SetVerifyReads toggles checksum verification of physical reads.
+// Recovery disables it while torn pages may legitimately be read before
+// their healing full-page image is replayed.
+func (bp *BufferPool) SetVerifyReads(on bool) {
+	bp.mu.Lock()
+	bp.verify = on
+	bp.mu.Unlock()
+}
+
+// SetCorruptionHandler installs a callback invoked (outside the pool
+// lock) whenever a page is newly quarantined. Call it before the pool
+// sees concurrent traffic.
+func (bp *BufferPool) SetCorruptionHandler(fn func(PageID)) {
+	bp.mu.Lock()
+	bp.onCorrupt = fn
+	bp.mu.Unlock()
+}
+
+// Quarantined returns the ids of pages currently quarantined for failing
+// checksum verification.
+func (bp *BufferPool) Quarantined() []PageID {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	ids := make([]PageID, 0, len(bp.quarantined))
+	for id := range bp.quarantined {
+		ids = append(ids, id)
+	}
+	return ids
 }
 
 // SetWriteBackHook installs the dirty write-back interceptor. Call it
@@ -263,6 +313,10 @@ func (bp *BufferPool) FetchPage(id PageID) (*Frame, error) {
 // whether this call issued the physical read.
 func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 	bp.mu.Lock()
+	if ce, ok := bp.quarantined[id]; ok {
+		bp.mu.Unlock()
+		return nil, false, ce
+	}
 	if fr, ok := bp.frames[id]; ok {
 		bp.hits.Add(1)
 		if !prefetch && fr.prefetched {
@@ -302,6 +356,24 @@ func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 	}
 	bp.mu.Unlock()
 
+	// If the read panics (a fault-injection hook, or a bug in a lower
+	// layer), deregister the frame and wake co-fetchers before the panic
+	// propagates: a statement-level panic boundary above must not leave
+	// other goroutines wedged on the loading channel forever.
+	completed := false
+	defer func() {
+		if completed {
+			return
+		}
+		bp.mu.Lock()
+		delete(bp.frames, id)
+		fr.pins = 0
+		fr.loadErr = fmt.Errorf("storage: read of page %d aborted by panic", id)
+		fr.loading = nil
+		bp.mu.Unlock()
+		close(loading)
+	}()
+
 	if bp.readLatency != nil {
 		t0 := time.Now()
 		err = bp.disk.ReadPage(id, fr.data[:])
@@ -310,6 +382,14 @@ func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 		err = bp.disk.ReadPage(id, fr.data[:])
 	}
 	bp.mu.Lock()
+	var notify func(PageID)
+	if err == nil && bp.verify && !VerifyPage(fr.data[:]) {
+		ce := &CorruptPageError{Path: bp.disk.Path(), Page: id}
+		bp.quarantined[id] = ce
+		bp.corrupt.Add(1)
+		notify = bp.onCorrupt
+		err = ce
+	}
 	if err != nil {
 		// Discard the frame; waiters observe loadErr and give up their pins
 		// collectively (the frame is no longer resident).
@@ -319,7 +399,11 @@ func (bp *BufferPool) fetch(id PageID, prefetch bool) (*Frame, bool, error) {
 	}
 	fr.loading = nil
 	bp.mu.Unlock()
+	completed = true
 	close(loading)
+	if notify != nil {
+		notify(id)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -518,6 +602,7 @@ func (bp *BufferPool) Stats() PoolStats {
 		Prefetched:   bp.prefetched.Load(),
 		PrefetchHits: bp.prefetchHits.Load(),
 		Overflows:    bp.overflows.Load(),
+		CorruptPages: bp.corrupt.Load(),
 	}
 }
 

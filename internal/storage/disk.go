@@ -182,7 +182,9 @@ func (d *DiskManager) SeqRandReads() (seq, random int64) {
 }
 
 // WritePage writes buf (PageSize bytes) to page id, which must be within the
-// file or exactly one past the end (append).
+// file or exactly one past the end (append). The page checksum is stamped
+// into buf's header before the write, so every page image that reaches
+// disk is verifiable; callers must not rely on the checksum bytes.
 func (d *DiskManager) WritePage(id PageID, buf []byte) error {
 	if len(buf) != PageSize {
 		return fmt.Errorf("storage: WritePage buffer has %d bytes, want %d", len(buf), PageSize)
@@ -190,6 +192,7 @@ func (d *DiskManager) WritePage(id PageID, buf []byte) error {
 	if err := d.checkFault("write", id); err != nil {
 		return err
 	}
+	StampPage(buf)
 	d.mu.Lock()
 	if int64(id) < 0 || int64(id) > d.numPages {
 		n := d.numPages

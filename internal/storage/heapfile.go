@@ -8,7 +8,8 @@ import (
 )
 
 // pageHeaderSize reserves bytes at the start of every heap page for the
-// record count (2 bytes) plus padding for future use.
+// record count (bytes 0-1), the page checksum (bytes 4-7, see
+// checksum.go) plus padding for future use.
 const pageHeaderSize = 16
 
 // RID identifies a record by page and slot within that page.

@@ -168,7 +168,7 @@ func TestBufferPoolDropAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr.Data()[7] = 0x42
+	fr.Data()[77] = 0x42
 	fr.MarkDirty()
 	if err := bp.DropAll(); err == nil {
 		t.Errorf("DropAll with pinned page should fail")
@@ -184,7 +184,7 @@ func TestBufferPoolDropAll(t *testing.T) {
 	if err := dm.ReadPage(0, page[:]); err != nil {
 		t.Fatal(err)
 	}
-	if page[7] != 0x42 {
+	if page[77] != 0x42 {
 		t.Errorf("DropAll lost a dirty page")
 	}
 }

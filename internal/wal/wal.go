@@ -13,6 +13,18 @@ import (
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrSyncTimeout is returned by WaitDurable when a group-commit wait
+// exceeds the policy's SyncTimeout — typically because the leader's
+// fsync has stalled in the kernel. The statement's durability is
+// unknown: its records were handed to the OS but the barrier never
+// completed.
+var ErrSyncTimeout = errors.New("wal: group-commit wait timed out")
+
+// defaultSyncTimeout bounds group-commit waits when the policy does not
+// set one. A healthy fsync is microseconds to milliseconds; ten seconds
+// distinguishes a stalled device from a merely busy one.
+const defaultSyncTimeout = 10 * time.Second
+
 // SyncMode selects when commit records are forced to stable storage.
 type SyncMode int
 
@@ -33,6 +45,10 @@ const (
 type SyncPolicy struct {
 	Mode     SyncMode
 	Interval time.Duration
+	// SyncTimeout bounds how long a group-commit follower waits for the
+	// leader's fsync before giving up with ErrSyncTimeout. Zero selects
+	// the default (10s).
+	SyncTimeout time.Duration
 }
 
 // Grouped returns the default policy: group-committed fsync per
@@ -96,6 +112,7 @@ type Stats struct {
 	Bytes        uint64 // bytes appended since the log was created
 	PageImages   uint64 // full-page images appended
 	Checkpoints  uint64 // truncations since the log was created
+	SyncTimeouts uint64 // group-commit waits abandoned at the deadline
 	Size         int64  // current file size in bytes
 	LastSeq      uint64 // last committed statement sequence
 	SyncedSeq    uint64 // highest sequence known durable
@@ -135,6 +152,7 @@ type Log struct {
 	nBytes        atomic.Uint64
 	nPageImages   atomic.Uint64
 	nCheckpoints  atomic.Uint64
+	nSyncTimeouts atomic.Uint64
 }
 
 // Create truncates (or creates) the log at path and writes a checkpoint
@@ -221,7 +239,17 @@ func (l *Log) WaitDurable(seq uint64) error {
 // fsync in flight becomes leader, flushes and fsyncs everything
 // appended so far, and advances the durable watermark; the rest wait on
 // the condvar and are satisfied by the leader's barrier.
+//
+// Follower waits are bounded by the policy's SyncTimeout: a leader whose
+// fsync stalls in the kernel cannot be interrupted, but its followers —
+// and every later waiter — give up with ErrSyncTimeout instead of
+// hanging the whole commit path forever.
 func (l *Log) syncTo(seq uint64) error {
+	timeout := l.policy.SyncTimeout
+	if timeout <= 0 {
+		timeout = defaultSyncTimeout
+	}
+	deadline := time.Now().Add(timeout)
 	led := false
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
@@ -230,7 +258,12 @@ func (l *Log) syncTo(seq uint64) error {
 			return l.syncErr
 		}
 		if l.syncing {
-			l.syncCond.Wait()
+			if !time.Now().Before(deadline) {
+				l.nSyncTimeouts.Add(1)
+				return fmt.Errorf("%w after %s (seq %d, durable through %d)",
+					ErrSyncTimeout, timeout, seq, l.syncedSeq)
+			}
+			l.timedWaitLocked(deadline)
 			continue
 		}
 		led = true
@@ -250,6 +283,20 @@ func (l *Log) syncTo(seq uint64) error {
 		l.nGroupedWaits.Add(1)
 	}
 	return nil
+}
+
+// timedWaitLocked waits on the sync condvar until a broadcast or until
+// the deadline. sync.Cond has no timed wait, so a timer broadcasts at
+// the deadline to wake the waiters for their deadline check; the loop
+// in syncTo re-examines the condition (and the clock) on every wakeup.
+func (l *Log) timedWaitLocked(deadline time.Time) {
+	t := time.AfterFunc(time.Until(deadline), func() {
+		l.syncMu.Lock()
+		l.syncCond.Broadcast()
+		l.syncMu.Unlock()
+	})
+	l.syncCond.Wait()
+	t.Stop()
 }
 
 // flushAndSync drains the append buffer to the OS and fsyncs, returning
@@ -416,6 +463,7 @@ func (l *Log) Stats() Stats {
 		Bytes:        l.nBytes.Load(),
 		PageImages:   l.nPageImages.Load(),
 		Checkpoints:  l.nCheckpoints.Load(),
+		SyncTimeouts: l.nSyncTimeouts.Load(),
 		Size:         size,
 		LastSeq:      seq,
 		SyncedSeq:    synced,

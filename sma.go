@@ -38,6 +38,7 @@ import (
 
 	"sma/internal/engine"
 	"sma/internal/obs"
+	"sma/internal/storage"
 	"sma/internal/wal"
 )
 
@@ -152,6 +153,38 @@ func WithLogger(l *slog.Logger) Option {
 // default) disables the slow-query log.
 func WithSlowQueryLog(d time.Duration) Option {
 	return func(o *openConfig) { o.slow = d }
+}
+
+// WithStatementTimeout bounds every statement's execution time: DML and
+// queries run under a context that expires after d, aborting scans at
+// the next bucket or page boundary. 0 (the default) disables the bound.
+// Serving layers use it as the stuck-statement watchdog floor.
+func WithStatementTimeout(d time.Duration) Option {
+	return func(o *openConfig) { o.eng.StatementTimeout = d }
+}
+
+// WithVerifyOnOpen makes Open run a full scrub pass — every heap page
+// checksum verified, every SMA file reloaded — before serving. Damage
+// does not fail Open; it quarantines the pages and the database comes up
+// degraded (see Degraded), so reads that can avoid the damage still work.
+func WithVerifyOnOpen() Option {
+	return func(o *openConfig) { o.eng.VerifyOnOpen = true }
+}
+
+// WithScrubInterval starts a background scrubber that verifies every
+// page checksum and SMA file each interval, paced so a pass never
+// monopolizes the disk. Corruption found by the scrubber quarantines the
+// page and degrades the database exactly as a query hitting it would —
+// the scrubber just finds it first. 0 (the default) disables scrubbing.
+func WithScrubInterval(d time.Duration) Option {
+	return func(o *openConfig) { o.eng.ScrubInterval = d }
+}
+
+// WithUnsafeCrash arms DB.Crash, the test-only kill switch that abandons
+// the database without checkpointing. Without this option Crash returns
+// an error, so a production embedder cannot reach it by accident.
+func WithUnsafeCrash() Option {
+	return func(o *openConfig) { o.eng.AllowUnsafeCrash = true }
 }
 
 // WithoutObservability disables the observability subsystem entirely —
@@ -329,8 +362,48 @@ func (db *DB) Sync() error { return db.eng.Sync() }
 // Crash abandons the database without checkpointing or marking the
 // directory clean, simulating a process kill: buffered redo is flushed,
 // files close, and the next Open replays the log. It exists for
-// crash-recovery tests; production code should call Close.
+// crash-recovery tests and is disarmed unless the database was opened
+// with WithUnsafeCrash; production code should call Close.
 func (db *DB) Crash() error { return db.eng.Crash() }
+
+// ErrDegraded marks a database that detected page corruption and fell
+// back to read-only operation; errors.Is(db.Degraded(), ErrDegraded)
+// and errors.Is on rejected writes both match it.
+var ErrDegraded = engine.ErrDegraded
+
+// ErrStatementPanic marks a statement that panicked inside the engine
+// and was contained at the statement boundary.
+var ErrStatementPanic = engine.ErrStatementPanic
+
+// ScrubReport summarizes one verification pass over the database.
+type ScrubReport = engine.ScrubReport
+
+// CorruptPage identifies one quarantined page.
+type CorruptPage = engine.CorruptPage
+
+// IsCorrupt reports whether err (or anything it wraps) is a page
+// checksum failure — the typed error a query returns when it needed a
+// quarantined page.
+func IsCorrupt(err error) bool { return storage.IsCorrupt(err) }
+
+// Scrub runs one verification pass now: every heap page checksum is
+// verified and every SMA file reloaded. Corrupt pages are quarantined
+// and degrade the database; the report lists everything found.
+func (db *DB) Scrub(ctx context.Context) (*ScrubReport, error) { return db.eng.Scrub(ctx) }
+
+// Degraded returns nil on a healthy database, or an error wrapping
+// ErrDegraded once page corruption has been detected. A degraded
+// database rejects writes and keeps answering every read that can avoid
+// the quarantined pages (SMA grades prove when a skipped page cannot
+// affect a result).
+func (db *DB) Degraded() error { return db.eng.Degraded() }
+
+// CorruptPages lists every quarantined page in detection order.
+func (db *DB) CorruptPages() []CorruptPage { return db.eng.CorruptPages() }
+
+// LastScrub returns the most recent scrub report — from Scrub, the
+// background scrubber, or WithVerifyOnOpen — or nil if none ran yet.
+func (db *DB) LastScrub() *ScrubReport { return db.eng.LastScrub() }
 
 // Table returns a handle for an existing table.
 func (db *DB) Table(name string) (*Table, error) {
