@@ -372,6 +372,10 @@ type ExecResult struct {
 		Pages   int64  `json:"pages"`
 	} `json:"sma"`
 	ElapsedMicros int64 `json:"elapsed_us"`
+	// WALBytes and WALSyncs report the statement's redo-log footprint
+	// (0 when the server runs without observability).
+	WALBytes int64 `json:"wal_bytes"`
+	WALSyncs int64 `json:"wal_syncs"`
 }
 
 // Exec runs a DDL or DML statement on the server. Of the query options

@@ -26,8 +26,30 @@ import (
 	"sma/internal/tpcd"
 )
 
+// experimentCatalog describes every experiment -exp accepts; -list prints
+// it so the set is discoverable without reading the source.
+var experimentCatalog = []struct{ ID, Desc string }{
+	{"e1", "Table 1: SMA sizes for the paper's eight Query-1 SMAs"},
+	{"e2", "Table 2: Query 1 via SMA_GAggr vs sequential scan"},
+	{"e3", "Table 3: selection queries via SMA_Scan"},
+	{"e4", "Table 4: Query 1 with delta-day selection window"},
+	{"e5", "Figure 5: cost crossover as the ambivalent fraction grows"},
+	{"e6", "Figure 1: SMA file layout walkthrough"},
+	{"e7", "§4 ablation: bucket size sweep"},
+	{"e8", "§4 ablation: degree-of-parallelism sweep"},
+	{"e9", "§4 ablation: batch size sweep"},
+	{"e10", "§4 ablation: maintenance cost under appends"},
+	{"e11", "§4 ablation: SMA scan vs index plan by selectivity"},
+	{"pr4", "batch/prefetch read-path trajectory (BENCH_pr4.json)"},
+	{"serve", "HTTP serve throughput under concurrent clients (BENCH_serve.json)"},
+	{"obs", "observability + stats overhead vs disabled, 2% budget (BENCH_obs.json)"},
+	{"wal", "group-commit throughput per sync policy (BENCH_wal.json)"},
+	{"chaos", "availability under injected faults and crashes (BENCH_chaos.json)"},
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: all, e1..e11, pr4, serve, obs, wal, chaos")
+	list := flag.Bool("list", false, "list every experiment with a one-line description and exit")
 	sf := flag.Float64("sf", 0.02, "TPC-D scale factor (paper: 1.0)")
 	delta := flag.Int("delta", 90, "Query 1 delta in days")
 	latency := flag.Bool("latency", true, "simulate disk latency (100µs sequential page read, +500µs seek on random access)")
@@ -37,6 +59,13 @@ func main() {
 	serveOps := flag.Int("serve-ops", 200, "serve experiment: statements per client")
 	serveRows := flag.Int("serve-rows", 20000, "serve experiment: seed rows")
 	flag.Parse()
+
+	if *list {
+		for _, e := range experimentCatalog {
+			fmt.Printf("%-6s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
 
 	// E1–E4 use shipdate-sorted LINEITEM, the paper's "optimal case"; the
 	// other experiments override the order themselves.

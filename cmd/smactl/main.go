@@ -33,7 +33,7 @@ func main() {
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop | scrub"))
+		fatal(fmt.Errorf("missing command: define | q1 | list | verify | grade | drop | scrub | advise"))
 	}
 	db, err := sma.Open(*dir)
 	if err != nil {
@@ -139,6 +139,48 @@ func main() {
 		} else {
 			fmt.Println("corruption found: database is degraded (read-only)")
 			os.Exit(1)
+		}
+	case "advise":
+		// advise ['<query>' ...]: optionally replay a workload so the
+		// stats collector has something to observe (counters are
+		// process-local and start empty), then print the SMA advisor's
+		// recommendations — the same rows `select * from sma_advisor`
+		// returns through any SQL surface.
+		for _, q := range args[1:] {
+			rows, err := db.Query(q)
+			if err != nil {
+				fatal(fmt.Errorf("workload query %q: %w", q, err))
+			}
+			for rows.Next() {
+			}
+			if err := rows.Err(); err != nil {
+				fatal(fmt.Errorf("workload query %q: %w", q, err))
+			}
+			closeOrWarn("workload rows", rows.Close)
+		}
+		rows, err := db.Query("select * from sma_advisor")
+		if err != nil {
+			fatal(err)
+		}
+		defer closeOrWarn("advisor rows", rows.Close)
+		n := 0
+		for rows.Next() {
+			var action, table, target string
+			var filters, estPages, maintOps int64
+			var reason, suggestion string
+			if err := rows.Scan(&action, &table, &target, &filters, &estPages, &maintOps, &reason, &suggestion); err != nil {
+				fatal(err)
+			}
+			n++
+			fmt.Printf("%-4s %s %s (est. pages saved: %d)\n", action, table, target, estPages)
+			fmt.Printf("     why: %s\n", strings.TrimSpace(reason))
+			fmt.Printf("     run: %s\n", strings.TrimSpace(suggestion))
+		}
+		if err := rows.Err(); err != nil {
+			fatal(err)
+		}
+		if n == 0 {
+			fmt.Println("no recommendations (run a workload first, e.g. smactl advise '<query>' ...)")
 		}
 	default:
 		fatal(fmt.Errorf("unknown command %q", args[0]))

@@ -95,6 +95,13 @@ type Cursor struct {
 	start   time.Time
 	rowsOut int64
 
+	// Introspection state: the statement fingerprint, its normalized
+	// text, and the activity-registry token. fp == 0 with norm == ""
+	// means stats are disabled for this query.
+	fp   uint64
+	norm string
+	act  int64
+
 	// cancel releases the statement-timeout context (if any) when the
 	// stream ends.
 	cancel context.CancelFunc
@@ -107,11 +114,16 @@ type Cursor struct {
 // The caller holds db.mu.RLock; on error the caller releases it.
 func newCursor(ctx context.Context, db *DB, plan *planner.Plan) (*Cursor, error) {
 	c := &Cursor{db: db, plan: plan}
-	t, err := db.table(plan.Query.Table)
-	if err != nil {
-		return nil, err
+	var schema *tuple.Schema
+	if plan.Mem != nil {
+		schema = plan.Mem.Schema
+	} else {
+		t, err := db.table(plan.Query.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema = t.Schema
 	}
-	schema := t.Schema
 	if plan.IsProjection() {
 		// The planner already validated the projection columns.
 		cols := plan.Query.ProjColumns(schema)
@@ -346,6 +358,10 @@ func (c *Cursor) finishObs(err error) {
 	}
 	dur := time.Since(c.start)
 	strat := c.plan.StrategyName()
+	if st := o.Stats; st != nil && c.norm != "" {
+		st.EndActivity(c.act)
+		c.recordQueryStats(st, err, strat, dur)
+	}
 	em := o.Engine
 	em.Queries.With(strat).Inc()
 	em.QuerySeconds.With(strat).ObserveDuration(dur)
@@ -438,11 +454,23 @@ func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption)
 	if cfg.trace {
 		tr = obs.NewTrace(qid, sql)
 	}
+	// Register the in-flight statement before planning so the activity
+	// table's own snapshot — materialized at plan time — includes the
+	// query that is reading it.
+	var fp uint64
+	var norm string
+	var act int64
+	st := db.statsC()
+	if st != nil {
+		fp, norm = db.fingerprint(sql)
+		act = st.BeginActivity("query", sql, fp)
+	}
 	db.mu.RLock()
 	ok := false
 	defer func() {
 		if !ok {
 			db.mu.RUnlock()
+			st.EndActivity(act)
 			tr.Finish() // release pooled spans of a failed query
 			if cancel != nil {
 				cancel()
@@ -473,6 +501,7 @@ func (db *DB) queryContext(ctx context.Context, sql string, opts ...QueryOption)
 	c.obs, c.trace, c.execSp = o, tr, plan.Span
 	c.sql, c.qid, c.start = sql, qid, start
 	c.cancel = cancel
+	c.fp, c.norm, c.act = fp, norm, act
 	ok = true
 	return c, nil
 }

@@ -65,7 +65,8 @@ func (db *DB) insertInto(ctx context.Context, s *parser.InsertStmt) (int64, uint
 			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
-		for _, sm := range t.smas {
+		for name, sm := range t.smas {
+			db.statsC().RecordMaint(t.Name, name)
 			if err := j.maint(func() error { return sm.OnAppend(t.Heap, tp, rid) }); err != nil {
 				return 0, 0, db.abortStmt(j, err)
 			}
@@ -288,7 +289,8 @@ func (db *DB) updateWhere(ctx context.Context, s *parser.UpdateStmt) (int64, uin
 			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
-		for _, sm := range t.smas {
+		for name, sm := range t.smas {
+			db.statsC().RecordMaint(t.Name, name)
 			if err := j.maint(func() error { return sm.OnUpdate(t.Heap, pu.old, pu.new, pu.rid) }); err != nil {
 				return 0, 0, db.abortStmt(j, err)
 			}

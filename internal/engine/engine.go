@@ -170,6 +170,22 @@ type DB struct {
 	scrubDone   chan struct{}
 	scrubMu     sync.Mutex
 	lastScrub   *ScrubReport
+
+	// Per-SMA attribution cache for the stats collector, keyed by
+	// (table, predicate). The solo-grading sweep behind sma_stat_smas is
+	// O(buckets) per SMA, far too slow to repeat on every execution of a
+	// hot fingerprint; entries are cleared by every write statement and
+	// by SMA DDL, and cursors compute-and-store under db.mu's read lock,
+	// so a stale entry can never be observed.
+	attrMu    sync.Mutex
+	attrCache map[string][]smaAttr
+
+	// Statement-fingerprint cache, keyed by raw SQL. Normalizing costs a
+	// full lex (microseconds), real overhead for sub-millisecond
+	// statements that repeat; fingerprints are pure functions of the
+	// text, so entries never invalidate — the map is just bounded.
+	fpMu    sync.Mutex
+	fpCache map[string]fpEntry
 }
 
 // Open opens (or initializes) a database directory. Open takes an
@@ -480,7 +496,8 @@ func (t *Table) Append(tp tuple.Tuple) (storage.RID, error) {
 		return storage.RID{}, db.abortStmt(j, err)
 	}
 	t.markSMAsDirty()
-	for _, s := range t.smas {
+	for name, s := range t.smas {
+		db.statsC().RecordMaint(t.Name, name)
 		if err := j.maint(func() error { return s.OnAppend(t.Heap, tp, rid) }); err != nil {
 			return storage.RID{}, db.abortStmt(j, err)
 		}
@@ -512,7 +529,8 @@ func (t *Table) Update(rid storage.RID, tp tuple.Tuple) error {
 		return db.abortStmt(j, err)
 	}
 	t.markSMAsDirty()
-	for _, s := range t.smas {
+	for name, s := range t.smas {
+		db.statsC().RecordMaint(t.Name, name)
 		if err := j.maint(func() error { return s.OnUpdate(t.Heap, old, tp, rid) }); err != nil {
 			return db.abortStmt(j, err)
 		}
@@ -540,7 +558,8 @@ func (t *Table) Delete(rid storage.RID) error {
 		return db.abortStmt(j, err)
 	}
 	t.markSMAsDirty()
-	for _, s := range t.smas {
+	for name, s := range t.smas {
+		db.statsC().RecordMaint(t.Name, name)
 		if err := j.maint(func() error { return s.OnDelete(t.Heap, old, rid) }); err != nil {
 			return db.abortStmt(j, err)
 		}
@@ -651,6 +670,7 @@ func (db *DB) DefineSMADef(def core.Def) (*core.SMA, error) {
 		return nil, err
 	}
 	t.smas[def.Name] = s
+	db.invalidateSMAAttribution()
 	if err := db.saveCatalog(); err != nil {
 		return nil, err
 	}
@@ -676,6 +696,7 @@ func (db *DB) DropSMA(table, name string) error {
 		return fmt.Errorf("engine: no sma %s on %s", name, t.Name)
 	}
 	delete(t.smas, name)
+	db.invalidateSMAAttribution()
 	paths, err := filepath.Glob(filepath.Join(db.smaDir(t.Name), name+".g*.smaf"))
 	if err != nil {
 		return err
@@ -717,6 +738,9 @@ func (db *DB) planTracedLocked(sql string, tr *obs.Trace) (*planner.Plan, error)
 	ps.End()
 	if err != nil {
 		return nil, err
+	}
+	if rel := db.virtualRelation(q.Table); rel != nil {
+		return db.planVirtual(q, rel, tr)
 	}
 	t, err := db.table(q.Table)
 	if err != nil {

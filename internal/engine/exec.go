@@ -3,12 +3,15 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"sma/internal/core"
 	"sma/internal/parser"
 	"sma/internal/pred"
+	"sma/internal/stats"
 	"sma/internal/storage"
 	"sma/internal/tuple"
+	"sma/internal/wal"
 )
 
 // ExecResult reports the effect of a non-SELECT statement.
@@ -22,6 +25,12 @@ type ExecResult struct {
 	// RowsAffected is the number of tuples inserted, updated, or removed
 	// by a DML statement.
 	RowsAffected int64
+	// WALBytes and WALSyncs are the redo-log bytes appended and fsyncs
+	// observed while the statement ran. They are process-wide deltas, so
+	// concurrent statements' WAL traffic (including a shared group-commit
+	// sync) is attributed to whichever statements were in flight.
+	WALBytes int64
+	WALSyncs int64
 }
 
 // ExecContext runs a DDL or DML statement through the unified SQL
@@ -36,11 +45,50 @@ type ExecResult struct {
 // but never taking down the process.
 func (db *DB) ExecContext(ctx context.Context, sql string) (res *ExecResult, err error) {
 	defer db.recoverStatementPanic(sql, &err)
+	o := db.opts.Obs
+	st := db.statsC()
+	var fp uint64
+	var norm string
+	var act int64
+	var walBefore wal.Stats
+	if st != nil {
+		fp, norm = db.fingerprint(sql)
+		act = st.BeginActivity("exec", sql, fp)
+		walBefore = db.WALStats()
+	}
+	start := time.Now()
 	res, err = db.execContext(ctx, sql)
-	if o := db.opts.Obs; o != nil && err == nil {
+	dur := time.Since(start)
+	if st != nil {
+		st.EndActivity(act)
+		walAfter := db.WALStats()
+		walBytes := int64(walAfter.Bytes - walBefore.Bytes)
+		walSyncs := int64(walAfter.Syncs - walBefore.Syncs)
+		rec := stats.ExecRecord{
+			Fingerprint: fp, Norm: norm, Dur: dur, Err: err != nil,
+			WALBytes: walBytes, WALSyncs: walSyncs,
+		}
+		if res != nil {
+			res.WALBytes, res.WALSyncs = walBytes, walSyncs
+			rec.Kind, rec.Table, rec.RowsAffected = res.Kind, res.Table, res.RowsAffected
+		}
+		if rec.Kind != "reset stats" { // don't repopulate what reset just cleared
+			st.RecordExec(rec)
+		}
+	}
+	if o != nil && err == nil {
 		o.Engine.Execs.With(res.Kind).Inc()
-		o.Logger().Debug("exec",
-			"kind", res.Kind, "table", res.Table, "rows", res.RowsAffected)
+		o.Engine.ExecSeconds.With(res.Kind).ObserveDuration(dur)
+		attrs := []any{
+			"kind", res.Kind, "table", res.Table, "rows_affected", res.RowsAffected,
+			"dur", dur, "wal_bytes", res.WALBytes, "wal_syncs", res.WALSyncs,
+		}
+		if o.Slow > 0 && dur >= o.Slow {
+			o.Engine.SlowExecs.Inc()
+			o.Logger().Warn("slow exec", append(attrs, "sql", sql)...)
+		} else {
+			o.Logger().Debug("exec", attrs...)
+		}
 	}
 	return res, err
 }
@@ -67,6 +115,9 @@ func (db *DB) execContext(ctx context.Context, sql string) (*ExecResult, error) 
 		return nil, fmt.Errorf("engine: SELECT statements stream; use QueryContext")
 	case *parser.ExplainStmt:
 		return nil, fmt.Errorf("engine: EXPLAIN statements stream; use QueryContext")
+	case *parser.ResetStatsStmt:
+		db.statsC().Reset()
+		return &ExecResult{Kind: "reset stats"}, nil
 	case *parser.DefineSMAStmt:
 		sma, err := db.DefineSMADef(s.Def)
 		if err != nil {
@@ -169,7 +220,8 @@ func (db *DB) deleteWhere(ctx context.Context, table string, p pred.Predicate) (
 			return 0, 0, db.abortStmt(j, err)
 		}
 		t.markSMAsDirty()
-		for _, s := range t.smas {
+		for name, s := range t.smas {
+			db.statsC().RecordMaint(t.Name, name)
 			if err := j.maint(func() error { return s.OnDelete(t.Heap, old, rid) }); err != nil {
 				return 0, 0, db.abortStmt(j, err)
 			}

@@ -93,6 +93,7 @@ func (db *DB) beginStmt(t *Table) (*stmtJournal, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.invalidateSMAAttribution()
 	t.pool.BeginBarrier()
 	return &stmtJournal{t: t, tail: tail, batch: db.wal.NewBatch()}, nil
 }

@@ -5,6 +5,8 @@ import (
 	"log/slog"
 	"sync/atomic"
 	"time"
+
+	"sma/internal/stats"
 )
 
 // Observer bundles the per-database observability state: the metrics
@@ -20,6 +22,11 @@ type Observer struct {
 	Engine   *EngineMetrics
 	Storage  *StorageMetrics
 	Parallel *ParallelMetrics
+
+	// Stats is the workload-introspection store behind the virtual system
+	// tables (sma_stat_statements and friends). Nil only when the whole
+	// observer is nil; Collector methods are nil-safe regardless.
+	Stats *stats.Collector
 
 	qid atomic.Uint64
 }
@@ -40,6 +47,8 @@ type EngineMetrics struct {
 	Queries         *CounterVec   // sma_engine_queries_total{strategy}
 	QuerySeconds    *HistogramVec // sma_engine_query_seconds{strategy}
 	Execs           *CounterVec   // sma_engine_execs_total{kind}
+	ExecSeconds     *HistogramVec // sma_engine_exec_seconds{kind}
+	SlowExecs       *Counter      // sma_engine_slow_execs_total
 	Rows            *Counter      // sma_engine_rows_total
 	PagesRead       *Counter      // sma_engine_pages_read_total
 	Buckets         *CounterVec   // sma_engine_buckets_total{outcome}
@@ -77,6 +86,11 @@ func NewObserver(cfg Config) *Observer {
 				DefSecondsBuckets(), "strategy"),
 			Execs: reg.CounterVec("sma_engine_execs_total",
 				"Non-SELECT statements executed, by statement kind.", "kind"),
+			ExecSeconds: reg.HistogramVec("sma_engine_exec_seconds",
+				"Non-SELECT statement wall time, including durability waits, by statement kind.",
+				DefSecondsBuckets(), "kind"),
+			SlowExecs: reg.Counter("sma_engine_slow_execs_total",
+				"Non-SELECT statements at or above the slow-query threshold."),
 			Rows: reg.Counter("sma_engine_rows_total",
 				"Result rows streamed by query cursors."),
 			PagesRead: reg.Counter("sma_engine_pages_read_total",
@@ -106,6 +120,7 @@ func NewObserver(cfg Config) *Observer {
 				"Per-worker busy time over the parallel stage's wall time.",
 				DefShareBuckets()),
 		},
+		Stats: stats.New(),
 	}
 	return o
 }

@@ -1,0 +1,75 @@
+package parser
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// Normalize canonicalizes a statement for fingerprinting: identifiers and
+// keywords are lower-cased, every literal (numbers, strings, and the
+// DATE '...' spelling) collapses to "?", comments vanish, and whitespace
+// folds to single spaces. Two statements that differ only in literal
+// values or formatting normalize to the same text.
+//
+// The result is display text, not SQL: it does not re-lex (the "?"
+// placeholder is not a token of the dialect). Inputs that fail to lex are
+// normalized textually (case/space folding only) so every string — even
+// garbage that the parser would reject — has a stable normal form.
+func Normalize(sql string) string {
+	toks, err := lex(sql)
+	if err != nil {
+		return strings.Join(strings.Fields(strings.ToLower(sql)), " ")
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	wrote := false
+	emit := func(s string) {
+		if wrote {
+			b.WriteByte(' ')
+		}
+		b.WriteString(s)
+		wrote = true
+	}
+	for i := 0; i < len(toks); i++ {
+		t := toks[i]
+		switch t.kind {
+		case tokEOF:
+			return b.String()
+		case tokNumber, tokString:
+			emit("?")
+		case tokIdent:
+			low := strings.ToLower(t.text)
+			// DATE '...' is a literal spelling; fold the pair into one "?"
+			// so `d <= date '1995-06-17'` and `d <= date '1998-09-02'`
+			// fingerprint identically.
+			if low == "date" && toks[i+1].kind == tokString {
+				emit("?")
+				i++
+				continue
+			}
+			emit(low)
+		case tokSymbol:
+			// A trailing semicolon is optional in the dialect; drop it so
+			// "select 1" and "select 1;" share a fingerprint.
+			if t.text == ";" && toks[i+1].kind == tokEOF {
+				continue
+			}
+			emit(t.text)
+		}
+	}
+	return b.String()
+}
+
+// Fingerprint returns the stable 64-bit fingerprint of a statement (FNV-1a
+// over its normalized text) together with the normalized text itself.
+//
+// Stability contract: the fingerprint depends only on the normalized form,
+// so it is invariant under literal values, letter case, whitespace,
+// comments, and a trailing semicolon — but it is not stable across changes
+// to the normalizer itself, so it must not be persisted to disk.
+func Fingerprint(sql string) (uint64, string) {
+	n := Normalize(sql)
+	h := fnv.New64a()
+	h.Write([]byte(n))
+	return h.Sum64(), n
+}

@@ -1,0 +1,68 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseOrderByProjection: projections accept per-column ASC/DESC.
+func TestParseOrderByProjection(t *testing.T) {
+	q, err := ParseQuery("select A, B from T order by A desc, B asc, A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsProjection() {
+		t.Fatalf("expected projection, got %+v", q)
+	}
+	if len(q.OrderBy) != 3 || len(q.OrderDesc) != 3 {
+		t.Fatalf("order by = %v desc = %v", q.OrderBy, q.OrderDesc)
+	}
+	wantCols := []string{"A", "B", "A"}
+	wantDesc := []bool{true, false, false}
+	for i := range wantCols {
+		if q.OrderBy[i] != wantCols[i] || q.OrderDesc[i] != wantDesc[i] {
+			t.Errorf("order by[%d] = %s desc=%v, want %s desc=%v",
+				i, q.OrderBy[i], q.OrderDesc[i], wantCols[i], wantDesc[i])
+		}
+	}
+}
+
+// TestParseOrderByAggregation: the aggregation path keeps the prefix-of-
+// GROUP-BY rule and rejects DESC.
+func TestParseOrderByAggregation(t *testing.T) {
+	q, err := ParseQuery("select A, sum(X) from T group by A order by A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.OrderBy) != 1 || q.OrderBy[0] != "A" || q.OrderDesc[0] {
+		t.Errorf("order by = %v desc = %v", q.OrderBy, q.OrderDesc)
+	}
+
+	if _, err := ParseQuery("select A, sum(X) from T group by A order by X"); err == nil ||
+		!strings.Contains(err.Error(), "prefix of GROUP BY") {
+		t.Errorf("non-prefix ORDER BY error = %v", err)
+	}
+	if _, err := ParseQuery("select A, sum(X) from T group by A order by A desc"); err == nil ||
+		!strings.Contains(err.Error(), "DESC is not supported with GROUP BY") {
+		t.Errorf("DESC with GROUP BY error = %v", err)
+	}
+}
+
+// TestParseResetStats: "reset stats" dispatches to ResetStatsStmt.
+func TestParseResetStats(t *testing.T) {
+	for _, src := range []string{"reset stats", "RESET STATS;", "  Reset\n Stats "} {
+		st, err := ParseStatement(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if _, ok := st.(*ResetStatsStmt); !ok {
+			t.Errorf("%q parsed as %T", src, st)
+		}
+	}
+	if _, err := ParseStatement("reset counters"); err == nil {
+		t.Error("reset counters should not parse")
+	}
+	if _, err := ParseStatement("reset stats now"); err == nil {
+		t.Error("trailing input after reset stats should not parse")
+	}
+}

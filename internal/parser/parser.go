@@ -29,7 +29,10 @@ type Query struct {
 	GroupBy []string
 	Having  []exec.RowCond // conjunctive conditions on output columns
 	OrderBy []string
-	Limit   int // -1 when absent
+	// OrderDesc[i] reports whether OrderBy[i] sorts descending. Always the
+	// same length as OrderBy; DESC is only accepted on projections.
+	OrderDesc []bool
+	Limit     int // -1 when absent
 }
 
 // IsProjection reports whether the query is a plain projection — no
@@ -287,14 +290,36 @@ func ParseQuery(src string) (*Query, error) {
 		if err := p.expectKeyword("by"); err != nil {
 			return nil, err
 		}
-		if q.OrderBy, err = p.parseColumnList(); err != nil {
-			return nil, err
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.OrderBy = append(q.OrderBy, strings.ToUpper(col))
+			desc := p.acceptKeyword("desc")
+			if !desc {
+				p.acceptKeyword("asc")
+			}
+			q.OrderDesc = append(q.OrderDesc, desc)
+			if !p.acceptSymbol(",") {
+				break
+			}
 		}
-		// The engine sorts by group-by values; ORDER BY must be a prefix
-		// of (or equal to) the GROUP BY columns, which covers Query 1.
-		for i, c := range q.OrderBy {
-			if i >= len(q.GroupBy) || !strings.EqualFold(q.GroupBy[i], c) {
-				return nil, fmt.Errorf("parser: ORDER BY must match a prefix of GROUP BY (got %s)", c)
+		if q.IsProjection() {
+			// Projections sort through a materializing sort node; any
+			// scanned column works, in either direction. Column existence
+			// is checked against the schema at plan time.
+		} else {
+			// The aggregation path sorts by group-by values; ORDER BY must
+			// be a prefix of (or equal to) the GROUP BY columns, which
+			// covers Query 1.
+			for i, c := range q.OrderBy {
+				if i >= len(q.GroupBy) || !strings.EqualFold(q.GroupBy[i], c) {
+					return nil, fmt.Errorf("parser: ORDER BY must match a prefix of GROUP BY (got %s)", c)
+				}
+				if q.OrderDesc[i] {
+					return nil, fmt.Errorf("parser: ORDER BY ... DESC is not supported with GROUP BY")
+				}
 			}
 		}
 	}

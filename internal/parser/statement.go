@@ -90,7 +90,11 @@ type UpdateStmt struct {
 	Where pred.Predicate // nil updates every tuple
 }
 
+// ResetStatsStmt zeroes the introspection catalog: "reset stats".
+type ResetStatsStmt struct{}
+
 func (*SelectStmt) isStatement()      {}
+func (*ResetStatsStmt) isStatement()  {}
 func (*DefineSMAStmt) isStatement()   {}
 func (*DropSMAStmt) isStatement()     {}
 func (*CreateTableStmt) isStatement() {}
@@ -131,9 +135,26 @@ func ParseStatement(src string) (Statement, error) {
 		return p.parseUpdate()
 	case p.isKeyword("delete"):
 		return p.parseDelete()
+	case p.isKeyword("reset"):
+		return p.parseResetStats()
 	default:
-		return nil, fmt.Errorf("parser: expected SELECT, EXPLAIN, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT, UPDATE or DELETE, found %q", p.peek().text)
+		return nil, fmt.Errorf("parser: expected SELECT, EXPLAIN, DEFINE SMA, DROP SMA, CREATE TABLE, INSERT, UPDATE, DELETE or RESET STATS, found %q", p.peek().text)
 	}
+}
+
+// parseResetStats parses "reset stats".
+func (p *parser) parseResetStats() (Statement, error) {
+	if err := p.expectKeyword("reset"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("stats"); err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("parser: trailing input %q", p.peek().text)
+	}
+	return &ResetStatsStmt{}, nil
 }
 
 // parseDropSMA parses "drop sma <name> on <table>".

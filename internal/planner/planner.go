@@ -27,6 +27,7 @@ import (
 	"sma/internal/parser"
 	"sma/internal/pred"
 	"sma/internal/storage"
+	"sma/internal/tuple"
 )
 
 // CostModel weights page accesses. The defaults make one random bucket
@@ -56,6 +57,9 @@ const (
 	// StrategySMAScan uses SMAs only to skip disqualified buckets, with a
 	// hash aggregation on top (Fig. 6 + GAggr).
 	StrategySMAScan
+	// StrategyMemScan scans an in-memory snapshot relation — the virtual
+	// system tables of the introspection catalog. No pages, no SMAs.
+	StrategyMemScan
 )
 
 // String names the strategy.
@@ -67,6 +71,8 @@ func (s Strategy) String() string {
 		return "SMA_GAggr"
 	case StrategySMAScan:
 		return "SMA_Scan+GAggr"
+	case StrategyMemScan:
+		return "MemScan"
 	default:
 		return fmt.Sprintf("Strategy(%d)", uint8(s))
 	}
@@ -80,9 +86,18 @@ type Plan struct {
 	Heap   *storage.HeapFile
 	Grader *core.Grader
 
+	// Mem, when set, is the in-memory relation the plan scans instead of
+	// Heap (StrategyMemScan: virtual system tables). Heap is nil then.
+	Mem *exec.MemRelation
+
 	// SMA_GAggr inputs (StrategySMAGAggr only).
 	AggSMAs  []*core.SMA
 	CountSMA *core.SMA
+
+	// SelSMAs are the selection SMAs planning consulted for the WHERE
+	// clause (the ones whose pages SMAPages counts); the stats layer
+	// attributes per-SMA effectiveness from this list.
+	SelSMAs []*core.SMA
 
 	// DOP is the degree of intra-query parallelism the plan executes with
 	// (1 = serial). Aggregation plans with DOP > 1 run through the
@@ -123,6 +138,9 @@ type Plan struct {
 // StrategyName renders the strategy for display. Projection plans carry
 // no aggregation operator, so the "+GAggr" suffix is dropped for them.
 func (p *Plan) StrategyName() string {
+	if p.Strategy == StrategyMemScan {
+		return p.Strategy.String()
+	}
 	if !p.IsProjection() {
 		return p.Strategy.String()
 	}
@@ -176,7 +194,7 @@ func New() *Planner { return &Planner{Cost: DefaultCostModel()} }
 // serially: they stream tuples in physical order, which a merge stage
 // would only re-serialize. The result is at least 1.
 func (pl *Planner) ChooseDOP(p *Plan, requested int) int {
-	if requested <= 1 || p.IsProjection() {
+	if requested <= 1 || p.Mem != nil || p.IsProjection() {
 		return 1
 	}
 	units := 0
@@ -238,11 +256,12 @@ func groupingCovers(smaGroupBy, queryGroupBy []string) bool {
 	return true
 }
 
-// selectionSMAPages sums the pages of the SMA-files a grader would read
-// for the predicate's columns.
-func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
+// selectionSMAs returns the SMAs a grader would consult for the
+// predicate's columns: min/max SMAs on a filtered column and count SMAs
+// grouped by one.
+func selectionSMAs(smas []*core.SMA, p pred.Predicate) []*core.SMA {
 	if p == nil {
-		return 0
+		return nil
 	}
 	cols := map[string]bool{}
 	for _, a := range pred.Atoms(p) {
@@ -251,7 +270,7 @@ func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
 			cols[a.RightCol] = true
 		}
 	}
-	var total int64
+	var out []*core.SMA
 	for _, s := range smas {
 		use := false
 		switch s.Def.Agg {
@@ -261,8 +280,18 @@ func selectionSMAPages(smas []*core.SMA, p pred.Predicate) int64 {
 			use = len(s.Def.GroupBy) == 1 && cols[strings.ToUpper(s.Def.GroupBy[0])]
 		}
 		if use {
-			total += s.PagesUsed()
+			out = append(out, s)
 		}
+	}
+	return out
+}
+
+// selectionSMAPages sums the pages of the SMA-files the consulted SMAs
+// would be read from.
+func selectionSMAPages(sel []*core.SMA) int64 {
+	var total int64
+	for _, s := range sel {
+		total += s.PagesUsed()
 	}
 	return total
 }
@@ -286,6 +315,45 @@ func (pl *Planner) PlanQueryTraced(q *parser.Query, heap *storage.HeapFile, smas
 	plan.Exec = pl.Exec
 	plan.Obs = pl.Obs
 	return plan, nil
+}
+
+// PlanMem plans a query over an in-memory relation — the virtual system
+// tables. There are no pages, buckets, or SMAs to weigh, so the only
+// strategy is a snapshot scan; projections, aggregation, HAVING, ORDER BY
+// and LIMIT all compose on top exactly as they do over a heap.
+func (pl *Planner) PlanMem(q *parser.Query, rel *exec.MemRelation) (*Plan, error) {
+	schema := rel.Schema
+	if q.IsProjection() {
+		cols := q.ProjColumns(schema)
+		if len(cols) == 0 {
+			return nil, fmt.Errorf("planner: query must project, aggregate or group")
+		}
+		for _, c := range cols {
+			if !schema.HasColumn(c) {
+				return nil, fmt.Errorf("planner: unknown column %q in select list", c)
+			}
+		}
+		for _, c := range q.OrderBy {
+			if !schema.HasColumn(c) {
+				return nil, fmt.Errorf("planner: unknown column %q in ORDER BY", c)
+			}
+		}
+	} else {
+		for _, g := range q.GroupBy {
+			if !schema.HasColumn(g) {
+				return nil, fmt.Errorf("planner: unknown column %q in GROUP BY", g)
+			}
+		}
+	}
+	return &Plan{
+		Query:    q,
+		Strategy: StrategyMemScan,
+		Mem:      rel,
+		DOP:      1,
+		Exec:     pl.Exec,
+		Obs:      pl.Obs,
+		Reason:   "virtual system table; in-memory snapshot scan",
+	}, nil
 }
 
 // gradeTraced runs the grading pass under a "grade" child span carrying
@@ -356,7 +424,8 @@ func (pl *Planner) planQuery(q *parser.Query, heap *storage.HeapFile, smas []*co
 	}
 
 	bucketPages := float64(heap.BucketPages)
-	plan.SMAPages = selectionSMAPages(smas, q.Where)
+	plan.SelSMAs = selectionSMAs(smas, q.Where)
+	plan.SMAPages = selectionSMAPages(plan.SelSMAs)
 	ambCost := float64(plan.Grades.Ambivalent) * bucketPages * pl.Cost.RandPageCost
 
 	if covered {
@@ -416,6 +485,11 @@ func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas 
 			return nil, fmt.Errorf("planner: unknown column %q in select list", c)
 		}
 	}
+	for _, c := range q.OrderBy {
+		if !schema.HasColumn(c) {
+			return nil, fmt.Errorf("planner: unknown column %q in ORDER BY", c)
+		}
+	}
 	plan := &Plan{Query: q, Heap: heap}
 	grader := core.NewGrader(smas...)
 	plan.Grader = grader
@@ -435,7 +509,8 @@ func (pl *Planner) planProjection(q *parser.Query, heap *storage.HeapFile, smas 
 		plan.Grades = core.GradeCounts{Qualifying: heap.NumBuckets()}
 	}
 	bucketPages := float64(heap.BucketPages)
-	plan.SMAPages = selectionSMAPages(smas, q.Where)
+	plan.SelSMAs = selectionSMAs(smas, q.Where)
+	plan.SMAPages = selectionSMAPages(plan.SelSMAs)
 	touched := float64(plan.Grades.Qualifying+plan.Grades.Ambivalent) * bucketPages * pl.Cost.RandPageCost
 	plan.CostSMA = float64(plan.SMAPages)*pl.Cost.SeqPageCost + touched
 	if plan.CostSMA <= plan.CostScan {
@@ -485,6 +560,27 @@ func (p *Plan) RowIterator(ctx context.Context) (exec.RowIter, error) {
 		return nil, fmt.Errorf("planner: projection plans stream tuples; use TupleIterator")
 	}
 	specs := p.Query.AggSpecs()
+
+	if p.Mem != nil {
+		sortSp := p.Span.Child("sort")
+		foldSp := sortSp.Child("fold")
+		scanSp := foldSp.Child("scan")
+		scanSp.SetNote("mem_scan")
+		scan := exec.NewMemScan(p.Mem.Schema, p.Mem.Tuples, p.Query.Where)
+		scan.Ctx = ctx
+		p.statsSrc = scan
+		fold := exec.NewGAggr(exec.TraceTupleIter(scan, scanSp),
+			p.Mem.Schema, specs, p.Query.GroupBy)
+		var it exec.RowIter = exec.TraceRowIter(fold, foldSp)
+		if len(p.Query.Having) > 0 {
+			it = exec.NewHavingFilter(it, p.Query.GroupBy, specs, p.Query.Having)
+		}
+		it = exec.TraceRowIter(exec.NewSortRows(it), sortSp)
+		if p.Query.Limit >= 0 {
+			it = exec.NewLimitRows(it, p.Query.Limit)
+		}
+		return it, nil
+	}
 
 	// Span tree, consumer-on-top like a plan tree: sort → fold (or the
 	// parallel merge stage) → scan → prefetch. With p.Span == nil every
@@ -599,7 +695,13 @@ func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
 	}
 	scanSp := p.Span.Child("scan")
 	var it exec.TupleIter
-	if p.Strategy == StrategySMAScan {
+	if p.Mem != nil {
+		scanSp.SetNote("mem_scan projection")
+		scan := exec.NewMemScan(p.Mem.Schema, p.Mem.Tuples, p.Query.Where)
+		scan.Ctx = ctx
+		p.statsSrc = scan
+		it = exec.TraceTupleIter(scan, scanSp)
+	} else if p.Strategy == StrategySMAScan {
 		scanSp.SetNote("sma_scan projection")
 		scan := exec.NewSMAScan(p.Heap, p.Query.Where, p.Grader)
 		scan.Ctx = ctx
@@ -614,6 +716,19 @@ func (p *Plan) TupleIterator(ctx context.Context) (exec.TupleIter, error) {
 		scan.PrefetchWindow = p.Exec.EffectivePrefetchWindow()
 		p.statsSrc = scan
 		it = exec.TraceTupleIter(scan, scanSp)
+	}
+	if len(p.Query.OrderBy) > 0 {
+		var schema *tuple.Schema
+		if p.Mem != nil {
+			schema = p.Mem.Schema
+		} else {
+			schema = p.Heap.Schema()
+		}
+		st, err := exec.NewSortTuples(it, schema, p.Query.OrderBy, p.Query.OrderDesc)
+		if err != nil {
+			return nil, err
+		}
+		it = st
 	}
 	if p.Query.Limit >= 0 {
 		it = exec.NewLimitTuples(it, p.Query.Limit)

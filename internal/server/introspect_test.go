@@ -1,0 +1,172 @@
+package server_test
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sma/client"
+	"sma/internal/obs"
+	"sma/internal/server"
+)
+
+// TestIntrospectionOverWire: the introspection catalog streams through the
+// ordinary wire protocol — header, live rows, trailer — like any SELECT.
+func TestIntrospectionOverWire(t *testing.T) {
+	ts := startServer(t, nil, server.Config{})
+	ctx := context.Background()
+	c := client.New(ts.Base)
+	seedSmall(t, c)
+	workload := "select K, sum(V) from S group by K"
+	for i := 0; i < 2; i++ {
+		rows, err := c.Query(ctx, workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		if err := rows.Err(); err != nil {
+			t.Fatal(err)
+		}
+		rows.Close()
+	}
+
+	rows, err := c.Query(ctx, "select * from sma_stat_statements order by total_ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols := rows.Columns()
+	if len(cols) == 0 || cols[0] != "FINGERPRINT" {
+		t.Fatalf("columns = %v", cols)
+	}
+	if got := rows.Strategy(); got != "MemScan" {
+		t.Errorf("strategy = %q", got)
+	}
+	callsIdx, queryIdx, totalIdx := -1, -1, -1
+	for i, c := range cols {
+		switch c {
+		case "CALLS":
+			callsIdx = i
+		case "QUERY":
+			queryIdx = i
+		case "TOTAL_MS":
+			totalIdx = i
+		}
+	}
+	if callsIdx < 0 || queryIdx < 0 || totalIdx < 0 {
+		t.Fatalf("missing catalog columns in %v", cols)
+	}
+	var n int64
+	found := false
+	prev := -1.0
+	for rows.Next() {
+		row := rows.Row()
+		n++
+		total, err := strconv.ParseFloat(row[totalIdx], 64)
+		if err != nil {
+			t.Fatalf("total_ms %q: %v", row[totalIdx], err)
+		}
+		if total < prev {
+			t.Errorf("total_ms out of order: %v after %v", total, prev)
+		}
+		prev = total
+		if strings.Contains(row[queryIdx], "sum ( v ) from s") {
+			found = true
+			if row[callsIdx] != "2" {
+				t.Errorf("workload calls = %q, want 2", row[callsIdx])
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || !found {
+		t.Fatalf("no live workload row among %d statements", n)
+	}
+	if count, _, _, ok := rows.Trailer(); !ok || count != n {
+		t.Errorf("trailer count = %d ok=%v, want %d", count, ok, n)
+	}
+}
+
+// TestExecWALCountersOverWire: DML responses carry the WAL deltas end to
+// end, and `reset stats` executes through the wire like any statement.
+func TestExecWALCountersOverWire(t *testing.T) {
+	ts := startServer(t, nil, server.Config{})
+	ctx := context.Background()
+	c := client.New(ts.Base)
+	seedSmall(t, c)
+	res, err := c.Exec(ctx, "insert into S values (date '2024-03-01', 'C', 9)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 || res.WALBytes <= 0 || res.WALSyncs <= 0 {
+		t.Errorf("exec result = %+v", res)
+	}
+
+	if _, err := c.Exec(ctx, "reset stats"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.Query(ctx, "select * from sma_stat_tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		t.Errorf("sma_stat_tables after reset: %v", rows.Row())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsExpositionWhileDegraded: a degraded (corrupt, read-only)
+// database keeps /metrics serving a strictly valid exposition.
+func TestMetricsExpositionWhileDegraded(t *testing.T) {
+	dir := seedCorruptDir(t)
+	ts := startServerAt(t, dir, nil, server.Config{})
+	ctx := context.Background()
+
+	rep, err := ts.DB.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Clean() {
+		t.Fatal("scrub missed seeded corruption")
+	}
+	c := client.New(ts.Base)
+	err = c.Ready(ctx)
+	if se, ok := err.(*client.Error); !ok || !se.IsDegraded() {
+		t.Fatalf("Ready = %v, want degraded", err)
+	}
+
+	body := fetchMetrics(t, ts.Base)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics invalid while degraded: %v\n%s", err, body)
+	}
+	if !strings.Contains(string(body), "sma_uptime_seconds") {
+		t.Errorf("degraded /metrics missing server families:\n%s", body)
+	}
+}
+
+// TestMetricsExpositionWhileDraining: a draining server (shutdown begun,
+// /readyz 503) still serves a valid exposition for the final scrape.
+func TestMetricsExpositionWhileDraining(t *testing.T) {
+	ts := startServer(t, nil, server.Config{})
+	ctx := context.Background()
+	c := client.New(ts.Base)
+	seedSmall(t, c)
+	if err := ts.Srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	err := c.Ready(ctx)
+	if se, ok := err.(*client.Error); !ok || !strings.Contains(se.Message, "draining") {
+		t.Fatalf("Ready = %v, want draining 503", err)
+	}
+
+	body := fetchMetrics(t, ts.Base)
+	if err := obs.ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics invalid while draining: %v\n%s", err, body)
+	}
+}

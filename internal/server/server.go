@@ -507,6 +507,8 @@ func (s *Server) handleExec(w http.ResponseWriter, r *http.Request) {
 		Table:         res.Table,
 		RowsAffected:  res.RowsAffected,
 		ElapsedMicros: time.Since(start).Microseconds(),
+		WALBytes:      res.WALBytes,
+		WALSyncs:      res.WALSyncs,
 	}
 	if res.SMAName != "" {
 		resp.SMA = &SMAResult{

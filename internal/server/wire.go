@@ -244,6 +244,8 @@ type ExecResponse struct {
 	RowsAffected  int64      `json:"rows_affected"`
 	SMA           *SMAResult `json:"sma,omitempty"`
 	ElapsedMicros int64      `json:"elapsed_us"`
+	WALBytes      int64      `json:"wal_bytes,omitempty"`
+	WALSyncs      int64      `json:"wal_syncs,omitempty"`
 }
 
 // ErrorResponse is the JSON body of every non-200 answer. Degraded marks

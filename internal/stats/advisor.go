@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Advice is one advisor recommendation.
+type Advice struct {
+	Action        string // "add" or "drop"
+	Table         string
+	Target        string // column (add) or "sma <name>" (drop)
+	Filters       int64  // observed queries filtering the target column
+	EstPagesSaved int64
+	MaintOps      int64
+	Reason        string
+	Suggestion    string // DDL to apply the recommendation
+}
+
+// adviseMinFilters is how often a column must appear in predicates before
+// the advisor proposes an SMA for it; one-off queries don't justify the
+// maintenance cost the paper's economics are about.
+const adviseMinFilters = 2
+
+// Advise joins the observed workload against the defined SMAs and
+// recommends definitions to add (columns frequently filtered whose queries
+// read pages without pruning any) and drop (SMAs consulted but never
+// disqualifying a bucket). Estimated pages saved for an "add" is the pages
+// those queries read — an upper bound reached when every bucket outside
+// the predicate's range disqualifies, the paper's sorted "optimal case".
+func Advise(c *Collector, catalog []CatalogSMA) []Advice {
+	if c == nil {
+		return nil
+	}
+	// Columns already covered by a selection-capable SMA, split by which
+	// vector exists: a min vector prunes <=/< predicates, a max vector
+	// prunes >=/>, a count SMA grouped by the column prunes equality from
+	// either side. Sum vectors cannot disqualify buckets and do not count.
+	type coverage struct{ min, max bool }
+	covered := make(map[string]coverage, len(catalog))
+	for _, def := range catalog {
+		if def.Column == "" {
+			continue
+		}
+		key := def.Table + "." + strings.ToUpper(def.Column)
+		cv := covered[key]
+		switch def.Kind {
+		case "min":
+			cv.min = true
+		case "max":
+			cv.max = true
+		case "count":
+			cv.min, cv.max = true, true
+		default:
+			continue
+		}
+		covered[key] = cv
+	}
+
+	var out []Advice
+	for _, ts := range c.Tables() {
+		for _, cs := range ts.Cols {
+			if cs.Filters < adviseMinFilters || cs.PagesRead == 0 || cs.PagesPruned > 0 {
+				continue
+			}
+			// Suggest the vector the workload's operators can prune
+			// with; when the dominant side is already defined, fall back
+			// to the other side if anything needs it.
+			cv := covered[ts.Table+"."+cs.Column]
+			agg := "min"
+			if cs.NeedMax > cs.NeedMin {
+				agg = "max"
+			}
+			if (agg == "min" && cv.min) || (agg == "max" && cv.max) {
+				switch {
+				case agg == "min" && cs.NeedMax > 0 && !cv.max:
+					agg = "max"
+				case agg == "max" && cs.NeedMin > 0 && !cv.min:
+					agg = "min"
+				default:
+					continue
+				}
+			}
+			col := strings.ToLower(cs.Column)
+			out = append(out, Advice{
+				Action:        "add",
+				Table:         ts.Table,
+				Target:        cs.Column,
+				Filters:       cs.Filters,
+				EstPagesSaved: cs.PagesRead,
+				Reason: fmt.Sprintf("%d queries filter on %s.%s but no %s SMA covers it; %d pages read, 0 pruned",
+					cs.Filters, ts.Table, cs.Column, agg, cs.PagesRead),
+				Suggestion: fmt.Sprintf("define sma %s_%s select %s(%s) from %s",
+					col, agg, agg, cs.Column, ts.Table),
+			})
+		}
+	}
+
+	for _, s := range c.SMAs() {
+		if s.Consulted == 0 || s.Disqualified > 0 {
+			continue
+		}
+		out = append(out, Advice{
+			Action:   "drop",
+			Table:    s.Table,
+			Target:   "sma " + s.Name,
+			MaintOps: s.MaintOps,
+			Reason: fmt.Sprintf("consulted by %d plans, never disqualified a bucket (%d maintenance ops paid)",
+				s.Consulted, s.MaintOps),
+			Suggestion: fmt.Sprintf("drop sma %s on %s", s.Name, s.Table),
+		})
+	}
+
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Action != out[j].Action {
+			return out[i].Action < out[j].Action // "add" before "drop"
+		}
+		if out[i].EstPagesSaved != out[j].EstPagesSaved {
+			return out[i].EstPagesSaved > out[j].EstPagesSaved
+		}
+		return out[i].Table+out[i].Target < out[j].Table+out[j].Target
+	})
+	return out
+}

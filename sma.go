@@ -476,7 +476,10 @@ func (db *DB) ExecContext(ctx context.Context, stmt string) (*ExecResult, error)
 	if err != nil {
 		return nil, err
 	}
-	out := &ExecResult{Kind: res.Kind, Table: res.Table, RowsAffected: res.RowsAffected}
+	out := &ExecResult{
+		Kind: res.Kind, Table: res.Table, RowsAffected: res.RowsAffected,
+		WALBytes: res.WALBytes, WALSyncs: res.WALSyncs,
+	}
 	if res.SMA != nil {
 		out.SMAName = res.SMA.Def.Name
 		out.SMABuckets = res.SMA.NumBuckets
@@ -507,4 +510,8 @@ type ExecResult struct {
 	SMABuckets int
 	SMAFiles   int
 	SMAPages   int64
+	// WALBytes and WALSyncs are the redo-log bytes appended and fsyncs
+	// observed while the statement ran (0 when observability is off).
+	WALBytes int64
+	WALSyncs int64
 }
